@@ -1,0 +1,145 @@
+//! Interned alphabets of named annotation symbols.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned annotation symbol.
+///
+/// Symbols are *names* (e.g. `seteuid_zero`, `g`, `open`) interned in an
+/// [`Alphabet`]; the id is only meaningful relative to the alphabet that
+/// produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub(crate) u32);
+
+impl SymbolId {
+    /// Builds a symbol id from a raw index. The caller must ensure the
+    /// index is valid for the alphabet it will be used with.
+    pub fn from_index(index: usize) -> SymbolId {
+        SymbolId(u32::try_from(index).expect("symbol index too large"))
+    }
+
+    /// The symbol's index within its alphabet.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ{}", self.0)
+    }
+}
+
+/// A finite alphabet of named symbols.
+///
+/// Annotation languages in the paper range over program-level events
+/// (`seteuid(0)`, `execl`, gen/kill facts, type-constructor brackets), so the
+/// alphabet maps human-readable names to dense ids.
+///
+/// # Example
+///
+/// ```
+/// use rasc_automata::Alphabet;
+///
+/// let mut sigma = Alphabet::new();
+/// let g = sigma.intern("g");
+/// assert_eq!(sigma.intern("g"), g); // idempotent
+/// assert_eq!(sigma.name(g), "g");
+/// assert_eq!(sigma.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Alphabet {
+    names: Vec<String>,
+    by_name: HashMap<String, SymbolId>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet containing the given names, in order.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut a = Self::new();
+        for n in names {
+            a.intern(n.as_ref());
+        }
+        a
+    }
+
+    /// Interns `name`, returning its id. Idempotent.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.names.len()).expect("alphabet too large"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up a symbol by name without interning.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this alphabet.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all symbols in id order.
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.names.len()).map(|i| SymbolId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        let y = a.intern("y");
+        assert_ne!(x, y);
+        assert_eq!(a.intern("x"), x);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn lookup_finds_only_interned() {
+        let mut a = Alphabet::new();
+        let x = a.intern("x");
+        assert_eq!(a.lookup("x"), Some(x));
+        assert_eq!(a.lookup("z"), None);
+    }
+
+    #[test]
+    fn from_names_preserves_order() {
+        let a = Alphabet::from_names(["a", "b", "c"]);
+        let ids: Vec<_> = a.symbols().collect();
+        assert_eq!(a.name(ids[0]), "a");
+        assert_eq!(a.name(ids[2]), "c");
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for the automata crate.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, AutomataError>;
+
+/// Errors produced while parsing regexes or property specifications, or
+/// while assembling automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// A regular expression failed to parse.
+    ParseRegex {
+        /// Human-readable description of the failure.
+        message: String,
+        /// Byte offset into the input where the failure occurred.
+        offset: usize,
+    },
+    /// A property specification failed to parse.
+    ParseSpec {
+        /// Human-readable description of the failure.
+        message: String,
+        /// Line number (1-based) where the failure occurred.
+        line: usize,
+    },
+    /// A symbol name was used that is not in the alphabet.
+    UnknownSymbol(String),
+    /// A state name was referenced but never declared.
+    UnknownState(String),
+    /// A specification declared the same transition twice with different
+    /// targets (the machine must be deterministic).
+    NondeterministicSpec {
+        /// The state carrying the conflicting transitions.
+        state: String,
+        /// The symbol with two distinct targets.
+        symbol: String,
+    },
+    /// The specification has no start state.
+    MissingStartState,
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::ParseRegex { message, offset } => {
+                write!(f, "regex parse error at offset {offset}: {message}")
+            }
+            AutomataError::ParseSpec { message, line } => {
+                write!(f, "spec parse error at line {line}: {message}")
+            }
+            AutomataError::UnknownSymbol(name) => write!(f, "unknown symbol `{name}`"),
+            AutomataError::UnknownState(name) => write!(f, "unknown state `{name}`"),
+            AutomataError::NondeterministicSpec { state, symbol } => write!(
+                f,
+                "state `{state}` has two transitions on `{symbol}` with different targets"
+            ),
+            AutomataError::MissingStartState => write!(f, "specification has no start state"),
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}

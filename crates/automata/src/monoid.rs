@@ -1,0 +1,421 @@
+//! The transition monoid `F_M^≡` of representative functions.
+//!
+//! By the paper's Theorem 2.1, two words are `≡_M`-equivalent iff they
+//! induce the same state-to-state function on the (minimal) machine `M`.
+//! Each equivalence class is therefore represented by a total function
+//! `S → S`; the finitely many such functions reachable from the generators
+//! `{f_σ}` and the identity `f_ε` form the transition monoid.
+//!
+//! The constraint solver composes annotations with `∘`; this module interns
+//! functions to dense [`FnId`]s and memoizes composition so each `f ∘ g` is
+//! an O(1) table lookup after the first computation — exactly the paper's
+//! "precomputed table" (§4, §8), built lazily so that machines with
+//! superexponential monoids (Figure 2) degrade gracefully.
+
+use std::collections::HashMap;
+
+use crate::alphabet::{Alphabet, SymbolId};
+use crate::dfa::{Dfa, StateId};
+
+/// An interned representative function (an element of `F_M^≡`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FnId(pub(crate) u32);
+
+impl FnId {
+    /// Builds a function id from a raw index. The caller must ensure the
+    /// index is valid for the monoid it will be used with.
+    pub fn from_index(index: usize) -> FnId {
+        FnId(u32::try_from(index).expect("function index too large"))
+    }
+
+    /// The function's index within its monoid.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A representative function: a total map from machine states to machine
+/// states, `f(s) = δ(w, s)` for any word `w` in its class.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ReprFn(Vec<u32>);
+
+impl ReprFn {
+    /// Applies the function to a state.
+    pub fn apply(&self, s: StateId) -> StateId {
+        StateId(self.0[s.index()])
+    }
+
+    /// The number of machine states (the function's domain size).
+    pub fn domain_len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The state images, indexed by source state.
+    pub fn images(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.0.iter().map(|&s| StateId(s))
+    }
+}
+
+/// The transition monoid of a DFA with interned elements and memoized
+/// composition.
+///
+/// The machine should be **minimal and complete** (see [`Dfa::minimize`]);
+/// this constructor completes it but deliberately does not minimize — the
+/// caller decides the language, and minimizing changes state identities.
+///
+/// # Example
+///
+/// ```
+/// use rasc_automata::{Alphabet, Dfa, Monoid};
+///
+/// let mut sigma = Alphabet::new();
+/// let g = sigma.intern("g");
+/// let k = sigma.intern("k");
+/// let dfa = Dfa::one_bit(&sigma, g, k);
+/// let mut monoid = Monoid::lazy_of_dfa(&dfa);
+/// let fg = monoid.generator(g);
+/// let fk = monoid.generator(k);
+/// // k then g: the fact ends up set ⇒ f_g ∘ f_k = f_g
+/// assert_eq!(monoid.compose(fg, fk), fg);
+/// // g then k: the fact ends up clear ⇒ f_k ∘ f_g = f_k
+/// assert_eq!(monoid.compose(fk, fg), fk);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Monoid {
+    n_states: usize,
+    start: StateId,
+    accepting: Vec<bool>,
+    fns: Vec<ReprFn>,
+    by_fn: HashMap<ReprFn, FnId>,
+    identity: FnId,
+    /// Generator function per alphabet symbol.
+    generators: Vec<FnId>,
+    /// Memoized composition: `(later, earlier) → later ∘ earlier`.
+    memo: HashMap<(FnId, FnId), FnId>,
+    /// Whether the monoid has been closed under composition.
+    closed: bool,
+}
+
+impl Monoid {
+    /// Builds the monoid *lazily*: only the identity and the per-symbol
+    /// generators are interned; further elements appear on demand through
+    /// [`Monoid::compose`].
+    ///
+    /// This is what the solver uses — on adversarial machines only the
+    /// functions actually arising in the constraint graph are materialized.
+    pub fn lazy_of_dfa(dfa: &Dfa) -> Monoid {
+        let complete = dfa.complete();
+        let n = complete.len();
+        let start = complete.start().unwrap_or(StateId(0));
+        let accepting = (0..n)
+            .map(|i| complete.is_accepting(StateId(i as u32)))
+            .collect();
+        let mut monoid = Monoid {
+            n_states: n,
+            start,
+            accepting,
+            fns: Vec::new(),
+            by_fn: HashMap::new(),
+            identity: FnId(0),
+            generators: Vec::new(),
+            memo: HashMap::new(),
+            closed: false,
+        };
+        let identity = monoid.intern(ReprFn((0..n as u32).collect()));
+        monoid.identity = identity;
+        for sym_idx in 0..complete.alphabet_len() {
+            let images = (0..n)
+                .map(|i| {
+                    complete
+                        .delta(StateId(i as u32), SymbolId(sym_idx as u32))
+                        .expect("complete DFA")
+                        .0
+                })
+                .collect();
+            let f = monoid.intern(ReprFn(images));
+            monoid.generators.push(f);
+        }
+        monoid
+    }
+
+    /// Builds the *entire* monoid `F_M^≡` eagerly (closure of the
+    /// generators under composition).
+    ///
+    /// Used for reporting monoid sizes (the paper's "58 representative
+    /// functions" observation, and the Figure 2 superexponential growth
+    /// experiment). Beware: the closure can reach `|S|^|S|` elements.
+    pub fn of_dfa(dfa: &Dfa) -> Monoid {
+        let mut monoid = Monoid::lazy_of_dfa(dfa);
+        monoid.close();
+        monoid
+    }
+
+    /// Closes the monoid under composition, interning every element of
+    /// `F_M^≡`. Idempotent.
+    pub fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        // BFS over words: every f_w arises as f_σ ∘ f_{w'} for |w| = |w'|+1.
+        let generators: Vec<FnId> = self.generators.clone();
+        let mut frontier: Vec<FnId> = (0..self.fns.len() as u32).map(FnId).collect();
+        while let Some(f) = frontier.pop() {
+            for &g in &generators {
+                let before = self.fns.len();
+                let _ = self.compose(g, f);
+                if self.fns.len() > before {
+                    frontier.push(FnId((self.fns.len() - 1) as u32));
+                }
+            }
+        }
+        self.closed = true;
+    }
+
+    fn intern(&mut self, f: ReprFn) -> FnId {
+        if let Some(&id) = self.by_fn.get(&f) {
+            return id;
+        }
+        let id = FnId(u32::try_from(self.fns.len()).expect("monoid too large"));
+        self.by_fn.insert(f.clone(), id);
+        self.fns.push(f);
+        id
+    }
+
+    /// The identity element `f_ε`.
+    pub fn identity(&self) -> FnId {
+        self.identity
+    }
+
+    /// The generator `f_σ` for symbol `sym`.
+    pub fn generator(&self, sym: SymbolId) -> FnId {
+        self.generators[sym.index()]
+    }
+
+    /// `later ∘ earlier` — the representative function of `w_earlier ·
+    /// w_later` (the word that does `earlier` first).
+    pub fn compose(&mut self, later: FnId, earlier: FnId) -> FnId {
+        if later == self.identity {
+            return earlier;
+        }
+        if earlier == self.identity {
+            return later;
+        }
+        if let Some(&id) = self.memo.get(&(later, earlier)) {
+            return id;
+        }
+        let images: Vec<u32> = self.fns[earlier.index()]
+            .0
+            .iter()
+            .map(|&mid| self.fns[later.index()].0[mid as usize])
+            .collect();
+        let id = self.intern(ReprFn(images));
+        self.memo.insert((later, earlier), id);
+        id
+    }
+
+    /// The representative function of a word (composing generators).
+    pub fn of_word(&mut self, word: &[SymbolId]) -> FnId {
+        let mut f = self.identity;
+        for &sym in word {
+            let g = self.generator(sym);
+            f = self.compose(g, f);
+        }
+        f
+    }
+
+    /// Applies `f` to machine state `s`.
+    pub fn apply(&self, f: FnId, s: StateId) -> StateId {
+        self.fns[f.index()].apply(s)
+    }
+
+    /// Whether `f` represents full words of `L(M)`: `f(s₀) ∈ S_accept`.
+    ///
+    /// This is the membership test for the paper's `F_accept` (§3.2).
+    pub fn is_accepting(&self, f: FnId) -> bool {
+        self.accepting[self.apply(f, self.start).index()]
+    }
+
+    /// The machine state `f(s₀)` — the *right-congruence class* of `f`
+    /// used by the forward solver (§5.1).
+    pub fn forward_class(&self, f: FnId) -> StateId {
+        self.apply(f, self.start)
+    }
+
+    /// Whether machine state `s` is accepting.
+    pub fn state_accepting(&self, s: StateId) -> bool {
+        self.accepting[s.index()]
+    }
+
+    /// The machine's start state.
+    pub fn start_state(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of machine states.
+    pub fn n_states(&self) -> usize {
+        self.n_states
+    }
+
+    /// Number of interned functions. After [`Monoid::close`] this is
+    /// `|F_M^≡|`.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// Whether no functions are interned (impossible in practice: the
+    /// identity always is).
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// Iterates over all interned function ids.
+    pub fn fn_ids(&self) -> impl Iterator<Item = FnId> {
+        (0..self.fns.len() as u32).map(FnId)
+    }
+
+    /// The interned function behind an id.
+    pub fn repr_fn(&self, f: FnId) -> &ReprFn {
+        &self.fns[f.index()]
+    }
+}
+
+/// Builds the paper's Figure 2 adversarial machine over `n` states, whose
+/// transition monoid is the *full* transformation monoid of size `n^n`.
+///
+/// * `rotate` maps state `i` to `i+1` (mod `n`),
+/// * `swap` exchanges states 0 and 1,
+/// * `merge` maps state 1 to state 0 (all others fixed).
+///
+/// State 0 is start and the sole accepting state, which keeps the machine
+/// minimal (any two states are separated by a suitable rotation).
+///
+/// Returns the machine and its alphabet `{rotate, swap, merge}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn adversarial_machine(n: usize) -> (Alphabet, Dfa) {
+    assert!(n >= 2, "the adversarial machine needs at least two states");
+    let mut sigma = Alphabet::new();
+    let rotate = sigma.intern("rotate");
+    let swap = sigma.intern("swap");
+    let merge = sigma.intern("merge");
+    let mut dfa = Dfa::new(sigma.len());
+    let states: Vec<StateId> = (0..n).map(|i| dfa.add_state(i == 0)).collect();
+    dfa.set_start(states[0]);
+    for i in 0..n {
+        dfa.set_transition(states[i], rotate, states[(i + 1) % n]);
+        let swapped = match i {
+            0 => 1,
+            1 => 0,
+            other => other,
+        };
+        dfa.set_transition(states[i], swap, states[swapped]);
+        let merged = if i == 1 { 0 } else { i };
+        dfa.set_transition(states[i], merge, states[merged]);
+    }
+    (sigma, dfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_bit() -> (Alphabet, Dfa) {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        (sigma.clone(), Dfa::one_bit(&sigma, g, k))
+    }
+
+    #[test]
+    fn one_bit_monoid_has_three_functions() {
+        // §3.3: F_M^≡ = { f_ε, f_g, f_k }.
+        let (_, dfa) = one_bit();
+        let monoid = Monoid::of_dfa(&dfa);
+        assert_eq!(monoid.len(), 3);
+    }
+
+    #[test]
+    fn gen_kill_idempotence_and_cancellation() {
+        let (sigma, dfa) = one_bit();
+        let mut monoid = Monoid::lazy_of_dfa(&dfa);
+        let fg = monoid.generator(sigma.lookup("g").unwrap());
+        let fk = monoid.generator(sigma.lookup("k").unwrap());
+        assert_eq!(monoid.compose(fg, fg), fg, "f_g ∘ f_g = f_g");
+        assert_eq!(monoid.compose(fk, fk), fk, "f_k ∘ f_k = f_k");
+        assert_eq!(monoid.compose(fk, fg), fk, "kill after gen kills");
+        assert_eq!(monoid.compose(fg, fk), fg, "gen after kill gens");
+    }
+
+    #[test]
+    fn of_word_matches_dfa_run() {
+        let (sigma, dfa) = one_bit();
+        let g = sigma.lookup("g").unwrap();
+        let k = sigma.lookup("k").unwrap();
+        let mut monoid = Monoid::lazy_of_dfa(&dfa);
+        for word in [vec![], vec![g], vec![g, k], vec![k, g, g], vec![g, k, g]] {
+            let f = monoid.of_word(&word);
+            let expected = dfa
+                .run_from(dfa.start().unwrap(), &word)
+                .expect("complete machine");
+            assert_eq!(monoid.forward_class(f), expected, "word {word:?}");
+            assert_eq!(monoid.is_accepting(f), dfa.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn compose_is_associative_on_small_monoid() {
+        let (_, dfa) = one_bit();
+        let mut monoid = Monoid::of_dfa(&dfa);
+        let ids: Vec<FnId> = monoid.fn_ids().collect();
+        for &a in &ids {
+            for &b in &ids {
+                for &c in &ids {
+                    let ab_c = {
+                        let ab = monoid.compose(a, b);
+                        monoid.compose(ab, c)
+                    };
+                    let a_bc = {
+                        let bc = monoid.compose(b, c);
+                        monoid.compose(a, bc)
+                    };
+                    assert_eq!(ab_c, a_bc);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adversarial_monoid_is_full_transformation_monoid() {
+        // Figure 2 / §4: |F_M^≡| = n^n.
+        for n in 2..=4usize {
+            let (_, dfa) = adversarial_machine(n);
+            assert_eq!(dfa.minimize().len(), n, "machine is minimal");
+            let monoid = Monoid::of_dfa(&dfa);
+            assert_eq!(monoid.len(), n.pow(n as u32), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let (_, dfa) = adversarial_machine(3);
+        let mut monoid = Monoid::of_dfa(&dfa);
+        let e = monoid.identity();
+        for f in monoid.fn_ids().collect::<Vec<_>>() {
+            assert_eq!(monoid.compose(e, f), f);
+            assert_eq!(monoid.compose(f, e), f);
+        }
+    }
+
+    #[test]
+    fn lazy_monoid_interns_on_demand() {
+        let (_, dfa) = adversarial_machine(4);
+        let mut monoid = Monoid::lazy_of_dfa(&dfa);
+        // identity + 3 generators
+        assert_eq!(monoid.len(), 4);
+        let r = monoid.generator(SymbolId(0));
+        let _ = monoid.compose(r, r);
+        assert_eq!(monoid.len(), 5);
+    }
+}

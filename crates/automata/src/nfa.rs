@@ -1,0 +1,302 @@
+//! Nondeterministic finite automata with epsilon transitions.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::alphabet::SymbolId;
+use crate::dfa::Dfa;
+
+/// A state of an [`Nfa`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NfaStateId(pub(crate) u32);
+
+impl NfaStateId {
+    /// The state's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct NfaState {
+    /// Labeled transitions `(symbol, target)`.
+    trans: Vec<(SymbolId, NfaStateId)>,
+    /// Epsilon transitions.
+    eps: Vec<NfaStateId>,
+    accepting: bool,
+}
+
+/// A nondeterministic finite automaton with ε-transitions over an interned
+/// alphabet.
+///
+/// Used as the intermediate representation between [`crate::Regex`] /
+/// language closures and the deterministic [`Dfa`] the solver consumes.
+///
+/// # Example
+///
+/// ```
+/// use rasc_automata::{Alphabet, Nfa};
+///
+/// let mut sigma = Alphabet::new();
+/// let a = sigma.intern("a");
+/// let mut nfa = Nfa::new(sigma.len());
+/// let s0 = nfa.add_state();
+/// let s1 = nfa.add_state();
+/// nfa.set_start(s0);
+/// nfa.add_transition(s0, a, s1);
+/// nfa.set_accepting(s1, true);
+/// assert!(nfa.accepts(&[a]));
+/// assert!(!nfa.accepts(&[]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    alphabet_len: usize,
+    states: Vec<NfaState>,
+    start: Option<NfaStateId>,
+}
+
+impl Nfa {
+    /// Creates an empty NFA over an alphabet with `alphabet_len` symbols.
+    pub fn new(alphabet_len: usize) -> Self {
+        Nfa {
+            alphabet_len,
+            states: Vec::new(),
+            start: None,
+        }
+    }
+
+    /// Number of symbols in the alphabet this NFA ranges over.
+    pub fn alphabet_len(&self) -> usize {
+        self.alphabet_len
+    }
+
+    /// Adds a fresh, non-accepting state.
+    pub fn add_state(&mut self) -> NfaStateId {
+        let id = NfaStateId(u32::try_from(self.states.len()).expect("too many NFA states"));
+        self.states.push(NfaState::default());
+        id
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the NFA has no states.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Sets the start state.
+    pub fn set_start(&mut self, s: NfaStateId) {
+        self.start = Some(s);
+    }
+
+    /// The start state, if one has been set.
+    pub fn start(&self) -> Option<NfaStateId> {
+        self.start
+    }
+
+    /// Marks or unmarks `s` as accepting.
+    pub fn set_accepting(&mut self, s: NfaStateId, accepting: bool) {
+        self.states[s.index()].accepting = accepting;
+    }
+
+    /// Whether `s` is accepting.
+    pub fn is_accepting(&self, s: NfaStateId) -> bool {
+        self.states[s.index()].accepting
+    }
+
+    /// Adds a labeled transition.
+    pub fn add_transition(&mut self, from: NfaStateId, sym: SymbolId, to: NfaStateId) {
+        debug_assert!(sym.index() < self.alphabet_len, "symbol outside alphabet");
+        self.states[from.index()].trans.push((sym, to));
+    }
+
+    /// Adds an ε-transition.
+    pub fn add_epsilon(&mut self, from: NfaStateId, to: NfaStateId) {
+        self.states[from.index()].eps.push(to);
+    }
+
+    /// Iterates over the labeled transitions leaving `s`.
+    pub fn transitions(&self, s: NfaStateId) -> impl Iterator<Item = (SymbolId, NfaStateId)> + '_ {
+        self.states[s.index()].trans.iter().copied()
+    }
+
+    /// Iterates over the ε-transitions leaving `s`.
+    pub fn epsilons(&self, s: NfaStateId) -> impl Iterator<Item = NfaStateId> + '_ {
+        self.states[s.index()].eps.iter().copied()
+    }
+
+    /// The ε-closure of a set of states, as a sorted set.
+    pub fn epsilon_closure(
+        &self,
+        seed: impl IntoIterator<Item = NfaStateId>,
+    ) -> BTreeSet<NfaStateId> {
+        let mut closure: BTreeSet<NfaStateId> = BTreeSet::new();
+        let mut stack: Vec<NfaStateId> = Vec::new();
+        for s in seed {
+            if closure.insert(s) {
+                stack.push(s);
+            }
+        }
+        while let Some(s) = stack.pop() {
+            for t in self.epsilons(s) {
+                if closure.insert(t) {
+                    stack.push(t);
+                }
+            }
+        }
+        closure
+    }
+
+    /// Whether the NFA accepts `word`.
+    ///
+    /// Runs the standard subset simulation; intended for tests and small
+    /// inputs, not hot paths.
+    pub fn accepts(&self, word: &[SymbolId]) -> bool {
+        let Some(start) = self.start else {
+            return false;
+        };
+        let mut current = self.epsilon_closure([start]);
+        for &sym in word {
+            let mut next = BTreeSet::new();
+            for &s in &current {
+                for (t_sym, t) in self.transitions(s) {
+                    if t_sym == sym {
+                        next.insert(t);
+                    }
+                }
+            }
+            current = self.epsilon_closure(next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&s| self.is_accepting(s))
+    }
+
+    /// Determinizes this NFA via subset construction.
+    ///
+    /// The resulting DFA is *complete*: a dead state is added if necessary so
+    /// that every state has a transition on every symbol. The result is not
+    /// minimized; call [`Dfa::minimize`] for the canonical machine.
+    pub fn determinize(&self) -> Dfa {
+        let start_set: Vec<NfaStateId> = match self.start {
+            Some(s) => self.epsilon_closure([s]).into_iter().collect(),
+            None => Vec::new(),
+        };
+
+        let mut dfa = Dfa::new(self.alphabet_len);
+        let mut subset_ids: HashMap<Vec<NfaStateId>, crate::dfa::StateId> = HashMap::new();
+        let mut worklist: Vec<Vec<NfaStateId>> = Vec::new();
+
+        let accepting = |set: &[NfaStateId]| set.iter().any(|&s| self.is_accepting(s));
+
+        let d0 = dfa.add_state(accepting(&start_set));
+        dfa.set_start(d0);
+        subset_ids.insert(start_set.clone(), d0);
+        worklist.push(start_set);
+
+        while let Some(set) = worklist.pop() {
+            let from = subset_ids[&set];
+            for sym_idx in 0..self.alphabet_len {
+                let sym = SymbolId(sym_idx as u32);
+                let mut moved = BTreeSet::new();
+                for &s in &set {
+                    for (t_sym, t) in self.transitions(s) {
+                        if t_sym == sym {
+                            moved.insert(t);
+                        }
+                    }
+                }
+                let next: Vec<NfaStateId> = self.epsilon_closure(moved).into_iter().collect();
+                let to = *subset_ids.entry(next.clone()).or_insert_with(|| {
+                    let id = dfa.add_state(accepting(&next));
+                    worklist.push(next);
+                    id
+                });
+                dfa.set_transition(from, sym, to);
+            }
+        }
+        dfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn ab() -> (Alphabet, SymbolId, SymbolId) {
+        let mut sigma = Alphabet::new();
+        let a = sigma.intern("a");
+        let b = sigma.intern("b");
+        (sigma, a, b)
+    }
+
+    /// NFA for `a b* a` built by hand.
+    fn abstar_a(a: SymbolId, b: SymbolId, alphabet_len: usize) -> Nfa {
+        let mut nfa = Nfa::new(alphabet_len);
+        let s0 = nfa.add_state();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        nfa.set_start(s0);
+        nfa.add_transition(s0, a, s1);
+        nfa.add_transition(s1, b, s1);
+        nfa.add_transition(s1, a, s2);
+        nfa.set_accepting(s2, true);
+        nfa
+    }
+
+    #[test]
+    fn accepts_simulates_correctly() {
+        let (sigma, a, b) = ab();
+        let nfa = abstar_a(a, b, sigma.len());
+        assert!(nfa.accepts(&[a, a]));
+        assert!(nfa.accepts(&[a, b, b, a]));
+        assert!(!nfa.accepts(&[a]));
+        assert!(!nfa.accepts(&[b, a]));
+        assert!(!nfa.accepts(&[]));
+    }
+
+    #[test]
+    fn epsilon_closure_follows_chains() {
+        let (sigma, _, _) = ab();
+        let mut nfa = Nfa::new(sigma.len());
+        let s0 = nfa.add_state();
+        let s1 = nfa.add_state();
+        let s2 = nfa.add_state();
+        nfa.add_epsilon(s0, s1);
+        nfa.add_epsilon(s1, s2);
+        let c = nfa.epsilon_closure([s0]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn determinize_agrees_with_nfa() {
+        let (sigma, a, b) = ab();
+        let nfa = abstar_a(a, b, sigma.len());
+        let dfa = nfa.determinize();
+        for word in [
+            vec![],
+            vec![a],
+            vec![a, a],
+            vec![a, b, a],
+            vec![b],
+            vec![a, b, b, b, a],
+            vec![a, a, a],
+        ] {
+            assert_eq!(dfa.accepts(&word), nfa.accepts(&word), "word {word:?}");
+        }
+    }
+
+    #[test]
+    fn nfa_without_start_rejects_everything() {
+        let (sigma, a, _) = ab();
+        let mut nfa = Nfa::new(sigma.len());
+        let s = nfa.add_state();
+        nfa.set_accepting(s, true);
+        assert!(!nfa.accepts(&[]));
+        assert!(!nfa.accepts(&[a]));
+    }
+}

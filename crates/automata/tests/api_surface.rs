@@ -1,0 +1,119 @@
+//! API-surface tests for the automata crate: error displays, id types,
+//! and cross-module integration (spec → DFA → closures → monoid).
+
+use rasc_automata::closure::{prefix_closure, substring_closure, suffix_closure};
+use rasc_automata::{
+    adversarial_machine, Alphabet, AutomataError, Dfa, Monoid, PropertySpec, Regex, StateId,
+    SymbolId,
+};
+
+#[test]
+fn error_displays_are_informative() {
+    let errors = vec![
+        AutomataError::ParseRegex {
+            message: "oops".to_owned(),
+            offset: 3,
+        },
+        AutomataError::ParseSpec {
+            message: "oops".to_owned(),
+            line: 7,
+        },
+        AutomataError::UnknownSymbol("zz".to_owned()),
+        AutomataError::UnknownState("Qx".to_owned()),
+        AutomataError::NondeterministicSpec {
+            state: "A".to_owned(),
+            symbol: "x".to_owned(),
+        },
+        AutomataError::MissingStartState,
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        let _: &dyn std::error::Error = &e;
+    }
+    // Errors carry their positions.
+    let err = Regex::parse("(", &Alphabet::from_names(["a"])).unwrap_err();
+    assert!(matches!(err, AutomataError::ParseRegex { .. }));
+}
+
+#[test]
+fn id_types_round_trip_indices() {
+    assert_eq!(SymbolId::from_index(7).index(), 7);
+    assert_eq!(StateId::from_index(9).index(), 9);
+    assert_eq!(rasc_automata::FnId::from_index(4).index(), 4);
+    // SymbolId displays non-emptily.
+    assert!(!format!("{}", SymbolId::from_index(0)).is_empty());
+}
+
+#[test]
+fn spec_to_machine_to_monoid_pipeline() {
+    let spec = PropertySpec::parse(
+        "start state A : | go -> B;\n\
+         accept state B : | back -> A;",
+    )
+    .unwrap();
+    let (sigma, dfa) = spec.compile();
+    // Closures of the property language behave sensibly.
+    let go = sigma.lookup("go").unwrap();
+    let back = sigma.lookup("back").unwrap();
+    assert!(dfa.accepts(&[go]));
+    assert!(dfa.accepts(&[go, back, go]));
+    let pre = prefix_closure(&dfa);
+    assert!(pre.accepts(&[]));
+    assert!(pre.accepts(&[go, back]));
+    let suf = suffix_closure(&dfa);
+    assert!(suf.accepts(&[back, go]));
+    let sub = substring_closure(&dfa);
+    assert!(sub.accepts(&[back]));
+    // Monoid of the minimized machine: {ε, go, back, go·back, back·go}?
+    // go·go is dead; the count just has to be finite and small.
+    let monoid = Monoid::of_dfa(&dfa.minimize());
+    assert!(monoid.len() <= 8, "got {}", monoid.len());
+}
+
+#[test]
+fn equivalence_of_independent_constructions() {
+    // (a|b)* a built two ways: regex, and by hand.
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let a = sigma.lookup("a").unwrap();
+    let b = sigma.lookup("b").unwrap();
+    let from_regex = Regex::parse("(a | b)* a", &sigma).unwrap().compile(&sigma);
+    let mut by_hand = Dfa::new(sigma.len());
+    let s0 = by_hand.add_state(false);
+    let s1 = by_hand.add_state(true);
+    by_hand.set_start(s0);
+    by_hand.set_transition(s0, a, s1);
+    by_hand.set_transition(s0, b, s0);
+    by_hand.set_transition(s1, a, s1);
+    by_hand.set_transition(s1, b, s0);
+    assert!(from_regex.equivalent(&by_hand));
+    assert_eq!(from_regex.len(), by_hand.minimize().len());
+}
+
+#[test]
+fn monoid_forward_class_tracks_runs_on_adversarial_machines() {
+    let (sigma, machine) = adversarial_machine(4);
+    let mut monoid = Monoid::lazy_of_dfa(&machine);
+    let rotate = sigma.lookup("rotate").unwrap();
+    let swap = sigma.lookup("swap").unwrap();
+    let merge = sigma.lookup("merge").unwrap();
+    for word in [
+        vec![rotate, rotate, swap],
+        vec![merge, rotate, merge],
+        vec![swap, swap],
+        vec![],
+    ] {
+        let f = monoid.of_word(&word);
+        let by_run = machine.run_from(machine.start().unwrap(), &word).unwrap();
+        assert_eq!(monoid.forward_class(f), by_run, "{word:?}");
+    }
+}
+
+#[test]
+fn alphabets_compare_and_clone() {
+    let a1 = Alphabet::from_names(["x", "y"]);
+    let a2 = a1.clone();
+    assert_eq!(a1, a2);
+    assert_ne!(a1, Alphabet::from_names(["x"]));
+    assert!(!a1.is_empty());
+}

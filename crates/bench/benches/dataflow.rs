@@ -1,0 +1,47 @@
+//! Criterion benchmark: annotation-based interprocedural dataflow vs the
+//! classical iterative worklist baseline (§3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rasc_bench::workload::{generate, WorkloadConfig};
+use rasc_cfgir::Cfg;
+use rasc_dataflow::{ConstraintDataflow, GenKillSpec, IterativeDataflow};
+
+fn bench_dataflow(c: &mut Criterion) {
+    let mut spec = GenKillSpec::new();
+    let mut event_names = Vec::new();
+    for i in 0..8 {
+        let f = spec.fact(&format!("x{i}"));
+        spec.event(&format!("def_x{i}"), &[f], &[]);
+        spec.event(&format!("kill_x{i}"), &[], &[f]);
+        event_names.push(format!("def_x{i}"));
+        event_names.push(format!("kill_x{i}"));
+    }
+
+    let mut group = c.benchmark_group("dataflow");
+    group.sample_size(10);
+    for size in [500usize, 4_000] {
+        let wl = WorkloadConfig::sized(size, event_names.clone(), 1234);
+        let program = generate(&wl);
+        let cfg = Cfg::build(&program).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("constraints_genkill", size),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| {
+                    let mut df = ConstraintDataflow::new(cfg, &spec, "main").expect("main");
+                    df.solve();
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("iterative", size), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut df = IterativeDataflow::new(cfg, &spec, "main").expect("main");
+                df.solve(0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflow);
+criterion_main!(benches);

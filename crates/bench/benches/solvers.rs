@@ -1,0 +1,28 @@
+//! Criterion benchmark for the §5 solver-strategy comparison on ladder
+//! workloads over an adversarial machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rasc_automata::adversarial_machine;
+use rasc_bench::constraints_workload::{ladder, run_backward, run_bidirectional, run_forward};
+
+fn bench_directions(c: &mut Criterion) {
+    let (sigma, machine) = adversarial_machine(4);
+    let mut group = c.benchmark_group("solver_directions");
+    group.sample_size(10);
+    for len in [8usize, 32] {
+        let wl = ladder(4, len, &sigma, 0xBEEF);
+        group.bench_with_input(BenchmarkId::new("bidirectional", len), &wl, |b, wl| {
+            b.iter(|| run_bidirectional(&machine, wl))
+        });
+        group.bench_with_input(BenchmarkId::new("forward", len), &wl, |b, wl| {
+            b.iter(|| run_forward(&machine, wl))
+        });
+        group.bench_with_input(BenchmarkId::new("backward", len), &wl, |b, wl| {
+            b.iter(|| run_backward(&machine, wl))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_directions);
+criterion_main!(benches);

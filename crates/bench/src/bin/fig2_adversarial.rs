@@ -1,0 +1,39 @@
+//! Regenerates the Figure 2 / §4 observation: the rotate/swap/merge
+//! machine's transition monoid is the *full* transformation monoid, so
+//! `|F_M^≡| = |S|^{|S|}` — superexponential in the machine size. This is
+//! the worst case for bidirectional solving.
+//!
+//! Usage: `fig2_adversarial [max_n]` (default 6; n=7 takes a few seconds
+//! and ~1 GB).
+
+use rasc_automata::{adversarial_machine, Monoid};
+use rasc_bench::{secs, timed};
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    println!("Figure 2 / §4: adversarial rotate/swap/merge machines");
+    println!(
+        "{:>4} {:>12} {:>14} {:>14}",
+        "|S|", "|F_M^≡|", "|S|^|S|", "closure time"
+    );
+    for n in 2..=max_n {
+        let (_, machine) = adversarial_machine(n);
+        assert_eq!(machine.minimize().len(), n, "machine is minimal");
+        let (monoid, elapsed) = timed(|| Monoid::of_dfa(&machine));
+        println!(
+            "{:>4} {:>12} {:>14} {:>14}",
+            n,
+            monoid.len(),
+            (n as u64).pow(n as u32),
+            secs(elapsed)
+        );
+        assert_eq!(monoid.len() as u64, (n as u64).pow(n as u32));
+    }
+    println!();
+    println!("(the paper's point: bidirectional solving can pay |S|^|S| derived");
+    println!(" annotations, while forward/backward solving pays only |S| — see");
+    println!(" the solver_directions binary)");
+}

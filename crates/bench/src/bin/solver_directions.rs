@@ -1,0 +1,58 @@
+//! Regenerates the §5 comparison: bidirectional vs forward vs backward
+//! solving. On ladder workloads over an adversarial machine, the
+//! bidirectional solver derives annotations from `F_M^≡` (up to
+//! `|S|^{|S|}` classes) while the unidirectional solvers use the coarser
+//! right/left congruences (`|S|` classes / acceptance sets), which shows
+//! up both in interned-annotation counts and in wall-clock time.
+//!
+//! Usage: `solver_directions [machine_size] [max_len]`.
+
+use rasc_automata::adversarial_machine;
+use rasc_bench::constraints_workload::{ladder, run_backward, run_bidirectional, run_forward};
+use rasc_bench::{secs, timed};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let max_len: usize = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(64);
+    let (sigma, machine) = adversarial_machine(n);
+
+    println!("§5: solver strategies on ladder workloads, adversarial machine |S| = {n}");
+    println!(
+        "{:>6} {:>7} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+        "len", "width", "bidi (s)", "anns", "fwd (s)", "anns", "bwd (s)", "facts"
+    );
+    let width = 4;
+    let mut len = 4;
+    while len <= max_len {
+        let wl = ladder(width, len, &sigma, 0xBEEF + len as u64);
+        let (b, tb) = timed(|| run_bidirectional(&machine, &wl));
+        let (f, tf) = timed(|| run_forward(&machine, &wl));
+        let (k, tk) = timed(|| run_backward(&machine, &wl));
+        assert_eq!(b.reached, f.reached);
+        assert_eq!(b.reached, k.reached);
+        println!(
+            "{:>6} {:>7} | {:>10} {:>10} | {:>10} {:>10} | {:>10} {:>10}",
+            len,
+            width,
+            secs(tb),
+            b.annotations,
+            secs(tf),
+            f.annotations,
+            secs(tk),
+            k.facts
+        );
+        len *= 2;
+    }
+    println!();
+    println!(
+        "(forward annotation counts converge to |S| + generators; bidirectional \
+         counts grow toward |F_M^≡| = |S|^|S| = {})",
+        (n as u64).pow(n as u32)
+    );
+}

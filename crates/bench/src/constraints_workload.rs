@@ -1,0 +1,196 @@
+//! Synthetic raw constraint systems for comparing solver strategies (§5).
+//!
+//! These workloads are pure regular-reachability systems (a constant
+//! source, annotated variable-variable edges, an accepting query at a
+//! sink), which all three solver strategies handle, so their costs are
+//! directly comparable. The *ladder* shape gives each variable many
+//! distinct path classes — the regime where the paper's complexity
+//! analysis separates bidirectional (`i` up to `|S|^{|S|}`) from
+//! unidirectional (`i = |S|`) solving.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rasc_automata::{Alphabet, Dfa, SymbolId};
+use rasc_core::algebra::{Algebra, MonoidAlgebra};
+use rasc_core::backward::BackwardSystem;
+use rasc_core::forward::ForwardSystem;
+use rasc_core::{SetExpr, System};
+
+/// An annotated edge-list workload over some machine's alphabet.
+#[derive(Debug, Clone)]
+pub struct EdgeListWorkload {
+    /// Number of variables.
+    pub n_vars: usize,
+    /// Edges `(from, to, word)`.
+    pub edges: Vec<(usize, usize, Vec<SymbolId>)>,
+    /// The variable seeded with the probe constant.
+    pub source: usize,
+    /// The variable queried.
+    pub sink: usize,
+}
+
+/// A linear chain of `n` edges with random single-symbol annotations.
+pub fn chain(n: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let syms: Vec<SymbolId> = sigma.symbols().collect();
+    let edges = (0..n)
+        .map(|i| (i, i + 1, vec![syms[rng.gen_range(0..syms.len())]]))
+        .collect();
+    EdgeListWorkload {
+        n_vars: n + 1,
+        edges,
+        source: 0,
+        sink: n,
+    }
+}
+
+/// A ladder: `len` stages, each fanning out to `width` parallel edges with
+/// random annotations and merging again — every stage multiplies the set
+/// of distinct path words.
+pub fn ladder(width: usize, len: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let syms: Vec<SymbolId> = sigma.symbols().collect();
+    let mut edges = Vec::new();
+    // Variables: stage hubs 0..=len, plus width rung vars per stage.
+    let hub = |stage: usize| stage * (width + 1);
+    let rung = |stage: usize, k: usize| stage * (width + 1) + 1 + k;
+    for stage in 0..len {
+        for k in 0..width {
+            let w1 = vec![syms[rng.gen_range(0..syms.len())]];
+            let w2 = vec![syms[rng.gen_range(0..syms.len())]];
+            edges.push((hub(stage), rung(stage, k), w1));
+            edges.push((rung(stage, k), hub(stage + 1), w2));
+        }
+    }
+    EdgeListWorkload {
+        n_vars: hub(len) + 1,
+        edges,
+        source: 0,
+        sink: hub(len),
+    }
+}
+
+/// Outcome of running a workload: whether the probe reaches the sink with
+/// an accepting annotation, plus a work measure (distinct annotated facts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Accepting reachability of the sink.
+    pub reached: bool,
+    /// Facts processed by the solver (duplicates included).
+    pub facts: usize,
+    /// Annotations interned by the algebra (bidirectional/forward only).
+    pub annotations: usize,
+}
+
+/// Runs the workload on the bidirectional solver.
+pub fn run_bidirectional(machine: &Dfa, wl: &EdgeListWorkload) -> RunOutcome {
+    let mut sys = System::new(MonoidAlgebra::new(machine));
+    let vars: Vec<_> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[wl.source]))
+        .expect("well-formed");
+    for (from, to, word) in &wl.edges {
+        let ann = sys.algebra_mut().word(word);
+        sys.add_ann(SetExpr::var(vars[*from]), SetExpr::var(vars[*to]), ann)
+            .expect("well-formed");
+    }
+    sys.solve();
+    let reached = sys
+        .lower_bound_annotations(vars[wl.sink], probe)
+        .iter()
+        .any(|&a| sys.algebra().is_accepting(a));
+    let stats = sys.stats();
+    RunOutcome {
+        reached,
+        facts: stats.facts_processed,
+        annotations: stats.annotations,
+    }
+}
+
+/// Runs the workload on the forward solver.
+pub fn run_forward(machine: &Dfa, wl: &EdgeListWorkload) -> RunOutcome {
+    let mut sys = ForwardSystem::new(machine);
+    let vars: Vec<_> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constant("probe");
+    sys.add_constant(probe, vars[wl.source]);
+    for (from, to, word) in &wl.edges {
+        let ann = sys.word(word);
+        sys.add_edge(vars[*from], vars[*to], ann);
+    }
+    sys.solve();
+    let reached = sys.constant_accepting(vars[wl.sink], probe);
+    let (_, facts, annotations) = sys.stats();
+    RunOutcome {
+        reached,
+        facts,
+        annotations,
+    }
+}
+
+/// Runs the workload on the backward solver.
+pub fn run_backward(machine: &Dfa, wl: &EdgeListWorkload) -> RunOutcome {
+    let mut sys = BackwardSystem::new(machine);
+    let vars: Vec<_> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+    for (from, to, word) in &wl.edges {
+        let ann = sys.word(word);
+        sys.add_edge(vars[*from], vars[*to], ann);
+    }
+    let probe = sys.probe(vars[wl.sink], "sink");
+    sys.solve();
+    let reached = sys.reaches_accepting(probe, vars[wl.source]);
+    let (_, facts) = sys.stats();
+    RunOutcome {
+        reached,
+        facts,
+        annotations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasc_automata::adversarial_machine;
+
+    #[test]
+    fn all_three_solvers_agree_on_chains() {
+        let (sigma, machine) = adversarial_machine(3);
+        for seed in 0..10 {
+            let wl = chain(30, &sigma, seed);
+            let b = run_bidirectional(&machine, &wl);
+            let f = run_forward(&machine, &wl);
+            let k = run_backward(&machine, &wl);
+            assert_eq!(b.reached, f.reached, "seed {seed}");
+            assert_eq!(b.reached, k.reached, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn all_three_solvers_agree_on_ladders() {
+        let (sigma, machine) = adversarial_machine(3);
+        for seed in 0..5 {
+            let wl = ladder(4, 6, &sigma, seed);
+            let b = run_bidirectional(&machine, &wl);
+            let f = run_forward(&machine, &wl);
+            let k = run_backward(&machine, &wl);
+            assert_eq!(b.reached, f.reached, "seed {seed}");
+            assert_eq!(b.reached, k.reached, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn forward_interns_fewer_annotations_on_ladders() {
+        // §5.1: the unidirectional congruence is coarser, so the forward
+        // solver should materialize no more monoid elements than the
+        // bidirectional one on multiplicative workloads.
+        let (sigma, machine) = adversarial_machine(4);
+        let wl = ladder(6, 8, &sigma, 1);
+        let b = run_bidirectional(&machine, &wl);
+        let f = run_forward(&machine, &wl);
+        assert!(
+            f.annotations <= b.annotations,
+            "forward {} vs bidirectional {}",
+            f.annotations,
+            b.annotations
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Synthetic MiniLam programs for the §7/§9 flow-analysis scaling
+//! experiment.
+//!
+//! The paper's §9 notes that for the type-based flow analysis "the number
+//! of states of the DFA grows at least with the size of the largest type
+//! in the program", and predicts that the bidirectional solver will not
+//! scale there. These workloads make that measurable: programs that build
+//! nested pairs up to a chosen depth and project them back down, with a
+//! configurable number of wrap/unwrap call chains.
+
+use std::fmt::Write as _;
+
+/// Generates a MiniLam program whose largest type has nesting `depth`
+/// (`T₀ = int`, `T_k = (T_{k-1}, int)`), with `chains` independent
+/// build-then-project call chains from `main`.
+///
+/// Each chain `c` seeds a literal labeled `SRC{c}`, wraps it to depth
+/// `depth` through per-chain functions (distinct instantiation sites),
+/// projects back down, and labels the result `DST{c}`. Matched flow
+/// `SRC{c} → DST{c}` must hold, and `SRC{c} → DST{c'}` must not.
+pub fn nested_pairs_program(depth: usize, chains: usize) -> String {
+    assert!(depth >= 1 && chains >= 1);
+    let ty = |k: usize| -> String {
+        let mut t = "int".to_owned();
+        for _ in 0..k {
+            t = format!("({t}, int)");
+        }
+        t
+    };
+    let mut src = String::new();
+    // Shared wrap/unwrap functions per level.
+    for k in 1..=depth {
+        let _ = writeln!(src, "fn mk{k}(x: {}) -> {} {{ (x, 0) }}", ty(k - 1), ty(k));
+        let _ = writeln!(src, "fn un{k}(p: {}) -> {} {{ p.1 }}", ty(k), ty(k - 1));
+    }
+    let _ = writeln!(src, "fn main() -> int {{");
+    // Chains: let v_c = un1[..](… mk1[..](SRC) …); sum via choice.
+    let mut results = Vec::new();
+    for c in 0..chains {
+        let mut expr = format!("{}@SRC{c}", c + 1);
+        for k in 1..=depth {
+            expr = format!("mk{k}[w{c}_{k}]({expr})");
+        }
+        for k in (1..=depth).rev() {
+            expr = format!("un{k}[u{c}_{k}]({expr})");
+        }
+        let _ = writeln!(src, "    let v{c} = {expr}@DST{c};");
+        results.push(format!("v{c}"));
+    }
+    // Combine all results so everything is used.
+    let mut combined = results[0].clone();
+    for r in &results[1..] {
+        combined = format!("choice({combined}, {r})");
+    }
+    let _ = writeln!(src, "    {combined}");
+    let _ = writeln!(src, "}}");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasc_flow::{FlowAnalysis, Program};
+
+    #[test]
+    fn generated_programs_analyze_correctly() {
+        for depth in 1..=3 {
+            let src = nested_pairs_program(depth, 2);
+            let program = Program::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            let mut a = FlowAnalysis::new(&program).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            a.solve();
+            assert!(a.flows("SRC0", "DST0"), "depth {depth}\n{src}");
+            assert!(a.flows("SRC1", "DST1"), "depth {depth}");
+            assert!(!a.flows("SRC0", "DST1"), "depth {depth}");
+            assert!(!a.flows("SRC1", "DST0"), "depth {depth}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Workload generators and measurement helpers for the `rasc` benchmark
+//! harness.
+//!
+//! The binaries in `src/bin/` regenerate every table- and figure-style
+//! number from the paper's evaluation (see DESIGN.md's per-experiment
+//! index and EXPERIMENTS.md for recorded results):
+//!
+//! * `table1` — the §8 process-privilege experiment (BANSHEE vs MOPS),
+//!   on synthetic packages scaled to the paper's benchmark sizes;
+//! * `fig1_monoid` — the 1-bit/n-bit gen/kill monoids (§3.3);
+//! * `fig2_adversarial` — superexponential `|F_M^≡|` growth (§4, Fig. 2);
+//! * `property1_monoid` — the "11 states / 58 representative functions"
+//!   observation (§8);
+//! * `solver_directions` — bidirectional vs forward vs backward solving
+//!   (§5);
+//! * `dataflow_vs_iterative` — constraint-based vs classical dataflow.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints_workload;
+pub mod flow_workload;
+pub mod workload;
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Renders a duration in seconds with two decimals, like the paper's
+/// Table 1.
+pub fn secs(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}

@@ -1,0 +1,159 @@
+//! MiniImp abstract syntax.
+
+use crate::error::Result;
+use crate::parser;
+
+/// A MiniImp statement.
+///
+/// Statements may carry an optional label (`s1: …`), recorded on the
+/// enclosing [`Block`]'s entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A no-op.
+    Skip,
+    /// A property-relevant event, optionally with a parameter argument
+    /// (`event open(fd1);`).
+    Event {
+        /// The event (annotation alphabet symbol) name.
+        name: String,
+        /// Optional parameter-value labels.
+        args: Vec<String>,
+    },
+    /// A direct call to a named function.
+    Call(String),
+    /// Nondeterministic branch `if (*) { … } else { … }` (the else block
+    /// may be empty).
+    If(Block, Block),
+    /// Nondeterministic loop `while (*) { … }`.
+    While(Block),
+    /// Early return from the enclosing function.
+    Return,
+}
+
+/// A labeled statement within a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Labeled {
+    /// Optional statement label (`s1`).
+    pub label: Option<String>,
+    /// The statement proper.
+    pub stmt: Stmt,
+}
+
+/// A sequence of labeled statements.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Block {
+    /// The statements in order.
+    pub stmts: Vec<Labeled>,
+}
+
+impl Block {
+    /// An empty block.
+    pub fn new() -> Block {
+        Block::default()
+    }
+
+    /// Appends an unlabeled statement (builder style).
+    pub fn push(&mut self, stmt: Stmt) -> &mut Block {
+        self.stmts.push(Labeled { label: None, stmt });
+        self
+    }
+
+    /// Appends a labeled statement (builder style).
+    pub fn push_labeled(&mut self, label: &str, stmt: Stmt) -> &mut Block {
+        self.stmts.push(Labeled {
+            label: Some(label.to_owned()),
+            stmt,
+        });
+        self
+    }
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunDef {
+    /// The function's name.
+    pub name: String,
+    /// The function body.
+    pub body: Block,
+}
+
+/// A MiniImp program: a list of function definitions.
+///
+/// Whole-program analyses start from the function named `main` by
+/// convention (see [`crate::Cfg::build`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The function definitions in source order.
+    pub funs: Vec<FunDef>,
+}
+
+impl Program {
+    /// An empty program (builder style; see also [`Program::parse`]).
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Parses MiniImp source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CfgError::Parse`] on malformed syntax.
+    pub fn parse(src: &str) -> Result<Program> {
+        parser::parse(src)
+    }
+
+    /// Adds a function definition (builder style).
+    pub fn fun(&mut self, name: &str, body: Block) -> &mut Program {
+        self.funs.push(FunDef {
+            name: name.to_owned(),
+            body,
+        });
+        self
+    }
+
+    /// Looks up a function by name.
+    pub fn find(&self, name: &str) -> Option<&FunDef> {
+        self.funs.iter().find(|f| f.name == name)
+    }
+
+    /// Total number of statements (a rough program-size measure used by
+    /// the benchmark harness to mimic the paper's lines-of-code column).
+    pub fn num_stmts(&self) -> usize {
+        fn block(b: &Block) -> usize {
+            b.stmts
+                .iter()
+                .map(|l| match &l.stmt {
+                    Stmt::If(t, e) => 1 + block(t) + block(e),
+                    Stmt::While(body) => 1 + block(body),
+                    _ => 1,
+                })
+                .sum()
+        }
+        self.funs.iter().map(|f| block(&f.body)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_size() {
+        let mut p = Program::new();
+        let mut body = Block::new();
+        body.push(Stmt::Skip).push_labeled(
+            "s1",
+            Stmt::Event {
+                name: "execl".to_owned(),
+                args: vec![],
+            },
+        );
+        let mut inner = Block::new();
+        inner.push(Stmt::Call("main".to_owned()));
+        body.push(Stmt::While(inner));
+        p.fun("main", body);
+        assert_eq!(p.num_stmts(), 4);
+        assert!(p.find("main").is_some());
+        assert!(p.find("nope").is_none());
+    }
+}

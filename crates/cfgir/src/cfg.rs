@@ -1,0 +1,437 @@
+//! Interprocedural control-flow graphs.
+
+use std::collections::HashMap;
+
+use crate::ast::{Block, Program, Stmt};
+use crate::error::{CfgError, Result};
+
+/// A CFG node (program point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Builds a node id from a raw index. The caller must ensure the index
+    /// is valid for the CFG it will be used with.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("node index too large"))
+    }
+
+    /// The node's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A function within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// The function's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A call site within a [`Cfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallSiteId(pub(crate) u32);
+
+impl CallSiteId {
+    /// The call site's index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The label of an intraprocedural CFG edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdgeLabel {
+    /// An edge with no property-relevant effect.
+    Plain,
+    /// A property-relevant event (annotation symbol), possibly with
+    /// parameter-value arguments.
+    Event {
+        /// The event name.
+        name: String,
+        /// Parameter-value labels (`open(fd1)` ⇒ `["fd1"]`).
+        args: Vec<String>,
+    },
+}
+
+/// A function's entry/exit nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncCfg {
+    /// The function's name.
+    pub name: String,
+    /// Entry program point.
+    pub entry: NodeId,
+    /// Exit program point (targets of `return` and fall-through).
+    pub exit: NodeId,
+}
+
+/// A call site: an interprocedural edge pair.
+///
+/// Control flows `call_node → callee.entry` (call) and
+/// `callee.exit → return_node` (return); the matching of the two is the
+/// context-free property the constraint encoding models with per-site
+/// constructors `o_i` (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// This site's id (the `i` of `o_i`).
+    pub id: CallSiteId,
+    /// The calling function.
+    pub caller: FuncId,
+    /// The program point at the call.
+    pub call_node: NodeId,
+    /// The program point after the call returns.
+    pub return_node: NodeId,
+    /// The called function.
+    pub callee: FuncId,
+}
+
+/// An interprocedural control-flow graph built from a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    funcs: Vec<FuncCfg>,
+    node_func: Vec<FuncId>,
+    edges: Vec<(NodeId, NodeId, EdgeLabel)>,
+    call_sites: Vec<CallSite>,
+    /// label → (node before the statement, node after it).
+    labels: HashMap<String, (NodeId, NodeId)>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::UnknownFunction`] for calls to undefined
+    /// functions, [`CfgError::DuplicateFunction`] and
+    /// [`CfgError::DuplicateLabel`] for name collisions.
+    pub fn build(program: &Program) -> Result<Cfg> {
+        let mut fun_ids: HashMap<&str, FuncId> = HashMap::new();
+        for (i, f) in program.funs.iter().enumerate() {
+            if fun_ids.insert(&f.name, FuncId(i as u32)).is_some() {
+                return Err(CfgError::DuplicateFunction(f.name.clone()));
+            }
+        }
+        let mut b = Builder {
+            fun_ids,
+            cfg: Cfg {
+                funcs: Vec::new(),
+                node_func: Vec::new(),
+                edges: Vec::new(),
+                call_sites: Vec::new(),
+                labels: HashMap::new(),
+            },
+            current: FuncId(0),
+        };
+        // Declare all functions first so entry/exit nodes exist for calls.
+        for f in &program.funs {
+            let fid = FuncId(b.cfg.funcs.len() as u32);
+            b.current = fid;
+            let entry = b.node(fid);
+            let exit = b.node(fid);
+            b.cfg.funcs.push(FuncCfg {
+                name: f.name.clone(),
+                entry,
+                exit,
+            });
+        }
+        for (i, f) in program.funs.iter().enumerate() {
+            let fid = FuncId(i as u32);
+            b.current = fid;
+            let entry = b.cfg.funcs[i].entry;
+            let exit = b.cfg.funcs[i].exit;
+            let end = b.block(&f.body, entry, exit)?;
+            b.cfg.edges.push((end, exit, EdgeLabel::Plain));
+        }
+        Ok(b.cfg)
+    }
+
+    /// The functions, indexable by [`FuncId`].
+    pub fn functions(&self) -> &[FuncCfg] {
+        &self.funcs
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<(FuncId, &FuncCfg)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// The entry function, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::MissingEntry`] if no such function exists.
+    pub fn entry(&self, name: &str) -> Result<&FuncCfg> {
+        self.function(name)
+            .map(|(_, f)| f)
+            .ok_or_else(|| CfgError::MissingEntry(name.to_owned()))
+    }
+
+    /// Number of program points.
+    pub fn num_nodes(&self) -> usize {
+        self.node_func.len()
+    }
+
+    /// The function containing a node.
+    pub fn func_of(&self, n: NodeId) -> FuncId {
+        self.node_func[n.index()]
+    }
+
+    /// All intraprocedural edges `(from, to, label)`.
+    pub fn edges(&self) -> &[(NodeId, NodeId, EdgeLabel)] {
+        &self.edges
+    }
+
+    /// All call sites.
+    pub fn call_sites(&self) -> &[CallSite] {
+        &self.call_sites
+    }
+
+    /// The program point *at* a labeled statement (before executing it).
+    pub fn label_node(&self, label: &str) -> Option<NodeId> {
+        self.labels.get(label).map(|&(before, _)| before)
+    }
+
+    /// The program point just *after* a labeled statement.
+    pub fn label_after(&self, label: &str) -> Option<NodeId> {
+        self.labels.get(label).map(|&(_, after)| after)
+    }
+
+    /// Renders the interprocedural CFG in Graphviz DOT format (one cluster
+    /// per function, dashed call/return edges).
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("digraph cfg {\n  rankdir=TB;\n");
+        for (fi, f) in self.funcs.iter().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{fi} {{");
+            let _ = writeln!(out, "    label=\"{}\";", f.name);
+            for (ni, nf) in self.node_func.iter().enumerate() {
+                if nf.index() == fi {
+                    let _ = writeln!(out, "    n{ni} [shape=circle,label=\"{ni}\"];");
+                }
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        for (from, to, label) in &self.edges {
+            match label {
+                EdgeLabel::Plain => {
+                    let _ = writeln!(out, "  n{} -> n{};", from.index(), to.index());
+                }
+                EdgeLabel::Event { name, args } => {
+                    let rendered = if args.is_empty() {
+                        name.clone()
+                    } else {
+                        format!("{name}({})", args.join(","))
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  n{} -> n{} [label=\"{rendered}\"];",
+                        from.index(),
+                        to.index()
+                    );
+                }
+            }
+        }
+        for site in &self.call_sites {
+            let callee = &self.funcs[site.callee.index()];
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed,label=\"call {}\"];",
+                site.call_node.index(),
+                callee.entry.index(),
+                callee.name
+            );
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed,label=\"ret\"];",
+                callee.exit.index(),
+                site.return_node.index()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+struct Builder<'a> {
+    fun_ids: HashMap<&'a str, FuncId>,
+    cfg: Cfg,
+    current: FuncId,
+}
+
+impl Builder<'_> {
+    fn node(&mut self, f: FuncId) -> NodeId {
+        let id = NodeId(u32::try_from(self.cfg.node_func.len()).expect("too many nodes"));
+        self.cfg.node_func.push(f);
+        id
+    }
+
+    fn block(&mut self, b: &Block, mut cur: NodeId, exit: NodeId) -> Result<NodeId> {
+        for labeled in &b.stmts {
+            let before = cur;
+            cur = self.stmt(&labeled.stmt, cur, exit)?;
+            if let Some(label) = &labeled.label {
+                if self
+                    .cfg
+                    .labels
+                    .insert(label.clone(), (before, cur))
+                    .is_some()
+                {
+                    return Err(CfgError::DuplicateLabel(label.clone()));
+                }
+            }
+        }
+        Ok(cur)
+    }
+
+    fn stmt(&mut self, s: &Stmt, cur: NodeId, exit: NodeId) -> Result<NodeId> {
+        let fid = self.current;
+        match s {
+            Stmt::Skip => {
+                let next = self.node(fid);
+                self.cfg.edges.push((cur, next, EdgeLabel::Plain));
+                Ok(next)
+            }
+            Stmt::Event { name, args } => {
+                let next = self.node(fid);
+                self.cfg.edges.push((
+                    cur,
+                    next,
+                    EdgeLabel::Event {
+                        name: name.clone(),
+                        args: args.clone(),
+                    },
+                ));
+                Ok(next)
+            }
+            Stmt::Call(name) => {
+                let callee = *self
+                    .fun_ids
+                    .get(name.as_str())
+                    .ok_or_else(|| CfgError::UnknownFunction(name.clone()))?;
+                let next = self.node(fid);
+                let id =
+                    CallSiteId(u32::try_from(self.cfg.call_sites.len()).expect("too many calls"));
+                self.cfg.call_sites.push(CallSite {
+                    id,
+                    caller: fid,
+                    call_node: cur,
+                    return_node: next,
+                    callee,
+                });
+                Ok(next)
+            }
+            Stmt::If(t, e) => {
+                let t_end = self.block(t, cur, exit)?;
+                let e_end = self.block(e, cur, exit)?;
+                let next = self.node(fid);
+                self.cfg.edges.push((t_end, next, EdgeLabel::Plain));
+                self.cfg.edges.push((e_end, next, EdgeLabel::Plain));
+                Ok(next)
+            }
+            Stmt::While(body) => {
+                let b_end = self.block(body, cur, exit)?;
+                // Loop back to the head, and exit past the loop.
+                self.cfg.edges.push((b_end, cur, EdgeLabel::Plain));
+                let next = self.node(fid);
+                self.cfg.edges.push((cur, next, EdgeLabel::Plain));
+                Ok(next)
+            }
+            Stmt::Return => {
+                self.cfg.edges.push((cur, exit, EdgeLabel::Plain));
+                // Continuation is unreachable.
+                Ok(self.node(fid))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> Cfg {
+        Cfg::build(&Program::parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn straight_line_shape() {
+        let cfg = build("fn main() { s1: event a; s2: skip; }");
+        // entry, exit, after-s1, after-s2 = 4 nodes.
+        assert_eq!(cfg.num_nodes(), 4);
+        // s1-event edge, s2-plain edge, final fallthrough to exit.
+        assert_eq!(cfg.edges().len(), 3);
+        let (entry_to, _, label) = &cfg.edges()[0];
+        assert_eq!(*entry_to, cfg.entry("main").unwrap().entry);
+        assert!(matches!(label, EdgeLabel::Event { name, .. } if name == "a"));
+        assert_eq!(cfg.label_node("s1"), Some(cfg.entry("main").unwrap().entry));
+        assert!(cfg.label_after("s2").is_some());
+    }
+
+    #[test]
+    fn call_sites_resolved() {
+        let cfg = build("fn f() { skip; } fn main() { f(); f(); }");
+        assert_eq!(cfg.call_sites().len(), 2);
+        let (f_id, f) = cfg.function("f").unwrap();
+        for site in cfg.call_sites() {
+            assert_eq!(site.callee, f_id);
+        }
+        assert_ne!(f.entry, f.exit);
+    }
+
+    #[test]
+    fn unknown_function_is_an_error() {
+        let err = Cfg::build(&Program::parse("fn main() { ghost(); }").unwrap()).unwrap_err();
+        assert_eq!(err, CfgError::UnknownFunction("ghost".to_owned()));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let err =
+            Cfg::build(&Program::parse("fn main() { s1: skip; s1: skip; }").unwrap()).unwrap_err();
+        assert_eq!(err, CfgError::DuplicateLabel("s1".to_owned()));
+    }
+
+    #[test]
+    fn return_targets_exit() {
+        let cfg = build("fn main() { return; skip; }");
+        let main = cfg.entry("main").unwrap();
+        assert!(cfg
+            .edges()
+            .iter()
+            .any(|(from, to, _)| *from == main.entry && *to == main.exit));
+    }
+
+    #[test]
+    fn while_loops_back() {
+        let cfg = build("fn main() { while (*) { event a; } skip; }");
+        // There is a cycle: some edge returns to the loop head.
+        let main = cfg.entry("main").unwrap();
+        let head = main.entry;
+        assert!(cfg.edges().iter().any(|(_, to, _)| *to == head));
+    }
+
+    #[test]
+    fn dot_rendering_covers_functions_and_calls() {
+        let cfg = build("fn f() { event a; } fn main() { f(); }");
+        let dot = cfg.to_dot();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("label=\"f\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("label=\"a\""));
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let cfg = build("fn helper() { skip; }");
+        assert!(matches!(cfg.entry("main"), Err(CfgError::MissingEntry(_))));
+    }
+}

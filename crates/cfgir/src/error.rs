@@ -1,0 +1,40 @@
+//! Error types for MiniImp parsing and CFG construction.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CfgError>;
+
+/// Errors from MiniImp parsing or CFG construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgError {
+    /// Malformed source text.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A call targets a function that is not defined.
+    UnknownFunction(String),
+    /// Two functions share a name.
+    DuplicateFunction(String),
+    /// A statement label is used twice.
+    DuplicateLabel(String),
+    /// The program has no `main` (or configured entry) function.
+    MissingEntry(String),
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::Parse { message, line } => write!(f, "parse error at line {line}: {message}"),
+            CfgError::UnknownFunction(name) => write!(f, "call to undefined function `{name}`"),
+            CfgError::DuplicateFunction(name) => write!(f, "function `{name}` defined twice"),
+            CfgError::DuplicateLabel(name) => write!(f, "label `{name}` used twice"),
+            CfgError::MissingEntry(name) => write!(f, "program has no entry function `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}

@@ -1,0 +1,116 @@
+//! MiniImp lexer.
+
+use crate::error::{CfgError, Result};
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Colon,
+    Comma,
+    Star,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                tokens.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                tokens.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Tok::RParen, line));
+                i += 1;
+            }
+            ';' => {
+                tokens.push((Tok::Semi, line));
+                i += 1;
+            }
+            ':' => {
+                tokens.push((Tok::Colon, line));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Tok::Comma, line));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((Tok::Star, line));
+                i += 1;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push((Tok::Ident(src[start..i].to_owned()), line));
+            }
+            other => {
+                return Err(CfgError::Parse {
+                    message: format!("unexpected character {other:?}"),
+                    line,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_tokens() {
+        let toks = lex("fn main() { s1: event x; } // comment").unwrap();
+        assert_eq!(toks[0].0, Tok::Ident("fn".to_owned()));
+        assert!(toks.iter().any(|(t, _)| *t == Tok::Colon));
+        assert!(!toks
+            .iter()
+            .any(|(t, _)| matches!(t, Tok::Ident(s) if s == "comment")));
+    }
+
+    #[test]
+    fn tracks_lines_and_rejects_garbage() {
+        let err = lex("fn\n$").unwrap_err();
+        assert_eq!(
+            err,
+            CfgError::Parse {
+                message: "unexpected character '$'".to_owned(),
+                line: 2
+            }
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! MiniImp: a small imperative language and interprocedural CFG substrate.
+//!
+//! The paper's pushdown-model-checking (§6) and dataflow (§3.3) applications
+//! operate on a program's control-flow graph with function calls and
+//! returns. MiniImp provides exactly what those analyses need and nothing
+//! more:
+//!
+//! * *events* — statements relevant to a property (`event seteuid_zero;`,
+//!   `event open(fd1);`), which become annotated constraint edges;
+//! * direct function calls with nondeterministic (abstracted) control flow
+//!   (`if (*) { … } else { … }`, `while (*) { … }`);
+//! * optional statement labels (`s1: event execl;`) so examples can refer
+//!   to program points exactly as the paper does.
+//!
+//! # Example
+//!
+//! The paper's §6.3 example program:
+//!
+//! ```
+//! use rasc_cfgir::{Cfg, Program};
+//!
+//! let src = r#"
+//! fn main() {
+//!     s1: event seteuid_zero;
+//!     if (*) {
+//!         s3: event seteuid_nonzero;
+//!     } else {
+//!         s4: skip;
+//!     }
+//!     s5: event execl;
+//!     s6: skip;
+//! }
+//! "#;
+//! let program = Program::parse(src)?;
+//! let cfg = Cfg::build(&program)?;
+//! assert_eq!(cfg.functions().len(), 1);
+//! assert!(cfg.label_node("s6").is_some());
+//! # Ok::<(), rasc_cfgir::CfgError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod cfg;
+mod error;
+mod lexer;
+mod parser;
+mod pretty;
+
+pub use ast::{Block, FunDef, Program, Stmt};
+pub use cfg::{CallSite, CallSiteId, Cfg, EdgeLabel, FuncCfg, FuncId, NodeId};
+pub use error::{CfgError, Result};

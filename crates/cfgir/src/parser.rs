@@ -1,0 +1,263 @@
+//! MiniImp recursive-descent parser.
+//!
+//! ```text
+//! program ::= fundef*
+//! fundef  ::= 'fn' IDENT '(' ')' block
+//! block   ::= '{' labeled* '}'
+//! labeled ::= (IDENT ':')? stmt
+//! stmt    ::= 'skip' ';'
+//!           | 'return' ';'
+//!           | 'event' IDENT ('(' IDENT (',' IDENT)* ')')? ';'
+//!           | 'if' '(' '*' ')' block ('else' block)?
+//!           | 'while' '(' '*' ')' block
+//!           | IDENT '(' ')' ';'              (function call)
+//! ```
+
+use crate::ast::{Block, FunDef, Labeled, Program, Stmt};
+use crate::error::{CfgError, Result};
+use crate::lexer::{lex, Tok};
+
+pub(crate) fn parse(src: &str) -> Result<Program> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut program = Program::new();
+    while p.peek().is_some() {
+        program.funs.push(p.fundef()?);
+    }
+    Ok(program)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(1, |(_, l)| *l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> CfgError {
+        CfgError::Parse {
+            message: message.into(),
+            line: self.line(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        let got = self.ident(&format!("`{kw}`"))?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{kw}`, found `{got}`")))
+        }
+    }
+
+    fn fundef(&mut self) -> Result<FunDef> {
+        self.keyword("fn")?;
+        let name = self.ident("function name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        self.expect(&Tok::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FunDef { name, body })
+    }
+
+    fn block(&mut self) -> Result<Block> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut block = Block::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input in block"));
+            }
+            block.stmts.push(self.labeled()?);
+        }
+        self.pos += 1; // consume `}`
+        Ok(block)
+    }
+
+    fn labeled(&mut self) -> Result<Labeled> {
+        let label =
+            if matches!(self.peek(), Some(Tok::Ident(_))) && self.peek2() == Some(&Tok::Colon) {
+                let l = self.ident("label")?;
+                self.pos += 1; // consume `:`
+                Some(l)
+            } else {
+                None
+            };
+        let stmt = self.stmt()?;
+        Ok(Labeled { label, stmt })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "skip" => {
+                    self.pos += 1;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Skip)
+                }
+                "return" => {
+                    self.pos += 1;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Return)
+                }
+                "event" => {
+                    self.pos += 1;
+                    let name = self.ident("event name")?;
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Tok::LParen) {
+                        self.pos += 1;
+                        loop {
+                            args.push(self.ident("event argument")?);
+                            match self.bump() {
+                                Some(Tok::Comma) => continue,
+                                Some(Tok::RParen) => break,
+                                other => {
+                                    return Err(
+                                        self.err(format!("expected `,` or `)`, found {other:?}"))
+                                    )
+                                }
+                            }
+                        }
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Event { name, args })
+                }
+                "if" => {
+                    self.pos += 1;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    self.expect(&Tok::Star, "`*`")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    let then_block = self.block()?;
+                    let else_block = if matches!(self.peek(), Some(Tok::Ident(k)) if k == "else") {
+                        self.pos += 1;
+                        self.block()?
+                    } else {
+                        Block::new()
+                    };
+                    Ok(Stmt::If(then_block, else_block))
+                }
+                "while" => {
+                    self.pos += 1;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    self.expect(&Tok::Star, "`*`")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    let body = self.block()?;
+                    Ok(Stmt::While(body))
+                }
+                _ => {
+                    // Function call: IDENT '(' ')' ';'
+                    self.pos += 1;
+                    self.expect(&Tok::LParen, "`(`")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Call(kw))
+                }
+            },
+            other => Err(self.err(format!("expected statement, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_section_6_3_program() {
+        let src = r#"
+            fn main() {
+                s1: event seteuid_zero;
+                if (*) {
+                    s3: event seteuid_nonzero;
+                } else {
+                    s4: skip;
+                }
+                s5: event execl;
+                s6: skip;
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funs.len(), 1);
+        let main = &p.funs[0];
+        assert_eq!(main.body.stmts.len(), 4);
+        assert_eq!(main.body.stmts[0].label.as_deref(), Some("s1"));
+        assert!(matches!(main.body.stmts[1].stmt, Stmt::If(..)));
+    }
+
+    #[test]
+    fn parses_calls_loops_and_events_with_args() {
+        let src = r#"
+            fn helper() { event open(fd1); return; }
+            fn main() {
+                while (*) { helper(); }
+                event close(fd1);
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.funs.len(), 2);
+        assert!(matches!(
+            &p.funs[0].body.stmts[0].stmt,
+            Stmt::Event { name, args } if name == "open" && args == &["fd1".to_owned()]
+        ));
+        assert!(matches!(&p.funs[1].body.stmts[0].stmt, Stmt::While(_)));
+    }
+
+    #[test]
+    fn if_without_else() {
+        let p = parse("fn main() { if (*) { skip; } skip; }").unwrap();
+        let Stmt::If(t, e) = &p.funs[0].body.stmts[0].stmt else {
+            panic!("expected if");
+        };
+        assert_eq!(t.stmts.len(), 1);
+        assert!(e.stmts.is_empty());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("fn main() {\n  if ( ) {}\n}").unwrap_err();
+        assert!(matches!(err, CfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_input() {
+        assert!(parse("fn main() {").is_err());
+        assert!(parse("fn main(").is_err());
+        assert!(parse("main() {}").is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Pretty-printing MiniImp programs back to surface syntax.
+
+use std::fmt;
+
+use crate::ast::{Block, Program, Stmt};
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for fun in &self.funs {
+            writeln!(f, "fn {}() {{", fun.name)?;
+            write_block(f, &fun.body, 1)?;
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+fn write_block(f: &mut fmt::Formatter<'_>, b: &Block, depth: usize) -> fmt::Result {
+    let pad = "    ".repeat(depth);
+    for labeled in &b.stmts {
+        let label = labeled
+            .label
+            .as_ref()
+            .map(|l| format!("{l}: "))
+            .unwrap_or_default();
+        match &labeled.stmt {
+            Stmt::Skip => writeln!(f, "{pad}{label}skip;")?,
+            Stmt::Return => writeln!(f, "{pad}{label}return;")?,
+            Stmt::Event { name, args } => {
+                if args.is_empty() {
+                    writeln!(f, "{pad}{label}event {name};")?;
+                } else {
+                    writeln!(f, "{pad}{label}event {name}({});", args.join(", "))?;
+                }
+            }
+            Stmt::Call(name) => writeln!(f, "{pad}{label}{name}();")?,
+            Stmt::If(t, e) => {
+                writeln!(f, "{pad}{label}if (*) {{")?;
+                write_block(f, t, depth + 1)?;
+                if e.stmts.is_empty() {
+                    writeln!(f, "{pad}}}")?;
+                } else {
+                    writeln!(f, "{pad}}} else {{")?;
+                    write_block(f, e, depth + 1)?;
+                    writeln!(f, "{pad}}}")?;
+                }
+            }
+            Stmt::While(body) => {
+                writeln!(f, "{pad}{label}while (*) {{")?;
+                write_block(f, body, depth + 1)?;
+                writeln!(f, "{pad}}}")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Program;
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let src = r#"
+            fn helper() { event open(fd1); return; }
+            fn main() {
+                s1: event seteuid_zero;
+                if (*) { helper(); } else { skip; }
+                while (*) { event ping; }
+            }
+        "#;
+        let p1 = Program::parse(src).unwrap();
+        let printed = p1.to_string();
+        let p2 = Program::parse(&printed).unwrap();
+        assert_eq!(p1, p2, "pretty-print → parse is the identity");
+    }
+}

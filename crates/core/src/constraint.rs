@@ -1,0 +1,68 @@
+//! Set expressions and surface constraints.
+
+use crate::solver::VarId;
+use crate::term::ConsId;
+
+/// A set expression (paper §2.1/§2.4):
+///
+/// ```text
+/// se ::= X | c(X₁, …, X_{a(c)}) | c⁻ⁱ(X)
+/// ```
+///
+/// Constructor arguments and projection subjects are set *variables*, as in
+/// the paper's grammar. Note that set expressions carry no annotations —
+/// constructor annotations are inferred during resolution (§2.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetExpr {
+    /// A set variable.
+    Var(VarId),
+    /// A constructor applied to variables, `c(X₁, …)`.
+    Cons(ConsId, Vec<VarId>),
+    /// A projection `c⁻ⁱ(X)` selecting the i-th component (0-based here;
+    /// the paper writes 1-based indices).
+    Proj(ConsId, usize, VarId),
+}
+
+impl SetExpr {
+    /// A variable expression.
+    pub fn var(v: VarId) -> SetExpr {
+        SetExpr::Var(v)
+    }
+
+    /// A constructor expression `c(X₁, …)`.
+    pub fn cons(c: ConsId, args: impl IntoIterator<Item = SetExpr>) -> SetExpr {
+        let vars = args
+            .into_iter()
+            .map(|e| match e {
+                SetExpr::Var(v) => v,
+                other => panic!(
+                    "constructor arguments must be set variables (got {other:?}); \
+                     introduce an auxiliary variable"
+                ),
+            })
+            .collect();
+        SetExpr::Cons(c, vars)
+    }
+
+    /// A constructor expression over variable ids directly.
+    pub fn cons_vars(c: ConsId, args: impl IntoIterator<Item = VarId>) -> SetExpr {
+        SetExpr::Cons(c, args.into_iter().collect())
+    }
+
+    /// A projection expression `c⁻ⁱ(X)` (0-based `index`).
+    pub fn proj(c: ConsId, index: usize, subject: VarId) -> SetExpr {
+        SetExpr::Proj(c, index, subject)
+    }
+}
+
+/// A surface constraint `lhs ⊆^ann rhs` as recorded by
+/// [`crate::System::constraints`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub lhs: SetExpr,
+    /// Right-hand side.
+    pub rhs: SetExpr,
+    /// The annotation (an interned algebra element).
+    pub ann: crate::algebra::AnnId,
+}

@@ -1,0 +1,85 @@
+//! Error types for the constraint solver.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors reported while building or solving constraint systems.
+///
+/// Note that a *manifestly inconsistent* constraint (mismatched top-level
+/// constructors, paper §3.1) is not an error: it is recorded as a
+/// [`crate::Clash`] on the system, because analyses routinely want to keep
+/// solving and report all inconsistencies at the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A constructor was applied to the wrong number of arguments.
+    ArityMismatch {
+        /// The constructor's name.
+        constructor: String,
+        /// Its declared arity.
+        expected: usize,
+        /// The number of arguments supplied.
+        found: usize,
+    },
+    /// A projection appeared on the right-hand side of a constraint, which
+    /// the formalism forbids (§2.1).
+    ProjectionOnRight,
+    /// A projection index was out of range for its constructor.
+    ProjectionIndex {
+        /// The constructor's name.
+        constructor: String,
+        /// Its declared arity.
+        arity: usize,
+        /// The out-of-range (1-based) index used.
+        index: usize,
+    },
+    /// A constraint through a contravariant constructor position carried a
+    /// non-ε annotation. The paper only defines annotation propagation for
+    /// covariant positions; see DESIGN.md.
+    ContravariantAnnotation {
+        /// The constructor's name.
+        constructor: String,
+        /// The (0-based) contravariant position.
+        position: usize,
+    },
+    /// A variable or constructor id from a different [`crate::System`] was
+    /// used.
+    ForeignId,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                constructor,
+                expected,
+                found,
+            } => write!(
+                f,
+                "constructor `{constructor}` has arity {expected} but was applied to {found} argument(s)"
+            ),
+            CoreError::ProjectionOnRight => {
+                write!(f, "projections may not appear on the right-hand side of a constraint")
+            }
+            CoreError::ProjectionIndex {
+                constructor,
+                arity,
+                index,
+            } => write!(
+                f,
+                "projection index {index} out of range for `{constructor}` of arity {arity}"
+            ),
+            CoreError::ContravariantAnnotation {
+                constructor,
+                position,
+            } => write!(
+                f,
+                "annotated constraint through contravariant position {position} of `{constructor}` is not supported"
+            ),
+            CoreError::ForeignId => write!(f, "id belongs to a different constraint system"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

@@ -1,0 +1,1214 @@
+//! The bidirectional constraint solver (paper §3).
+//!
+//! The solver maintains, for every variable `X`:
+//!
+//! * annotated transitive edges `X ⊆^f Y`;
+//! * *lower bounds*: constructor expressions that flow into `X`, with the
+//!   composed annotation of their path (`c(…) ⊆^f X`);
+//! * *upper bounds*: constructor patterns and projections that `X` flows
+//!   into (`X ⊆^f c(…)`, `X ⊆^f c⁻ⁱ(…) ⊆ Z`).
+//!
+//! A worklist propagates lower bounds forward and upper bounds backward
+//! (hence *bidirectional*), composing annotations with the algebra's `∘` at
+//! each step — the paper's transitive-closure rule. When a lower bound
+//! meets an upper bound at a variable, the §3.1 resolution rules fire:
+//! decomposition, mismatch (clash), or projection.
+//!
+//! Following the §8 optimization, constructor-annotation variables (`α`,
+//! `β`, …) are never materialized during solving; queries reconstruct the
+//! composed constructor annotations on demand (see the query methods).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::algebra::{Algebra, AnnId};
+use crate::constraint::{Constraint, SetExpr};
+use crate::error::{CoreError, Result};
+use crate::term::{ConsId, Constructor, Variance};
+
+/// An interned set variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) u32);
+
+impl VarId {
+    /// Builds a variable id from a raw index. The caller must ensure the
+    /// index is valid for the system it will be used with.
+    pub fn from_index(index: usize) -> VarId {
+        VarId(u32::try_from(index).expect("variable index too large"))
+    }
+
+    /// The variable's index within its system.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned source (constructor expression used as a lower bound).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SrcId(u32);
+
+/// An interned sink (upper-bound pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SnkId(u32);
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Source {
+    pub cons: ConsId,
+    pub args: Vec<VarId>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) enum Sink {
+    /// `⊆ c(Y₁, …)`.
+    Cons { cons: ConsId, args: Vec<VarId> },
+    /// `⊆ c⁻ⁱ(·) ⊆ target` — the upper-bound half of a projection
+    /// constraint `c⁻ⁱ(X) ⊆ target` attached to `X`.
+    Proj {
+        cons: ConsId,
+        index: usize,
+        target: VarId,
+    },
+}
+
+/// A manifest inconsistency discovered during solving (§3.1's
+/// "no solution" rule). Recorded rather than aborting: analyses typically
+/// want all inconsistencies.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Clash {
+    /// `c(…) ⊆^f d(…)` with `c ≠ d`.
+    ConstructorMismatch {
+        /// Left-hand constructor.
+        lhs: ConsId,
+        /// Right-hand constructor.
+        rhs: ConsId,
+        /// The path annotation under which they met.
+        ann: AnnId,
+    },
+    /// A non-ε-annotated constraint reached a contravariant constructor
+    /// position, for which the paper defines no propagation rule.
+    ContravariantAnnotated {
+        /// The constructor involved.
+        cons: ConsId,
+        /// The contravariant position (0-based).
+        position: usize,
+        /// The offending annotation.
+        ann: AnnId,
+    },
+}
+
+/// A constructor-expression key: head constructor plus argument variables.
+pub(crate) type ExprKey = (ConsId, Vec<VarId>);
+
+/// A resolved source/sink meeting: `(source key, sink key, g, h)`.
+pub(crate) type MeetEntry = (ExprKey, ExprKey, AnnId, AnnId);
+
+#[derive(Debug, Clone, Copy)]
+enum Fact {
+    Edge(VarId, VarId, AnnId),
+    Lb(VarId, SrcId, AnnId),
+    Ub(VarId, SnkId, AnnId),
+}
+
+#[derive(Debug, Default)]
+struct VarData {
+    name: String,
+    /// `X ⊆^f Y` edges.
+    succs: HashMap<VarId, Vec<AnnId>>,
+    preds: HashMap<VarId, Vec<AnnId>>,
+    lbs: HashMap<SrcId, Vec<AnnId>>,
+    ubs: HashMap<SnkId, Vec<AnnId>>,
+}
+
+/// Aggregate counters describing a solved system, for benchmarks and
+/// regression tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolverStats {
+    /// Number of set variables.
+    pub vars: usize,
+    /// Number of constructor declarations.
+    pub constructors: usize,
+    /// Distinct annotated variable-variable edges.
+    pub edges: usize,
+    /// Distinct annotated lower-bound entries.
+    pub lower_bounds: usize,
+    /// Distinct annotated upper-bound entries.
+    pub upper_bounds: usize,
+    /// The largest lower-bound entry count on any single variable — the
+    /// paper's §4 per-variable bound is `n · |F_M^≡|`.
+    pub max_lower_bounds_per_var: usize,
+    /// The largest upper-bound entry count on any single variable.
+    pub max_upper_bounds_per_var: usize,
+    /// Worklist facts processed (including duplicates).
+    pub facts_processed: usize,
+    /// Interned annotations in the algebra.
+    pub annotations: usize,
+    /// Variables collapsed by online cycle elimination.
+    pub cycles_collapsed: usize,
+}
+
+/// Tuning knobs for the bidirectional solver: the §8 engineering the
+/// paper inherits from BANSHEE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Online partial cycle elimination (Fähndrich et al., cited as \[7\]):
+    /// ε-annotated constraint cycles imply variable equality; members are
+    /// collapsed with a union-find so work is not repeated around loops.
+    pub cycle_elimination: bool,
+    /// Projection merging (Su et al., cited as \[27\]): multiple projections
+    /// `c⁻ⁱ(Y) ⊆ Z₁, Z₂, …` share one auxiliary variable so each
+    /// component edge is discovered once.
+    pub projection_merging: bool,
+    /// Depth bound for the online cycle search (per inserted ε edge).
+    pub cycle_search_depth: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            cycle_elimination: true,
+            projection_merging: true,
+            cycle_search_depth: 32,
+        }
+    }
+}
+
+/// An online bidirectional solver for regularly annotated set constraints.
+///
+/// Constraints can be added at any time ([`System::add`] /
+/// [`System::add_ann`]); [`System::solve`] drains the worklist. Adding more
+/// constraints after solving and re-solving is supported (the separate /
+/// online analysis capability of §5.1).
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct System<A: Algebra> {
+    algebra: A,
+    constructors: Vec<Constructor>,
+    vars: Vec<VarData>,
+    sources: Vec<Source>,
+    source_ids: HashMap<Source, SrcId>,
+    sinks: Vec<Sink>,
+    sink_ids: HashMap<Sink, SnkId>,
+    worklist: VecDeque<Fact>,
+    constraints: Vec<Constraint>,
+    clashes: Vec<Clash>,
+    clash_set: HashSet<Clash>,
+    facts_processed: usize,
+    config: SolverConfig,
+    /// Union-find parents for cycle elimination (self-parent = root).
+    parent: Vec<u32>,
+    /// Memo for projection merging: (constructor, index, subject) → aux.
+    proj_merge: HashMap<(ConsId, usize, VarId), VarId>,
+    /// Variables collapsed by cycle elimination.
+    cycles_collapsed: usize,
+}
+
+impl<A: Algebra> System<A> {
+    /// Creates an empty system over the given annotation algebra, with the
+    /// default optimizations (see [`SolverConfig`]).
+    pub fn new(algebra: A) -> System<A> {
+        Self::with_config(algebra, SolverConfig::default())
+    }
+
+    /// Creates an empty system with explicit solver configuration (used by
+    /// the ablation benchmarks).
+    pub fn with_config(algebra: A, config: SolverConfig) -> System<A> {
+        System {
+            algebra,
+            constructors: Vec::new(),
+            vars: Vec::new(),
+            sources: Vec::new(),
+            source_ids: HashMap::new(),
+            sinks: Vec::new(),
+            sink_ids: HashMap::new(),
+            worklist: VecDeque::new(),
+            constraints: Vec::new(),
+            clashes: Vec::new(),
+            clash_set: HashSet::new(),
+            facts_processed: 0,
+            config,
+            parent: Vec::new(),
+            proj_merge: HashMap::new(),
+            cycles_collapsed: 0,
+        }
+    }
+
+    /// The representative of `v`'s cycle-elimination class (without path
+    /// compression; usable from `&self` queries).
+    pub(crate) fn find(&self, v: VarId) -> VarId {
+        let mut cur = v.0;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+        }
+        VarId(cur)
+    }
+
+    /// Path-compressing find.
+    fn find_mut(&mut self, v: VarId) -> VarId {
+        let root = self.find(v);
+        let mut cur = v.0;
+        while self.parent[cur as usize] != cur {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root.0;
+            cur = next;
+        }
+        root
+    }
+
+    /// Collapses `loser` into `winner` (both roots): moves all solved-form
+    /// data across and re-enqueues it so propagation continues from the
+    /// merged variable.
+    fn union_into(&mut self, winner: VarId, loser: VarId) {
+        debug_assert_ne!(winner, loser);
+        self.parent[loser.0 as usize] = winner.0;
+        self.cycles_collapsed += 1;
+        let data = std::mem::take(&mut self.vars[loser.index()]);
+        self.vars[loser.index()].name = data.name.clone();
+        for (y, anns) in data.succs {
+            for ann in anns {
+                self.worklist.push_back(Fact::Edge(winner, y, ann));
+            }
+        }
+        for (x, anns) in data.preds {
+            for ann in anns {
+                self.worklist.push_back(Fact::Edge(x, winner, ann));
+            }
+        }
+        for (src, anns) in data.lbs {
+            for ann in anns {
+                self.worklist.push_back(Fact::Lb(winner, src, ann));
+            }
+        }
+        for (snk, anns) in data.ubs {
+            for ann in anns {
+                self.worklist.push_back(Fact::Ub(winner, snk, ann));
+            }
+        }
+    }
+
+    /// Bounded DFS over ε-annotated edges looking for a path `from → to`;
+    /// on success every visited node on the path is collapsed into `to`
+    /// and `true` is returned.
+    fn try_collapse_cycle(&mut self, from: VarId, to: VarId) -> bool {
+        let id = self.algebra.identity();
+        let mut stack = vec![(from, 0usize)];
+        let mut visited: Vec<VarId> = vec![from];
+        let mut path: Vec<VarId> = Vec::new();
+        let mut parent_of: HashMap<VarId, VarId> = HashMap::new();
+        let mut budget = self.config.cycle_search_depth * 8;
+        while let Some((v, _)) = stack.pop() {
+            if budget == 0 {
+                return false;
+            }
+            budget -= 1;
+            if v == to {
+                // Reconstruct the path from `from` to `to` and collapse.
+                let mut cur = to;
+                while cur != from {
+                    path.push(cur);
+                    cur = parent_of[&cur];
+                }
+                path.push(from);
+                let winner = self.find_mut(to);
+                for node in path {
+                    let node = self.find_mut(node);
+                    if node != winner {
+                        self.union_into(winner, node);
+                    }
+                }
+                return true;
+            }
+            let succs: Vec<VarId> = self.vars[v.index()]
+                .succs
+                .iter()
+                .filter(|(_, anns)| anns.binary_search(&id).is_ok())
+                .map(|(&y, _)| self.find(y))
+                .collect();
+            for y in succs {
+                if !visited.contains(&y) {
+                    visited.push(y);
+                    parent_of.insert(y, v);
+                    if visited.len() <= self.config.cycle_search_depth {
+                        stack.push((y, 0));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The annotation algebra.
+    pub fn algebra(&self) -> &A {
+        &self.algebra
+    }
+
+    /// Mutable access to the annotation algebra (e.g. to intern the
+    /// annotation for a word before adding a constraint).
+    pub fn algebra_mut(&mut self) -> &mut A {
+        &mut self.algebra
+    }
+
+    /// Creates a fresh set variable. The name is for diagnostics only and
+    /// need not be unique.
+    pub fn var(&mut self, name: &str) -> VarId {
+        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        self.parent.push(id.0);
+        self.vars.push(VarData {
+            name: name.to_owned(),
+            ..VarData::default()
+        });
+        id
+    }
+
+    /// The diagnostic name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Declares a constructor with the given argument variances (the arity
+    /// is `signature.len()`; an empty signature declares a constant).
+    pub fn constructor(&mut self, name: &str, signature: &[Variance]) -> ConsId {
+        let id = ConsId(u32::try_from(self.constructors.len()).expect("too many constructors"));
+        self.constructors.push(Constructor {
+            name: name.to_owned(),
+            signature: signature.to_vec(),
+        });
+        id
+    }
+
+    /// The declaration of a constructor.
+    pub fn constructor_decl(&self, c: ConsId) -> &Constructor {
+        &self.constructors[c.index()]
+    }
+
+    /// Adds the unannotated constraint `lhs ⊆ rhs` (annotation `f_ε`).
+    ///
+    /// # Errors
+    ///
+    /// See [`System::add_ann`].
+    pub fn add(&mut self, lhs: SetExpr, rhs: SetExpr) -> Result<()> {
+        let e = self.algebra.identity();
+        self.add_ann(lhs, rhs, e)
+    }
+
+    /// Adds the annotated constraint `lhs ⊆^ann rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ProjectionOnRight`] if `rhs` is a projection,
+    /// [`CoreError::ArityMismatch`] if a constructor is misapplied, and
+    /// [`CoreError::ProjectionIndex`] for an out-of-range projection.
+    pub fn add_ann(&mut self, lhs: SetExpr, rhs: SetExpr, ann: AnnId) -> Result<()> {
+        self.validate(&lhs)?;
+        self.validate(&rhs)?;
+        if matches!(rhs, SetExpr::Proj(..)) {
+            return Err(CoreError::ProjectionOnRight);
+        }
+        self.constraints.push(Constraint {
+            lhs: lhs.clone(),
+            rhs: rhs.clone(),
+            ann,
+        });
+        match (lhs, rhs) {
+            (SetExpr::Var(x), SetExpr::Var(y)) => {
+                self.worklist.push_back(Fact::Edge(x, y, ann));
+            }
+            (SetExpr::Cons(c, args), SetExpr::Var(y)) => {
+                let src = self.intern_source(Source { cons: c, args });
+                self.worklist.push_back(Fact::Lb(y, src, ann));
+            }
+            (SetExpr::Var(x), SetExpr::Cons(c, args)) => {
+                let snk = self.intern_sink(Sink::Cons { cons: c, args });
+                self.worklist.push_back(Fact::Ub(x, snk, ann));
+            }
+            (SetExpr::Cons(c1, args1), SetExpr::Cons(c2, args2)) => {
+                // Resolve immediately (the first two rules of §3.1).
+                let src = self.intern_source(Source {
+                    cons: c1,
+                    args: args1,
+                });
+                let snk = self.intern_sink(Sink::Cons {
+                    cons: c2,
+                    args: args2,
+                });
+                self.resolve(src, ann, snk);
+            }
+            (SetExpr::Proj(c, i, x), SetExpr::Var(z)) => {
+                // Projection merging (§8 / [27]): all ε-annotated
+                // projections of the same subject share one auxiliary
+                // target, so component edges are discovered once.
+                if self.config.projection_merging && ann == self.algebra.identity() {
+                    let aux = match self.proj_merge.get(&(c, i, x)) {
+                        Some(&aux) => aux,
+                        None => {
+                            let aux = self.var("$projmerge");
+                            self.proj_merge.insert((c, i, x), aux);
+                            let snk = self.intern_sink(Sink::Proj {
+                                cons: c,
+                                index: i,
+                                target: aux,
+                            });
+                            let e = self.algebra.identity();
+                            self.worklist.push_back(Fact::Ub(x, snk, e));
+                            aux
+                        }
+                    };
+                    self.worklist.push_back(Fact::Edge(aux, z, ann));
+                } else {
+                    let snk = self.intern_sink(Sink::Proj {
+                        cons: c,
+                        index: i,
+                        target: z,
+                    });
+                    self.worklist.push_back(Fact::Ub(x, snk, ann));
+                }
+            }
+            (SetExpr::Proj(c, i, x), SetExpr::Cons(c2, args2)) => {
+                // Normalize via an auxiliary variable:
+                // c⁻ⁱ(X) ⊆^f d(…)  ⇝  c⁻ⁱ(X) ⊆^f v ∧ v ⊆ d(…).
+                let v = self.var("$proj");
+                let snk = self.intern_sink(Sink::Proj {
+                    cons: c,
+                    index: i,
+                    target: v,
+                });
+                self.worklist.push_back(Fact::Ub(x, snk, ann));
+                let snk2 = self.intern_sink(Sink::Cons {
+                    cons: c2,
+                    args: args2,
+                });
+                let e = self.algebra.identity();
+                self.worklist.push_back(Fact::Ub(v, snk2, e));
+            }
+            (_, SetExpr::Proj(..)) => unreachable!("rejected above"),
+        }
+        Ok(())
+    }
+
+    fn validate(&self, e: &SetExpr) -> Result<()> {
+        match e {
+            SetExpr::Var(v) => {
+                if v.index() >= self.vars.len() {
+                    return Err(CoreError::ForeignId);
+                }
+            }
+            SetExpr::Cons(c, args) => {
+                let decl = self
+                    .constructors
+                    .get(c.index())
+                    .ok_or(CoreError::ForeignId)?;
+                if decl.arity() != args.len() {
+                    return Err(CoreError::ArityMismatch {
+                        constructor: decl.name.clone(),
+                        expected: decl.arity(),
+                        found: args.len(),
+                    });
+                }
+                for v in args {
+                    if v.index() >= self.vars.len() {
+                        return Err(CoreError::ForeignId);
+                    }
+                }
+            }
+            SetExpr::Proj(c, i, v) => {
+                let decl = self
+                    .constructors
+                    .get(c.index())
+                    .ok_or(CoreError::ForeignId)?;
+                if *i >= decl.arity() {
+                    return Err(CoreError::ProjectionIndex {
+                        constructor: decl.name.clone(),
+                        arity: decl.arity(),
+                        index: *i,
+                    });
+                }
+                if v.index() >= self.vars.len() {
+                    return Err(CoreError::ForeignId);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn intern_source(&mut self, s: Source) -> SrcId {
+        if let Some(&id) = self.source_ids.get(&s) {
+            return id;
+        }
+        let id = SrcId(u32::try_from(self.sources.len()).expect("too many sources"));
+        self.source_ids.insert(s.clone(), id);
+        self.sources.push(s);
+        id
+    }
+
+    fn intern_sink(&mut self, s: Sink) -> SnkId {
+        if let Some(&id) = self.sink_ids.get(&s) {
+            return id;
+        }
+        let id = SnkId(u32::try_from(self.sinks.len()).expect("too many sinks"));
+        self.sink_ids.insert(s.clone(), id);
+        self.sinks.push(s);
+        id
+    }
+
+    /// Applies the §3.1 resolution rules to a met source/sink pair under
+    /// path annotation `f`.
+    fn resolve(&mut self, src: SrcId, f: AnnId, snk: SnkId) {
+        if !self.algebra.is_useful(f) {
+            return;
+        }
+        let source = self.sources[src.0 as usize].clone();
+        match self.sinks[snk.0 as usize].clone() {
+            Sink::Cons { cons, args } => {
+                if source.cons != cons {
+                    let clash = Clash::ConstructorMismatch {
+                        lhs: source.cons,
+                        rhs: cons,
+                        ann: f,
+                    };
+                    if self.clash_set.insert(clash.clone()) {
+                        self.clashes.push(clash);
+                    }
+                    return;
+                }
+                let signature = self.constructors[cons.index()].signature.clone();
+                for (i, variance) in signature.iter().enumerate() {
+                    match variance {
+                        Variance::Covariant => {
+                            self.worklist
+                                .push_back(Fact::Edge(source.args[i], args[i], f));
+                        }
+                        Variance::Contravariant => {
+                            if f == self.algebra.identity() {
+                                let e = self.algebra.identity();
+                                self.worklist
+                                    .push_back(Fact::Edge(args[i], source.args[i], e));
+                            } else {
+                                let clash = Clash::ContravariantAnnotated {
+                                    cons,
+                                    position: i,
+                                    ann: f,
+                                };
+                                if self.clash_set.insert(clash.clone()) {
+                                    self.clashes.push(clash);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Sink::Proj {
+                cons,
+                index,
+                target,
+            } => {
+                if source.cons == cons {
+                    self.worklist
+                        .push_back(Fact::Edge(source.args[index], target, f));
+                }
+                // A non-matching constructor simply does not project —
+                // not an inconsistency.
+            }
+        }
+    }
+
+    /// Runs resolution to a fixpoint (Lemma 3.1 guarantees termination for
+    /// finite algebras).
+    pub fn solve(&mut self) {
+        while let Some(fact) = self.worklist.pop_front() {
+            self.facts_processed += 1;
+            match fact {
+                Fact::Edge(x, y, f) => {
+                    let x = self.find_mut(x);
+                    let y = self.find_mut(y);
+                    if x == y && f == self.algebra.identity() {
+                        continue;
+                    }
+                    if !self.algebra.is_useful(f) {
+                        continue;
+                    }
+                    if !insert_ann(self.vars[x.index()].succs.entry(y).or_default(), f) {
+                        continue;
+                    }
+                    insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
+                    if self.config.cycle_elimination
+                        && f == self.algebra.identity()
+                        && self.try_collapse_cycle(y, x)
+                    {
+                        // x → y closed an ε-cycle; the collapse re-enqueued
+                        // all merged facts, so nothing more to do here.
+                        continue;
+                    }
+                    // Push x's lower bounds across the new edge.
+                    let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
+                    for (src, g) in lbs {
+                        let h = self.algebra.compose(f, g);
+                        self.worklist.push_back(Fact::Lb(y, src, h));
+                    }
+                    // Pull y's upper bounds across the new edge.
+                    let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[y.index()].ubs);
+                    for (snk, g) in ubs {
+                        let h = self.algebra.compose(g, f);
+                        self.worklist.push_back(Fact::Ub(x, snk, h));
+                    }
+                }
+                Fact::Lb(x, src, g) => {
+                    let x = self.find_mut(x);
+                    if !self.algebra.is_useful(g) {
+                        continue;
+                    }
+                    if !insert_ann(self.vars[x.index()].lbs.entry(src).or_default(), g) {
+                        continue;
+                    }
+                    let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
+                    for (y, f) in succs {
+                        let h = self.algebra.compose(f, g);
+                        self.worklist.push_back(Fact::Lb(y, src, h));
+                    }
+                    let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[x.index()].ubs);
+                    for (snk, h) in ubs {
+                        let composed = self.algebra.compose(h, g);
+                        self.resolve(src, composed, snk);
+                    }
+                }
+                Fact::Ub(x, snk, h) => {
+                    let x = self.find_mut(x);
+                    if !self.algebra.is_useful(h) {
+                        continue;
+                    }
+                    if !insert_ann(self.vars[x.index()].ubs.entry(snk).or_default(), h) {
+                        continue;
+                    }
+                    let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
+                    for (w, f) in preds {
+                        let composed = self.algebra.compose(h, f);
+                        self.worklist.push_back(Fact::Ub(w, snk, composed));
+                    }
+                    let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
+                    for (src, g) in lbs {
+                        let composed = self.algebra.compose(h, g);
+                        self.resolve(src, composed, snk);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The surface constraints added so far, in order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The manifest inconsistencies discovered so far.
+    pub fn clashes(&self) -> &[Clash] {
+        &self.clashes
+    }
+
+    /// Whether the system is consistent (no clashes).
+    pub fn is_consistent(&self) -> bool {
+        self.clashes.is_empty()
+    }
+
+    /// The annotations under which the *constant* (or constructor
+    /// expression head) `c` is a direct lower bound of `x` in the solved
+    /// form — i.e. all `f` with `c(…) ⊆^f X`.
+    pub fn lower_bound_annotations(&self, x: VarId, c: ConsId) -> Vec<AnnId> {
+        let x = self.find(x);
+        let mut out = Vec::new();
+        for (src, anns) in &self.vars[x.index()].lbs {
+            if self.sources[src.0 as usize].cons == c {
+                out.extend(anns.iter().copied());
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All solved-form lower bounds of `x`: `(constructor, args, annotation)`
+    /// triples.
+    pub fn lower_bounds(&self, x: VarId) -> Vec<(ConsId, Vec<VarId>, AnnId)> {
+        let x = self.find(x);
+        let mut out = Vec::new();
+        for (src, anns) in &self.vars[x.index()].lbs {
+            let s = &self.sources[src.0 as usize];
+            for &a in anns {
+                out.push((s.cons, s.args.clone(), a));
+            }
+        }
+        out
+    }
+
+    /// The annotated variable-variable edges leaving `x` in the solved
+    /// form.
+    pub fn edges_from(&self, x: VarId) -> Vec<(VarId, AnnId)> {
+        let x = self.find(x);
+        flatten(&self.vars[x.index()].succs)
+            .into_iter()
+            .map(|(y, a)| (self.find(y), a))
+            .collect()
+    }
+
+    /// Aggregate statistics about the solved system.
+    pub fn stats(&self) -> SolverStats {
+        let mut edges = 0;
+        let mut lower = 0;
+        let mut upper = 0;
+        let mut max_lower = 0;
+        let mut max_upper = 0;
+        for v in &self.vars {
+            edges += v.succs.values().map(Vec::len).sum::<usize>();
+            let l = v.lbs.values().map(Vec::len).sum::<usize>();
+            let u = v.ubs.values().map(Vec::len).sum::<usize>();
+            lower += l;
+            upper += u;
+            max_lower = max_lower.max(l);
+            max_upper = max_upper.max(u);
+        }
+        SolverStats {
+            vars: self.vars.len(),
+            constructors: self.constructors.len(),
+            edges,
+            lower_bounds: lower,
+            upper_bounds: upper,
+            max_lower_bounds_per_var: max_lower,
+            max_upper_bounds_per_var: max_upper,
+            facts_processed: self.facts_processed,
+            annotations: self.algebra.len(),
+            cycles_collapsed: self.cycles_collapsed,
+        }
+    }
+
+    /// Renders the solved form in the paper's notation (for diagnostics
+    /// and teaching): transitive variable constraints, lower bounds, and
+    /// upper bounds, with annotations shown via the algebra's
+    /// [`Algebra::describe`].
+    pub fn render_solved_form(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let ann_str = |a: AnnId| {
+            if a == self.algebra.identity() {
+                String::new()
+            } else {
+                format!("^{}", self.algebra.describe(a))
+            }
+        };
+        for (i, v) in self.vars.iter().enumerate() {
+            let name = &v.name;
+            if self.find(VarId(i as u32)).index() != i {
+                continue; // collapsed into its cycle representative
+            }
+            for (src, anns) in &v.lbs {
+                let s = &self.sources[src.0 as usize];
+                let rendered_args: Vec<&str> = s
+                    .args
+                    .iter()
+                    .map(|a| self.vars[self.find(*a).index()].name.as_str())
+                    .collect();
+                let head = self.constructors[s.cons.index()].name();
+                let applied = if rendered_args.is_empty() {
+                    head.to_owned()
+                } else {
+                    format!("{head}({})", rendered_args.join(", "))
+                };
+                for &a in anns {
+                    let _ = writeln!(out, "{applied} ⊆{} {name}", ann_str(a));
+                }
+            }
+            for (&y, anns) in &v.succs {
+                let target = &self.vars[self.find(y).index()].name;
+                for &a in anns {
+                    let _ = writeln!(out, "{name} ⊆{} {target}", ann_str(a));
+                }
+            }
+            for (snk, anns) in &v.ubs {
+                match &self.sinks[snk.0 as usize] {
+                    Sink::Cons { cons, args } => {
+                        let rendered_args: Vec<&str> = args
+                            .iter()
+                            .map(|a| self.vars[self.find(*a).index()].name.as_str())
+                            .collect();
+                        let head = self.constructors[cons.index()].name();
+                        let applied = if rendered_args.is_empty() {
+                            head.to_owned()
+                        } else {
+                            format!("{head}({})", rendered_args.join(", "))
+                        };
+                        for &a in anns {
+                            let _ = writeln!(out, "{name} ⊆{} {applied}", ann_str(a));
+                        }
+                    }
+                    Sink::Proj {
+                        cons,
+                        index,
+                        target,
+                    } => {
+                        let head = self.constructors[cons.index()].name();
+                        let t = &self.vars[self.find(*target).index()].name;
+                        for &a in anns {
+                            let _ =
+                                writeln!(out, "{head}⁻{}({name}) ⊆{} {t}", index + 1, ann_str(a));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The projection sinks attached to `x` in the solved form, as
+    /// `(projection target, composed annotation)` pairs — the
+    /// "close-paren" edges used by PN queries.
+    pub(crate) fn proj_sinks_of(&self, x: VarId) -> Vec<(VarId, AnnId)> {
+        let x = self.find(x);
+        let mut out = Vec::new();
+        for (snk, anns) in &self.vars[x.index()].ubs {
+            if let Sink::Proj { target, .. } = self.sinks[snk.0 as usize] {
+                for &h in anns {
+                    out.push((self.find(target), h));
+                }
+            }
+        }
+        out
+    }
+
+    /// All distinct constructor-expression keys occurring as sources or
+    /// constructor sinks (for the query-time reconstruction of constructor
+    /// annotation variables).
+    pub(crate) fn constructor_expr_keys(&self) -> Vec<ExprKey> {
+        let mut keys: Vec<ExprKey> = Vec::new();
+        for s in &self.sources {
+            let key = (s.cons, s.args.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        for s in &self.sinks {
+            if let Sink::Cons { cons, args } = s {
+                let key = (*cons, args.clone());
+                if !keys.contains(&key) {
+                    keys.push(key);
+                }
+            }
+        }
+        keys
+    }
+
+    /// All `(source, constructor-sink)` meetings at `x` with matching
+    /// heads: `(src key, sink key, g, h)` for `src ⊆^g x` and `x ⊆^h snk`.
+    pub(crate) fn source_sink_meets(&self, x: VarId) -> Vec<MeetEntry> {
+        let data = &self.vars[self.find(x).index()];
+        let mut out = Vec::new();
+        for (src, gs) in &data.lbs {
+            let source = &self.sources[src.0 as usize];
+            for (snk, hs) in &data.ubs {
+                let Sink::Cons { cons, args } = &self.sinks[snk.0 as usize] else {
+                    continue;
+                };
+                if *cons != source.cons {
+                    continue;
+                }
+                for &g in gs {
+                    for &h in hs {
+                        out.push((
+                            (source.cons, source.args.clone()),
+                            (*cons, args.clone()),
+                            g,
+                            h,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn lbs_of(&self, x: VarId) -> impl Iterator<Item = (&Source, &[AnnId])> {
+        self.vars[self.find(x).index()]
+            .lbs
+            .iter()
+            .map(|(src, anns)| (&self.sources[src.0 as usize], anns.as_slice()))
+    }
+}
+
+/// Inserts into a small sorted annotation set; returns `false` if already
+/// present.
+fn insert_ann(set: &mut Vec<AnnId>, a: AnnId) -> bool {
+    match set.binary_search(&a) {
+        Ok(_) => false,
+        Err(pos) => {
+            set.insert(pos, a);
+            true
+        }
+    }
+}
+
+fn flatten<K: Copy>(map: &HashMap<K, Vec<AnnId>>) -> Vec<(K, AnnId)> {
+    let mut out = Vec::new();
+    for (&k, anns) in map {
+        for &a in anns {
+            out.push((k, a));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::MonoidAlgebra;
+    use rasc_automata::{Alphabet, Dfa};
+
+    fn one_bit_system() -> (
+        System<MonoidAlgebra>,
+        rasc_automata::SymbolId,
+        rasc_automata::SymbolId,
+    ) {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let m = Dfa::one_bit(&sigma, g, k);
+        (System::new(MonoidAlgebra::new(&m)), g, k)
+    }
+
+    #[test]
+    fn transitive_closure_composes_annotations() {
+        let (mut sys, g, k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y, z) = (sys.var("X"), sys.var("Y"), sys.var("Z"));
+        let fg = sys.algebra_mut().word(&[g]);
+        let fk = sys.algebra_mut().word(&[k]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add_ann(SetExpr::var(x), SetExpr::var(y), fk).unwrap();
+        sys.add_ann(SetExpr::var(y), SetExpr::var(z), fg).unwrap();
+        sys.solve();
+        // c ⊆^{f_g} X, X ⊆^{f_k} Y ⇒ c ⊆^{f_k∘f_g = f_k} Y.
+        assert_eq!(sys.lower_bound_annotations(y, c), vec![fk]);
+        // then ⊆^{f_g} Z ⇒ c ⊆^{f_g} Z.
+        assert_eq!(sys.lower_bound_annotations(z, c), vec![fg]);
+    }
+
+    #[test]
+    fn decomposition_rule() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let o = sys.constructor("o", &[Variance::Covariant]);
+        let (w, x, y, z) = (sys.var("W"), sys.var("X"), sys.var("Y"), sys.var("Z"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        // o(W) ⊆^g X ⊆ o(Y): decomposition gives W ⊆^g Y.
+        sys.add_ann(SetExpr::cons_vars(o, [w]), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add(SetExpr::var(x), SetExpr::cons_vars(o, [y]))
+            .unwrap();
+        sys.add(SetExpr::cons_vars(o, [y]), SetExpr::var(z))
+            .unwrap();
+        sys.solve();
+        assert!(sys.is_consistent());
+        // W ⊆^{f_g} Y so c ⊆^{f_g ∘ f_g = f_g} Y.
+        assert_eq!(sys.lower_bound_annotations(y, c), vec![fg]);
+    }
+
+    #[test]
+    fn mismatched_constructors_clash() {
+        let (mut sys, _, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let d = sys.constructor("d", &[]);
+        let x = sys.var("X");
+        sys.add(SetExpr::cons(c, []), SetExpr::var(x)).unwrap();
+        sys.add(SetExpr::var(x), SetExpr::cons(d, [])).unwrap();
+        sys.solve();
+        assert_eq!(sys.clashes().len(), 1);
+        assert!(matches!(
+            sys.clashes()[0],
+            Clash::ConstructorMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn projection_rule() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let pair = sys.constructor("pair", &[Variance::Covariant, Variance::Covariant]);
+        let (a, b, y, z) = (sys.var("A"), sys.var("B"), sys.var("Y"), sys.var("Z"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(a), fg)
+            .unwrap();
+        sys.add(SetExpr::cons_vars(pair, [a, b]), SetExpr::var(y))
+            .unwrap();
+        sys.add(SetExpr::proj(pair, 0, y), SetExpr::var(z)).unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(z, c), vec![fg]);
+        // Nothing flowed from the second component.
+        assert!(sys.lower_bound_annotations(z, pair).is_empty());
+    }
+
+    #[test]
+    fn annotated_projection_composes() {
+        let (mut sys, g, k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let o = sys.constructor("o", &[Variance::Covariant]);
+        let (a, y, z) = (sys.var("A"), sys.var("Y"), sys.var("Z"));
+        let fg = sys.algebra_mut().word(&[g]);
+        let fk = sys.algebra_mut().word(&[k]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(a), fg)
+            .unwrap();
+        sys.add(SetExpr::cons_vars(o, [a]), SetExpr::var(y))
+            .unwrap();
+        // o⁻¹(Y) ⊆^k Z: the projected component is appended k.
+        sys.add_ann(SetExpr::proj(o, 0, y), SetExpr::var(z), fk)
+            .unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(z, c), vec![fk]);
+    }
+
+    #[test]
+    fn online_solving_is_incremental() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y) = (sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.solve();
+        assert!(sys.lower_bound_annotations(y, c).is_empty());
+        sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(y, c), vec![fg]);
+    }
+
+    #[test]
+    fn contravariant_epsilon_flows_reversed() {
+        let (mut sys, _, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let f = sys.constructor("f", &[Variance::Contravariant]);
+        let (a, b, x) = (sys.var("A"), sys.var("B"), sys.var("X"));
+        sys.add(SetExpr::cons(c, []), SetExpr::var(b)).unwrap();
+        sys.add(SetExpr::cons_vars(f, [a]), SetExpr::var(x))
+            .unwrap();
+        sys.add(SetExpr::var(x), SetExpr::cons_vars(f, [b]))
+            .unwrap();
+        sys.solve();
+        // Contravariance: B flows into A.
+        assert_eq!(sys.lower_bound_annotations(a, c).len(), 1);
+        assert!(sys.is_consistent());
+    }
+
+    #[test]
+    fn contravariant_annotated_is_a_clash() {
+        let (mut sys, g, _) = one_bit_system();
+        let f = sys.constructor("f", &[Variance::Contravariant]);
+        let (a, b, x) = (sys.var("A"), sys.var("B"), sys.var("X"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons_vars(f, [a]), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add(SetExpr::var(x), SetExpr::cons_vars(f, [b]))
+            .unwrap();
+        sys.solve();
+        assert!(matches!(
+            sys.clashes()[0],
+            Clash::ContravariantAnnotated { .. }
+        ));
+    }
+
+    #[test]
+    fn arity_and_projection_validation() {
+        let (mut sys, _, _) = one_bit_system();
+        let pair = sys.constructor("pair", &[Variance::Covariant, Variance::Covariant]);
+        let x = sys.var("X");
+        let err = sys
+            .add(SetExpr::cons_vars(pair, [x]), SetExpr::var(x))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+        let err = sys
+            .add(SetExpr::proj(pair, 2, x), SetExpr::var(x))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::ProjectionIndex { .. }));
+        let err = sys
+            .add(SetExpr::var(x), SetExpr::proj(pair, 0, x))
+            .unwrap_err();
+        assert_eq!(err, CoreError::ProjectionOnRight);
+    }
+
+    #[test]
+    fn per_variable_bounds_respect_section_4() {
+        // §4: each variable has at most n·|F_M^≡| lower and upper bounds,
+        // where n counts the distinct source/sink expressions.
+        let (mut sys, g, k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let vars: Vec<VarId> = (0..12).map(|i| sys.var(&format!("v{i}"))).collect();
+        let fg = sys.algebra_mut().word(&[g]);
+        let fk = sys.algebra_mut().word(&[k]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(vars[0]), fg)
+            .unwrap();
+        for i in 0..vars.len() {
+            for j in 0..vars.len() {
+                if i != j && (i + j) % 3 == 0 {
+                    let ann = if i % 2 == 0 { fg } else { fk };
+                    sys.add_ann(SetExpr::var(vars[i]), SetExpr::var(vars[j]), ann)
+                        .unwrap();
+                }
+            }
+        }
+        sys.solve();
+        let stats = sys.stats();
+        let f_bound = sys.algebra().len();
+        // One source expression: per-variable lower bounds ≤ 1·|F|.
+        assert!(
+            stats.max_lower_bounds_per_var <= f_bound,
+            "{} > {}",
+            stats.max_lower_bounds_per_var,
+            f_bound
+        );
+    }
+
+    #[test]
+    fn solved_form_renders_the_papers_notation() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let o = sys.constructor("o", &[Variance::Covariant]);
+        let (w, x, y) = (sys.var("W"), sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        sys.add(SetExpr::cons_vars(o, [w]), SetExpr::var(x))
+            .unwrap();
+        sys.add(SetExpr::proj(o, 0, x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        let rendered = sys.render_solved_form();
+        assert!(rendered.contains("c ⊆^"), "{rendered}");
+        assert!(rendered.contains("o(W) ⊆ X"), "{rendered}");
+        assert!(
+            rendered.contains("W ⊆"),
+            "derived edge from projection: {rendered}"
+        );
+    }
+
+    #[test]
+    fn useless_annotations_are_pruned() {
+        // L = g exactly: annotation gg is a substring of no word and must
+        // be dropped by the solver.
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let m = rasc_automata::Regex::parse("g", &sigma)
+            .unwrap()
+            .compile(&sigma);
+        let mut sys = System::new(MonoidAlgebra::new(&m));
+        let c = sys.constructor("c", &[]);
+        let (x, y) = (sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add_ann(SetExpr::var(x), SetExpr::var(y), fg).unwrap();
+        sys.solve();
+        assert!(
+            sys.lower_bound_annotations(y, c).is_empty(),
+            "gg cannot extend to a word of L(M) and is pruned"
+        );
+    }
+}

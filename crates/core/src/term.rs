@@ -1,0 +1,134 @@
+//! Constructors and annotated ground terms.
+
+use std::fmt;
+
+use crate::algebra::AnnId;
+
+/// An interned constructor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConsId(pub(crate) u32);
+
+impl ConsId {
+    /// The constructor's index within its system.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The variance of a constructor argument position.
+///
+/// The paper's applications use covariant constructors exclusively; we
+/// support contravariant positions (as BANSHEE's Set sort does) for
+/// ε-annotated constraints only — the paper does not define annotation
+/// propagation through contravariant positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variance {
+    /// Flow through this position preserves direction.
+    #[default]
+    Covariant,
+    /// Flow through this position reverses direction.
+    Contravariant,
+}
+
+/// A constructor declaration: name plus argument variances (the arity is
+/// the signature's length).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constructor {
+    pub(crate) name: String,
+    pub(crate) signature: Vec<Variance>,
+}
+
+impl Constructor {
+    /// The constructor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The constructor's arity.
+    pub fn arity(&self) -> usize {
+        self.signature.len()
+    }
+
+    /// The variance of each argument position.
+    pub fn signature(&self) -> &[Variance] {
+        &self.signature
+    }
+}
+
+/// An annotated ground term `c^f(t₁, …, t_k)` — an element of the paper's
+/// domain `T^{M^sub}`, produced by the query phase (e.g. witness stacks and
+/// least-solution enumeration).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroundTerm {
+    /// The root constructor.
+    pub cons: ConsId,
+    /// The root annotation (a representative-function class).
+    pub ann: AnnId,
+    /// Component terms.
+    pub args: Vec<GroundTerm>,
+}
+
+impl GroundTerm {
+    /// A constant (nullary) term.
+    pub fn constant(cons: ConsId, ann: AnnId) -> GroundTerm {
+        GroundTerm {
+            cons,
+            ann,
+            args: Vec::new(),
+        }
+    }
+
+    /// The term's depth (a constant has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.args.iter().map(GroundTerm::depth).max().unwrap_or(0)
+    }
+
+    /// The number of constructor occurrences in the term.
+    pub fn size(&self) -> usize {
+        1 + self.args.iter().map(GroundTerm::size).sum::<usize>()
+    }
+}
+
+impl fmt::Display for GroundTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}^a{}", self.cons.0, self.ann.0)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_and_size() {
+        let c = ConsId(0);
+        let a = AnnId(0);
+        let leaf = GroundTerm::constant(c, a);
+        assert_eq!(leaf.depth(), 1);
+        assert_eq!(leaf.size(), 1);
+        let t = GroundTerm {
+            cons: c,
+            ann: a,
+            args: vec![leaf.clone(), leaf],
+        };
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.size(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let t = GroundTerm::constant(ConsId(1), AnnId(2));
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,168 @@
+//! The classical iterative worklist baseline (context-insensitive).
+
+use std::collections::VecDeque;
+
+use rasc_cfgir::{Cfg, CfgError, EdgeLabel, NodeId};
+
+use crate::spec::GenKillSpec;
+
+/// A context-*insensitive* forward may-analysis: the standard worklist
+/// algorithm over the CFG with call and return edges treated as plain
+/// control flow.
+///
+/// Serves two roles: a cross-validation oracle (its result is always a
+/// superset of [`crate::ConstraintDataflow`]'s, with equality on call-free
+/// programs) and the classical-baseline column for benchmarks.
+#[derive(Debug)]
+pub struct IterativeDataflow {
+    /// `(from, to, gen, kill)` edges.
+    edges: Vec<(u32, u32, u64, u64)>,
+    /// Outgoing edge indices per node.
+    out: Vec<Vec<u32>>,
+    entry_node: NodeId,
+    facts: Vec<u64>,
+    reachable: Vec<bool>,
+}
+
+impl IterativeDataflow {
+    /// Builds the analysis for `spec` over `cfg`, starting at `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CfgError::MissingEntry`] if `entry` is missing.
+    pub fn new(cfg: &Cfg, spec: &GenKillSpec, entry: &str) -> Result<IterativeDataflow, CfgError> {
+        let entry_node = cfg.entry(entry)?.entry;
+        let mut edges = Vec::new();
+        for (from, to, label) in cfg.edges() {
+            let (g, k) = match label {
+                EdgeLabel::Plain => (0, 0),
+                EdgeLabel::Event { name, .. } => spec.effect(name).unwrap_or((0, 0)),
+            };
+            edges.push((from.index() as u32, to.index() as u32, g, k));
+        }
+        for site in cfg.call_sites() {
+            let callee = &cfg.functions()[site.callee.index()];
+            edges.push((
+                site.call_node.index() as u32,
+                callee.entry.index() as u32,
+                0,
+                0,
+            ));
+            edges.push((
+                callee.exit.index() as u32,
+                site.return_node.index() as u32,
+                0,
+                0,
+            ));
+        }
+        let mut out = vec![Vec::new(); cfg.num_nodes()];
+        for (i, &(from, _, _, _)) in edges.iter().enumerate() {
+            out[from as usize].push(i as u32);
+        }
+        Ok(IterativeDataflow {
+            edges,
+            out,
+            entry_node,
+            facts: Vec::new(),
+            reachable: Vec::new(),
+        })
+    }
+
+    /// Runs the worklist to a fixpoint with the given initial facts at the
+    /// entry.
+    pub fn solve(&mut self, init: u64) {
+        let n = self.out.len();
+        let mut facts = vec![0u64; n];
+        let mut reach = vec![false; n];
+        facts[self.entry_node.index()] = init;
+        reach[self.entry_node.index()] = true;
+        let mut worklist = VecDeque::from([self.entry_node.index() as u32]);
+        while let Some(node) = worklist.pop_front() {
+            for &e in &self.out[node as usize] {
+                let (_, to, g, k) = self.edges[e as usize];
+                let transferred = (facts[node as usize] & !k) | g;
+                let merged = facts[to as usize] | transferred;
+                if merged != facts[to as usize] || !reach[to as usize] {
+                    facts[to as usize] = merged;
+                    reach[to as usize] = true;
+                    worklist.push_back(to);
+                }
+            }
+        }
+        self.facts = facts;
+        self.reachable = reach;
+    }
+
+    /// The facts that may hold at a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`IterativeDataflow::solve`].
+    pub fn facts_at(&self, n: NodeId) -> u64 {
+        assert!(!self.facts.is_empty(), "call solve() first");
+        self.facts[n.index()]
+    }
+
+    /// Whether the node was reached.
+    pub fn reachable(&self, n: NodeId) -> bool {
+        self.reachable.get(n.index()).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasc_cfgir::Program;
+
+    fn setup(src: &str) -> (Cfg, GenKillSpec) {
+        let cfg = Cfg::build(&Program::parse(src).unwrap()).unwrap();
+        let mut spec = GenKillSpec::new();
+        let x = spec.fact("x");
+        let y = spec.fact("y");
+        spec.event("def_x", &[x], &[]);
+        spec.event("kill_x", &[], &[x]);
+        spec.event("def_y", &[y], &[]);
+        (cfg, spec)
+    }
+
+    #[test]
+    fn agrees_with_hand_computation() {
+        let (cfg, spec) = setup(
+            "fn main() { a: event def_x; if (*) { event kill_x; } m: event def_y; n: skip; }",
+        );
+        let mut df = IterativeDataflow::new(&cfg, &spec, "main").unwrap();
+        df.solve(0);
+        assert_eq!(df.facts_at(cfg.label_after("a").unwrap()), 0b01);
+        // At m: x may or may not have been killed ⇒ may-facts contain x.
+        assert_eq!(df.facts_at(cfg.label_node("m").unwrap()), 0b01);
+        assert_eq!(df.facts_at(cfg.label_after("m").unwrap()), 0b11);
+    }
+
+    #[test]
+    fn context_insensitive_imprecision_demonstrated() {
+        // The exact scenario where the constraint-based engine is more
+        // precise: the iterative engine leaks x through f's second return.
+        let (cfg, spec) = setup(
+            "fn f() { skip; }
+             fn main() {
+                 event def_x; f(); event kill_x; f(); q: skip;
+             }",
+        );
+        let mut df = IterativeDataflow::new(&cfg, &spec, "main").unwrap();
+        df.solve(0);
+        assert_eq!(
+            df.facts_at(cfg.label_node("q").unwrap()) & 1,
+            1,
+            "context-insensitive: x flows through the merged return"
+        );
+    }
+
+    #[test]
+    fn initial_facts_propagate() {
+        let (cfg, spec) = setup("fn main() { p: event kill_x; q: skip; }");
+        let mut df = IterativeDataflow::new(&cfg, &spec, "main").unwrap();
+        df.solve(0b11);
+        assert_eq!(df.facts_at(cfg.label_node("p").unwrap()), 0b11);
+        assert_eq!(df.facts_at(cfg.label_after("p").unwrap()), 0b10);
+    }
+}

@@ -1,0 +1,87 @@
+//! Gen/kill analysis specifications.
+
+use std::collections::HashMap;
+
+/// A bit-vector analysis specification: named facts (at most 64) and the
+/// gen/kill effect of each MiniImp event.
+///
+/// Events not mentioned have no effect (identity transfer).
+#[derive(Debug, Clone, Default)]
+pub struct GenKillSpec {
+    facts: Vec<String>,
+    events: HashMap<String, (u64, u64)>,
+}
+
+impl GenKillSpec {
+    /// An empty specification.
+    pub fn new() -> GenKillSpec {
+        GenKillSpec::default()
+    }
+
+    /// Declares (or looks up) a fact, returning its bit index.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 64 facts are declared.
+    pub fn fact(&mut self, name: &str) -> usize {
+        if let Some(i) = self.facts.iter().position(|f| f == name) {
+            return i;
+        }
+        assert!(self.facts.len() < 64, "at most 64 dataflow facts");
+        self.facts.push(name.to_owned());
+        self.facts.len() - 1
+    }
+
+    /// Number of declared facts.
+    pub fn num_facts(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// The name of a fact.
+    pub fn fact_name(&self, i: usize) -> &str {
+        &self.facts[i]
+    }
+
+    /// Declares the effect of an event: it *gens* the facts in `gens` and
+    /// *kills* those in `kills`.
+    pub fn event(&mut self, name: &str, gens: &[usize], kills: &[usize]) -> &mut Self {
+        let gen_mask = gens.iter().fold(0u64, |m, &i| m | (1 << i));
+        let kill_mask = kills.iter().fold(0u64, |m, &i| m | (1 << i));
+        let entry = self.events.entry(name.to_owned()).or_insert((0, 0));
+        entry.0 |= gen_mask;
+        entry.1 |= kill_mask;
+        self
+    }
+
+    /// The `(gen, kill)` masks of an event, if it is relevant.
+    pub fn effect(&self, event: &str) -> Option<(u64, u64)> {
+        self.events.get(event).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_are_interned() {
+        let mut spec = GenKillSpec::new();
+        let x = spec.fact("x");
+        let y = spec.fact("y");
+        assert_ne!(x, y);
+        assert_eq!(spec.fact("x"), x);
+        assert_eq!(spec.num_facts(), 2);
+        assert_eq!(spec.fact_name(y), "y");
+    }
+
+    #[test]
+    fn effects_accumulate() {
+        let mut spec = GenKillSpec::new();
+        let x = spec.fact("x");
+        let y = spec.fact("y");
+        spec.event("e", &[x], &[]);
+        spec.event("e", &[], &[y]);
+        assert_eq!(spec.effect("e"), Some((1 << x, 1 << y)));
+        assert_eq!(spec.effect("other"), None);
+    }
+}

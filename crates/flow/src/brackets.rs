@@ -1,0 +1,181 @@
+//! Bracket-annotation automata (paper §7.2.2, Figure 10).
+//!
+//! Type-constructor matching uses annotations `[ᵢ_π` (the value becomes
+//! component `i` of a pair of type `π`) and `]ᵢ_π` (component `i` is
+//! projected out of a `π` pair). Without recursive types an open bracket
+//! cannot be followed by the *same* open before its close, so the matched
+//! language — though it looks context-free — is bounded by the nesting
+//! depth of the program's largest type and is regular.
+//!
+//! The automaton's states are valid *open chains*: stacks of `(i, π)`
+//! where each enclosing pair type contains the previous one at the opened
+//! position. The empty chain is the single accepting state (balanced
+//! words). For the paper's "single level pairs" (Figure 10) this yields
+//! exactly start + one state per (component, pair) + dead.
+
+use std::collections::HashMap;
+
+use rasc_automata::{Alphabet, Dfa, StateId, SymbolId};
+
+use crate::types::{TypeId, TypeTable};
+
+/// The bracket-annotation language of a program's types.
+#[derive(Debug, Clone)]
+pub(crate) struct BracketLang {
+    /// The matched-bracket DFA (complete; accepting = balanced).
+    pub dfa: Dfa,
+    opens: HashMap<(usize, TypeId), SymbolId>,
+    closes: HashMap<(usize, TypeId), SymbolId>,
+}
+
+impl BracketLang {
+    /// Builds the bracket language for all pair types in `table`.
+    pub fn build(table: &TypeTable) -> BracketLang {
+        let mut sigma = Alphabet::new();
+        let mut opens = HashMap::new();
+        let mut closes = HashMap::new();
+        let pairs: Vec<TypeId> = table.pairs().collect();
+        for &pi in &pairs {
+            for i in 0..2 {
+                opens.insert(
+                    (i, pi),
+                    sigma.intern(&format!("open{}_t{}", i + 1, pi.index())),
+                );
+                closes.insert(
+                    (i, pi),
+                    sigma.intern(&format!("close{}_t{}", i + 1, pi.index())),
+                );
+            }
+        }
+
+        // States: valid open chains, discovered by BFS from the empty
+        // chain. A chain `…(i, π)` means the tracked value is currently a
+        // component at position `i` of a `π`-pair; a further open `(j, π')`
+        // is valid when `π'_j = π`.
+        let mut chains: Vec<Vec<(usize, TypeId)>> = vec![Vec::new()];
+        let mut chain_ids: HashMap<Vec<(usize, TypeId)>, usize> = HashMap::new();
+        chain_ids.insert(Vec::new(), 0);
+        let mut dfa = Dfa::new(sigma.len());
+        let s0 = dfa.add_state(true); // empty chain: balanced
+        let dead = dfa.add_state(false);
+        for sym in sigma.symbols() {
+            dfa.set_transition(dead, sym, dead);
+        }
+        dfa.set_start(s0);
+        let mut dfa_states: Vec<StateId> = vec![s0];
+
+        let mut i = 0;
+        while i < chains.len() {
+            let chain = chains[i].clone();
+            let state = dfa_states[i];
+            for &pi in &pairs {
+                for comp in 0..2 {
+                    let open = opens[&(comp, pi)];
+                    let close = closes[&(comp, pi)];
+                    // Open (comp, π): valid if the chain is empty (any
+                    // origin) or π's component matches the current pair.
+                    let open_valid = match chain.last() {
+                        None => true,
+                        Some(&(_, cur)) => table.component(pi, comp) == Some(cur),
+                    };
+                    if open_valid {
+                        let mut next = chain.clone();
+                        next.push((comp, pi));
+                        let idx = *chain_ids.entry(next.clone()).or_insert_with(|| {
+                            chains.push(next);
+                            dfa_states.push(dfa.add_state(false));
+                            chains.len() - 1
+                        });
+                        dfa.set_transition(state, open, dfa_states[idx]);
+                    } else {
+                        dfa.set_transition(state, open, dead);
+                    }
+                    // Close (comp, π): pops a matching open.
+                    match chain.last() {
+                        Some(&(c, p)) if c == comp && p == pi => {
+                            let prev = &chain[..chain.len() - 1];
+                            let idx = chain_ids[prev];
+                            dfa.set_transition(state, close, dfa_states[idx]);
+                        }
+                        _ => dfa.set_transition(state, close, dead),
+                    }
+                }
+            }
+            i += 1;
+        }
+        BracketLang { dfa, opens, closes }
+    }
+
+    /// The `[ᵢ_π` symbol.
+    pub fn open(&self, component: usize, pair: TypeId) -> SymbolId {
+        self.opens[&(component, pair)]
+    }
+
+    /// The `]ᵢ_π` symbol.
+    pub fn close(&self, component: usize, pair: TypeId) -> SymbolId {
+        self.closes[&(component, pair)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Type;
+
+    fn single_level() -> (TypeTable, BracketLang, TypeId) {
+        let mut table = TypeTable::new();
+        let pi = table.intern(&Type::Pair(Box::new(Type::Int), Box::new(Type::Int)));
+        let lang = BracketLang::build(&table);
+        (table, lang, pi)
+    }
+
+    #[test]
+    fn figure_10_shape() {
+        // Largest type pair(int): start + [1-open + [2-open + dead = 4.
+        let (_, lang, _) = single_level();
+        assert_eq!(lang.dfa.len(), 4);
+        assert_eq!(lang.dfa.alphabet_len(), 4);
+    }
+
+    #[test]
+    fn balanced_words_accepted() {
+        let (_, lang, pi) = single_level();
+        let o1 = lang.open(0, pi);
+        let c1 = lang.close(0, pi);
+        let o2 = lang.open(1, pi);
+        let c2 = lang.close(1, pi);
+        assert!(lang.dfa.accepts(&[]));
+        assert!(lang.dfa.accepts(&[o1, c1]));
+        assert!(lang.dfa.accepts(&[o2, c2, o1, c1]));
+        assert!(!lang.dfa.accepts(&[o1, c2]), "mismatched component");
+        assert!(!lang.dfa.accepts(&[o1]), "unclosed");
+        assert!(!lang.dfa.accepts(&[c1, o1]), "close before open");
+    }
+
+    #[test]
+    fn nested_types_allow_nested_brackets() {
+        let mut table = TypeTable::new();
+        let inner = Type::Pair(Box::new(Type::Int), Box::new(Type::Int));
+        let outer = Type::Pair(Box::new(inner.clone()), Box::new(Type::Int));
+        let inner_id = table.intern(&inner);
+        let outer_id = table.intern(&outer);
+        let lang = BracketLang::build(&table);
+        // A value enters an inner pair (component 2), which enters the
+        // outer pair (component 1): [2_inner [1_outer ]1_outer ]2_inner.
+        let word = [
+            lang.open(1, inner_id),
+            lang.open(0, outer_id),
+            lang.close(0, outer_id),
+            lang.close(1, inner_id),
+        ];
+        assert!(lang.dfa.accepts(&word));
+        // The inner pair cannot directly become component 2 of the outer
+        // pair (outer's second component is int).
+        let bad = [lang.open(1, inner_id), lang.open(1, outer_id)];
+        assert_eq!(
+            lang.dfa.run_from(lang.dfa.start().unwrap(), &bad),
+            Some(rasc_automata::StateId::from_index(1)),
+            "invalid nesting goes to the dead state"
+        );
+    }
+}

@@ -1,0 +1,490 @@
+//! The CFG → annotated-constraints encoding and the violation scan.
+
+use std::fmt;
+
+use rasc_automata::{Alphabet, Dfa, PropertySpec};
+use rasc_cfgir::{Cfg, CfgError, EdgeLabel, NodeId};
+use rasc_core::algebra::{Algebra, AnnId, MonoidAlgebra, SubstAlgebra};
+use rasc_core::{ConsId, OccurrenceWitness, SetExpr, SolverConfig, System, VarId, Variance};
+
+/// Errors from building a constraint checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// The CFG lacks the requested entry function.
+    Cfg(CfgError),
+    /// A constraint was malformed (indicates a bug in the encoder).
+    Core(rasc_core::CoreError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Cfg(e) => write!(f, "{e}"),
+            CheckError::Core(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<CfgError> for CheckError {
+    fn from(e: CfgError) -> Self {
+        CheckError::Cfg(e)
+    }
+}
+
+impl From<rasc_core::CoreError> for CheckError {
+    fn from(e: rasc_core::CoreError) -> Self {
+        CheckError::Core(e)
+    }
+}
+
+/// A pushdown model checker built on regularly annotated set constraints.
+///
+/// Construct with [`ConstraintChecker::from_spec`] (plain or parametric —
+/// chosen automatically) or the explicit
+/// [`ConstraintChecker::new`] / [`ConstraintChecker::parametric`]; then
+/// [`solve`](ConstraintChecker::solve) and query.
+#[derive(Debug)]
+pub struct ConstraintChecker<A: Algebra> {
+    sys: System<A>,
+    node_vars: Vec<VarId>,
+    pc: ConsId,
+    /// Per-call-site constructors `o_i`, for rendering witnesses.
+    site_names: Vec<String>,
+}
+
+/// A checker over the plain transition-monoid algebra.
+pub type PlainChecker = ConstraintChecker<MonoidAlgebra>;
+/// A checker over the parametric substitution-environment algebra.
+pub type ParametricChecker = ConstraintChecker<SubstAlgebra>;
+
+impl ConstraintChecker<MonoidAlgebra> {
+    /// Builds the checker for a non-parametric property DFA over alphabet
+    /// `sigma`, starting at function `entry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Cfg`] if `entry` is missing.
+    pub fn new(
+        cfg: &Cfg,
+        sigma: &Alphabet,
+        property: &Dfa,
+        entry: &str,
+    ) -> Result<Self, CheckError> {
+        let algebra = MonoidAlgebra::new(property);
+        build(cfg, entry, algebra, |alg, name, _args| {
+            sigma.lookup(name).map(|sym| alg.symbol(sym))
+        })
+    }
+
+    /// Like [`ConstraintChecker::new`] with explicit solver configuration
+    /// (for the optimization-ablation benchmarks).
+    pub fn new_with_config(
+        cfg: &Cfg,
+        sigma: &Alphabet,
+        property: &Dfa,
+        entry: &str,
+        config: SolverConfig,
+    ) -> Result<Self, CheckError> {
+        let algebra = MonoidAlgebra::new(property);
+        build_with_config(cfg, entry, algebra, config, |alg, name, _args| {
+            sigma.lookup(name).map(|sym| alg.symbol(sym))
+        })
+    }
+}
+
+impl ConstraintChecker<SubstAlgebra> {
+    /// Builds the checker for a *parametric* property (§6.4): events carry
+    /// parameter-value labels (`event open(fd1)`), and annotations are
+    /// substitution environments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Cfg`] if `entry` is missing.
+    pub fn parametric(cfg: &Cfg, spec: &PropertySpec, entry: &str) -> Result<Self, CheckError> {
+        let (sigma, dfa) = spec.compile();
+        let mut algebra = SubstAlgebra::new(&dfa);
+        // Pre-intern the declared parameters of each symbol.
+        let symbol_params: Vec<(String, Vec<rasc_core::algebra::ParamId>)> = {
+            let params = spec.symbol_params();
+            let mut v = Vec::new();
+            for (name, ps) in params {
+                let ids = ps.iter().map(|p| algebra.param(p)).collect();
+                v.push((name.to_owned(), ids));
+            }
+            v
+        };
+        build(cfg, entry, algebra, move |alg, name, args| {
+            let sym = sigma.lookup(name)?;
+            let (_, param_ids) = symbol_params.iter().find(|(n, _)| n == name)?;
+            if param_ids.is_empty() || args.is_empty() {
+                return Some(alg.plain(sym));
+            }
+            // Pair declared parameters with the event's value labels.
+            let pairs: Vec<_> = param_ids
+                .iter()
+                .zip(args)
+                .map(|(&p, label)| (p, alg.label(label)))
+                .collect();
+            Some(alg.instantiate(sym, &pairs))
+        })
+    }
+}
+
+/// Builds a checker from a property spec, choosing the plain or parametric
+/// algebra automatically.
+impl ConstraintChecker<MonoidAlgebra> {
+    /// Builds a plain checker from a [`PropertySpec`] (which must be
+    /// non-parametric; use [`ConstraintChecker::parametric`] otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckError::Cfg`] if `entry` is missing.
+    pub fn from_spec(cfg: &Cfg, spec: &PropertySpec, entry: &str) -> Result<Self, CheckError> {
+        let (sigma, dfa) = spec.compile();
+        Self::new(cfg, &sigma, &dfa, entry)
+    }
+}
+
+fn build<A: Algebra>(
+    cfg: &Cfg,
+    entry: &str,
+    algebra: A,
+    event_ann: impl FnMut(&mut A, &str, &[String]) -> Option<AnnId>,
+) -> Result<ConstraintChecker<A>, CheckError> {
+    build_with_config(cfg, entry, algebra, SolverConfig::default(), event_ann)
+}
+
+fn build_with_config<A: Algebra>(
+    cfg: &Cfg,
+    entry: &str,
+    algebra: A,
+    config: SolverConfig,
+    mut event_ann: impl FnMut(&mut A, &str, &[String]) -> Option<AnnId>,
+) -> Result<ConstraintChecker<A>, CheckError> {
+    let entry_node = cfg.entry(entry)?.entry;
+    let mut sys = System::with_config(algebra, config);
+    let node_vars: Vec<VarId> = (0..cfg.num_nodes())
+        .map(|i| sys.var(&format!("S{i}")))
+        .collect();
+    let pc = sys.constructor("pc", &[]);
+
+    // pc ⊆ S_main.
+    sys.add(
+        SetExpr::cons(pc, []),
+        SetExpr::var(node_vars[entry_node.index()]),
+    )?;
+
+    // Statement edges.
+    for (from, to, label) in cfg.edges() {
+        let ann = match label {
+            EdgeLabel::Plain => None,
+            EdgeLabel::Event { name, args } => event_ann(sys.algebra_mut(), name, args),
+        };
+        let lhs = SetExpr::var(node_vars[from.index()]);
+        let rhs = SetExpr::var(node_vars[to.index()]);
+        match ann {
+            Some(a) => sys.add_ann(lhs, rhs, a)?,
+            None => sys.add(lhs, rhs)?,
+        }
+    }
+
+    // Call/return matching via per-site constructors.
+    let mut site_names = Vec::new();
+    for site in cfg.call_sites() {
+        let callee = &cfg.functions()[site.callee.index()];
+        let name = format!("o{}", site.id.index());
+        let o_i = sys.constructor(&name, &[Variance::Covariant]);
+        site_names.push(name);
+        sys.add(
+            SetExpr::cons_vars(o_i, [node_vars[site.call_node.index()]]),
+            SetExpr::var(node_vars[callee.entry.index()]),
+        )?;
+        sys.add(
+            SetExpr::proj(o_i, 0, node_vars[callee.exit.index()]),
+            SetExpr::var(node_vars[site.return_node.index()]),
+        )?;
+    }
+
+    Ok(ConstraintChecker {
+        sys,
+        node_vars,
+        pc,
+        site_names,
+    })
+}
+
+impl<A: Algebra> ConstraintChecker<A> {
+    /// Runs constraint resolution to a fixpoint.
+    pub fn solve(&mut self) {
+        self.sys.solve();
+    }
+
+    /// The set variable of a CFG node.
+    pub fn node_var(&self, n: NodeId) -> VarId {
+        self.node_vars[n.index()]
+    }
+
+    /// All program points where `pc` occurs (at any depth) with an
+    /// *accepting* annotation — the reachable error configurations.
+    ///
+    /// Uses the single-pass bottom-up occurrence map rather than one
+    /// entailment per node.
+    pub fn violations(&mut self) -> Vec<NodeId> {
+        let occ = self.sys.constant_occurrence_map(self.pc);
+        let mut out = Vec::new();
+        for (node, &var) in self.node_vars.iter().enumerate() {
+            if occ[var.index()]
+                .iter()
+                .any(|&a| self.sys.algebra().is_accepting(a))
+            {
+                out.push(NodeId::from_index(node));
+            }
+        }
+        out
+    }
+
+    /// Whether any violation exists.
+    pub fn violated(&mut self) -> bool {
+        !self.violations().is_empty()
+    }
+
+    /// Like [`ConstraintChecker::violations`] but along *PN paths*
+    /// (§6.2's partially matched reachability): the `pc` may additionally
+    /// have escaped through returns not matched by a call on the path.
+    /// Acceptance still requires an error-state annotation.
+    ///
+    /// For whole-program checking from `main` this coincides with
+    /// [`ConstraintChecker::violations`] (every frame was entered by a
+    /// call); it differs when analyzing libraries or code fragments whose
+    /// callers are unknown.
+    pub fn violations_pn(&mut self) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        for node in 0..self.node_vars.len() {
+            let var = self.node_vars[node];
+            let anns = self.sys.pn_occurrence_annotations(var, self.pc);
+            if anns.iter().any(|&a| self.sys.algebra().is_accepting(a)) {
+                out.push(NodeId::from_index(node));
+            }
+        }
+        out
+    }
+
+    /// The annotations with which `pc` occurs at a node (the property
+    /// states the program point can be in).
+    pub fn pc_annotations(&mut self, n: NodeId) -> Vec<AnnId> {
+        let var = self.node_vars[n.index()];
+        self.sys.occurrence_annotations(var, self.pc)
+    }
+
+    /// A witness for a violation at `n`: the call-site constructor stack
+    /// (a possible runtime stack) plus the accepting annotation.
+    pub fn witness(&mut self, n: NodeId) -> Option<OccurrenceWitness> {
+        let var = self.node_vars[n.index()];
+        self.sys.occurrence_witness(var, self.pc)
+    }
+
+    /// Renders a witness's stack of call sites for diagnostics.
+    pub fn render_witness(&self, w: &OccurrenceWitness) -> String {
+        let frames: Vec<&str> = w
+            .stack
+            .iter()
+            .map(|c| self.sys.constructor_decl(*c).name())
+            .collect();
+        if frames.is_empty() {
+            "<main>".to_owned()
+        } else {
+            format!("<main> {}", frames.join(" "))
+        }
+    }
+
+    /// The underlying constraint system.
+    pub fn system(&self) -> &System<A> {
+        &self.sys
+    }
+
+    /// Mutable access to the underlying system (for ad-hoc queries).
+    pub fn system_mut(&mut self) -> &mut System<A> {
+        &mut self.sys
+    }
+
+    /// Number of call sites encoded.
+    pub fn num_call_sites(&self) -> usize {
+        self.site_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+    use rasc_cfgir::Program;
+
+    fn plain_check(src: &str) -> (Cfg, PlainChecker) {
+        let cfg = Cfg::build(&Program::parse(src).unwrap()).unwrap();
+        let spec = PropertySpec::parse(properties::SIMPLE_PRIVILEGE).unwrap();
+        let checker = ConstraintChecker::from_spec(&cfg, &spec, "main").unwrap();
+        (cfg, checker)
+    }
+
+    #[test]
+    fn section_6_3_example_exact() {
+        // The paper's §6.3 program: the else path keeps privileges.
+        let (cfg, mut checker) = plain_check(
+            "fn main() {
+                s1: event seteuid_zero;
+                if (*) { s3: event seteuid_nonzero; } else { s4: skip; }
+                s5: event execl;
+                s6: skip;
+            }",
+        );
+        checker.solve();
+        let violations = checker.violations();
+        let s6 = cfg.label_node("s6").unwrap();
+        assert!(violations.contains(&s6), "pc^f_error ∈ S6");
+        // Before the execl there is no violation yet.
+        let s5 = cfg.label_node("s5").unwrap();
+        assert!(!violations.contains(&s5));
+    }
+
+    #[test]
+    fn dropping_on_all_paths_is_safe() {
+        let (_, mut checker) = plain_check(
+            "fn main() {
+                event seteuid_zero;
+                if (*) { event seteuid_nonzero; } else { event seteuid_nonzero; }
+                event execl;
+            }",
+        );
+        checker.solve();
+        assert!(!checker.violated());
+    }
+
+    #[test]
+    fn interprocedural_with_witness_stack() {
+        let (cfg, mut checker) = plain_check(
+            "fn doexec() { e: event execl; done: skip; }
+             fn main() { event seteuid_zero; doexec(); }",
+        );
+        checker.solve();
+        let after = cfg.label_node("done").unwrap();
+        let w = checker.witness(after).expect("violation inside callee");
+        assert_eq!(w.stack.len(), 1, "one unreturned frame: the doexec call");
+        assert!(checker.render_witness(&w).contains("o0"));
+    }
+
+    #[test]
+    fn context_sensitive_no_false_positive() {
+        // Calling doexec only after dropping privileges; a
+        // context-insensitive treatment of the call would merge contexts.
+        let (_, mut checker) = plain_check(
+            "fn doexec() { event execl; }
+             fn main() {
+                 event seteuid_zero;
+                 event seteuid_nonzero;
+                 doexec();
+             }",
+        );
+        checker.solve();
+        assert!(!checker.violated());
+    }
+
+    #[test]
+    fn two_contexts_distinguished() {
+        // doexec is called privileged at one site and unprivileged at the
+        // other; matching returns must not leak privilege across sites.
+        let (cfg, mut checker) = plain_check(
+            "fn doexec() { skip; }
+             fn main() {
+                 event seteuid_zero;
+                 doexec();
+                 event seteuid_nonzero;
+                 doexec();
+                 after: event execl;
+                 end: skip;
+             }",
+        );
+        checker.solve();
+        let end = cfg.label_node("end").unwrap();
+        assert!(
+            !checker.violations().contains(&end),
+            "privilege was dropped before the exec"
+        );
+    }
+
+    #[test]
+    fn recursion_terminates_and_detects() {
+        let (_, mut checker) = plain_check(
+            "fn rec() { if (*) { rec(); } else { event execl; } }
+             fn main() { event seteuid_zero; rec(); }",
+        );
+        checker.solve();
+        assert!(checker.violated());
+    }
+
+    #[test]
+    fn pn_violations_match_matched_violations_from_main() {
+        // Whole-program checking from main: every frame on a path was
+        // entered by a call, so PN adds nothing.
+        let (_, mut checker) = plain_check(
+            "fn deep() { event execl; }
+             fn mid() { deep(); }
+             fn main() { event seteuid_zero; if (*) { mid(); } }",
+        );
+        checker.solve();
+        let matched = checker.violations();
+        let pn = checker.violations_pn();
+        assert_eq!(matched, pn);
+        assert!(!matched.is_empty());
+    }
+
+    #[test]
+    fn chroot_property_end_to_end() {
+        let cfg = Cfg::build(
+            &Program::parse(
+                "fn enter_jail() { event chroot; }
+                 fn main() {
+                     enter_jail();
+                     if (*) { event chdir_root; }
+                     danger: event fs_op;
+                     after: skip;
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let spec = PropertySpec::parse(properties::CHROOT_JAIL).unwrap();
+        let mut checker = ConstraintChecker::from_spec(&cfg, &spec, "main").unwrap();
+        checker.solve();
+        let after = cfg.label_node("after").unwrap();
+        assert!(
+            checker.violations().contains(&after),
+            "the no-chdir branch escapes the jail"
+        );
+    }
+
+    #[test]
+    fn parametric_file_state() {
+        // Figure 6: fd1 closed, fd2 leaked at the end.
+        let src = "fn main() {
+            s1: event open(fd1);
+            s2: event open(fd2);
+            s3: event close(fd1);
+            s4: skip;
+        }";
+        let cfg = Cfg::build(&Program::parse(src).unwrap()).unwrap();
+        let spec = PropertySpec::parse(properties::FILE_STATE).unwrap();
+        let mut checker = ConstraintChecker::parametric(&cfg, &spec, "main").unwrap();
+        checker.solve();
+        let s4 = cfg.label_after("s4").unwrap();
+        let anns = checker.pc_annotations(s4);
+        assert_eq!(anns.len(), 1);
+        let accepting = checker.system().algebra().accepting_instances(anns[0]);
+        assert_eq!(accepting.len(), 1, "exactly one fd still open");
+        let alg = checker.system().algebra();
+        let (key, _) = &accepting[0];
+        let label = *key.values().next().unwrap();
+        assert_eq!(alg.label_name(label), "fd2");
+    }
+}

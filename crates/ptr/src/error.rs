@@ -1,0 +1,55 @@
+//! Error types for the points-to analysis.
+
+use std::fmt;
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, PtrError>;
+
+/// Errors from parsing or analyzing MiniPtr programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtrError {
+    /// Malformed source text.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based source line.
+        line: usize,
+    },
+    /// A call names an undefined function.
+    UnknownFunction(String),
+    /// A call has the wrong number of arguments.
+    ArityMismatch {
+        /// The callee.
+        function: String,
+        /// Declared parameter count.
+        expected: usize,
+        /// Arguments supplied.
+        found: usize,
+    },
+    /// A query named a variable that does not exist (`fn::var`).
+    UnknownVariable(String),
+}
+
+impl fmt::Display for PtrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PtrError::Parse { message, line } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            PtrError::UnknownFunction(name) => write!(f, "call to undefined function `{name}`"),
+            PtrError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` takes {expected} argument(s), got {found}"
+            ),
+            PtrError::UnknownVariable(name) => {
+                write!(f, "unknown variable `{name}` (use the `fn::var` form)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PtrError {}

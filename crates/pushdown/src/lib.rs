@@ -1,0 +1,47 @@
+//! Pushdown systems with `post*`/`pre*` saturation — the direct pushdown
+//! model checker used as the MOPS stand-in baseline (paper §8).
+//!
+//! MOPS models the program as a pushdown automaton (transitions from the
+//! CFG, stack recording unreturned call sites) composed with a property
+//! FSM, and decides reachability of error configurations. The textbook
+//! implementation of that core is *P-automaton saturation*
+//! (Bouajjani–Esparza–Maler; Schwoon's algorithms): the set of reachable
+//! configurations of a pushdown system is regular, and `post*`/`pre*`
+//! saturate a finite automaton that recognizes it.
+//!
+//! * [`Pds`] — pushdown system rules (pop/swap/push normal form);
+//! * [`ConfigAutomaton`] — P-automata over `(control, stack)` configurations;
+//! * [`post_star`] / [`pre_star`] — saturation;
+//! * [`checker`] — the end-to-end model checker on MiniImp CFGs.
+//!
+//! # Example
+//!
+//! ```
+//! use rasc_pushdown::{ConfigAutomaton, Pds, post_star};
+//!
+//! // One control state, stack symbols {a, b}:
+//! // ⟨0, a⟩ → ⟨0, a b⟩ (push), so from ⟨0, a⟩ every ⟨0, a bⁿ⟩ is reachable.
+//! let mut pds = Pds::new(1, 2);
+//! pds.push_rule(0, 0, 0, 0, 1);
+//! let mut init = ConfigAutomaton::new(1);
+//! let f = init.add_state();
+//! init.add_transition(0, 0, f);
+//! init.set_final(f);
+//! let reach = post_star(&pds, &init);
+//! assert!(reach.accepts(0, &[0]));        // ⟨0, a⟩
+//! assert!(reach.accepts(0, &[0, 1, 1]));  // ⟨0, a b b⟩
+//! assert!(!reach.accepts(0, &[1, 0]));    // ⟨0, b a⟩ is not reachable
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+mod pautomaton;
+mod pds;
+mod saturation;
+
+pub use checker::{PdsChecker, Violation};
+pub use pautomaton::ConfigAutomaton;
+pub use pds::{Pds, PdsRule};
+pub use saturation::{post_star, pre_star};

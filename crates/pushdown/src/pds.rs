@@ -1,0 +1,130 @@
+//! Pushdown systems in pop/swap/push normal form.
+
+/// A pushdown rule `⟨p, γ⟩ → ⟨p', w⟩` with `|w| ≤ 2`.
+///
+/// Controls and stack symbols are dense `u32` indices owned by the caller
+/// (the checker uses property-FSM states as controls and CFG nodes as stack
+/// symbols).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PdsRule {
+    /// `⟨p, γ⟩ → ⟨p', ε⟩` — e.g. a function return.
+    Pop {
+        /// Source control.
+        p: u32,
+        /// Top-of-stack symbol consumed.
+        gamma: u32,
+        /// Target control.
+        p2: u32,
+    },
+    /// `⟨p, γ⟩ → ⟨p', γ'⟩` — e.g. an intraprocedural step.
+    Swap {
+        /// Source control.
+        p: u32,
+        /// Top-of-stack symbol consumed.
+        gamma: u32,
+        /// Target control.
+        p2: u32,
+        /// Replacement top symbol.
+        gamma2: u32,
+    },
+    /// `⟨p, γ⟩ → ⟨p', γ' γ''⟩` — e.g. a call pushing a return address.
+    Push {
+        /// Source control.
+        p: u32,
+        /// Top-of-stack symbol consumed.
+        gamma: u32,
+        /// Target control.
+        p2: u32,
+        /// New top symbol (callee entry).
+        gamma2: u32,
+        /// Symbol below it (return address).
+        gamma3: u32,
+    },
+}
+
+/// A pushdown system: a set of controls, a stack alphabet, and rules.
+#[derive(Debug, Clone, Default)]
+pub struct Pds {
+    n_controls: usize,
+    n_stack: usize,
+    rules: Vec<PdsRule>,
+}
+
+impl Pds {
+    /// Creates a PDS with the given numbers of control states and stack
+    /// symbols.
+    pub fn new(n_controls: usize, n_stack: usize) -> Pds {
+        Pds {
+            n_controls,
+            n_stack,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Number of control states.
+    pub fn n_controls(&self) -> usize {
+        self.n_controls
+    }
+
+    /// Number of stack symbols.
+    pub fn n_stack(&self) -> usize {
+        self.n_stack
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[PdsRule] {
+        &self.rules
+    }
+
+    /// Adds `⟨p, γ⟩ → ⟨p', ε⟩`.
+    pub fn pop_rule(&mut self, p: u32, gamma: u32, p2: u32) {
+        self.check(p, gamma, p2, None, None);
+        self.rules.push(PdsRule::Pop { p, gamma, p2 });
+    }
+
+    /// Adds `⟨p, γ⟩ → ⟨p', γ'⟩`.
+    pub fn swap_rule(&mut self, p: u32, gamma: u32, p2: u32, gamma2: u32) {
+        self.check(p, gamma, p2, Some(gamma2), None);
+        self.rules.push(PdsRule::Swap {
+            p,
+            gamma,
+            p2,
+            gamma2,
+        });
+    }
+
+    /// Adds `⟨p, γ⟩ → ⟨p', γ' γ''⟩`.
+    pub fn push_rule(&mut self, p: u32, gamma: u32, p2: u32, gamma2: u32, gamma3: u32) {
+        self.check(p, gamma, p2, Some(gamma2), Some(gamma3));
+        self.rules.push(PdsRule::Push {
+            p,
+            gamma,
+            p2,
+            gamma2,
+            gamma3,
+        });
+    }
+
+    fn check(&self, p: u32, gamma: u32, p2: u32, g2: Option<u32>, g3: Option<u32>) {
+        debug_assert!((p as usize) < self.n_controls && (p2 as usize) < self.n_controls);
+        debug_assert!((gamma as usize) < self.n_stack);
+        debug_assert!(g2.is_none_or(|g| (g as usize) < self.n_stack));
+        debug_assert!(g3.is_none_or(|g| (g as usize) < self.n_stack));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_accessors() {
+        let mut pds = Pds::new(2, 3);
+        pds.pop_rule(0, 1, 1);
+        pds.swap_rule(1, 0, 0, 2);
+        pds.push_rule(0, 2, 1, 0, 1);
+        assert_eq!(pds.rules().len(), 3);
+        assert_eq!(pds.n_controls(), 2);
+        assert_eq!(pds.n_stack(), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! `post*` and `pre*` saturation (Bouajjani–Esparza–Maler; Schwoon).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::pautomaton::ConfigAutomaton;
+use crate::pds::{Pds, PdsRule};
+
+/// Computes a P-automaton recognizing `post*(C)` — all configurations
+/// reachable from the set `C` recognized by `initial`.
+///
+/// `initial` must not have transitions *into* control states (the standard
+/// normal-form requirement); automata built by the checker satisfy this.
+pub fn post_star(pds: &Pds, initial: &ConfigAutomaton) -> ConfigAutomaton {
+    let n_controls = pds.n_controls();
+    let mut auto = initial.clone();
+
+    // Index rules by (p, γ).
+    let mut rules_at: HashMap<(u32, u32), Vec<&PdsRule>> = HashMap::new();
+    for r in pds.rules() {
+        let key = match *r {
+            PdsRule::Pop { p, gamma, .. }
+            | PdsRule::Swap { p, gamma, .. }
+            | PdsRule::Push { p, gamma, .. } => (p, gamma),
+        };
+        rules_at.entry(key).or_default().push(r);
+    }
+
+    // One mid-state per (p', γ') head of a push rule.
+    let mut mid_states: HashMap<(u32, u32), u32> = HashMap::new();
+    for r in pds.rules() {
+        if let PdsRule::Push { p2, gamma2, .. } = *r {
+            mid_states
+                .entry((p2, gamma2))
+                .or_insert_with(|| auto.add_state());
+        }
+    }
+
+    // eps_into[q] = controls p with an ε-move p → q.
+    let mut eps_into: HashMap<u32, HashSet<u32>> = HashMap::new();
+    // rel + outgoing index.
+    let mut rel: HashSet<(u32, u32, u32)> = HashSet::new();
+    let mut rel_from: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    let mut worklist: VecDeque<(u32, u32, u32)> = initial.transitions().collect();
+
+    while let Some((p, gamma, q)) = worklist.pop_front() {
+        if !rel.insert((p, gamma, q)) {
+            continue;
+        }
+        auto.add_transition(p, gamma, q);
+        rel_from.entry(p).or_default().push((gamma, q));
+
+        // ε-copy: anything with an ε-move into `p` also has this move.
+        if let Some(ps) = eps_into.get(&p) {
+            for &p2 in &ps.clone() {
+                worklist.push_back((p2, gamma, q));
+            }
+        }
+
+        if (p as usize) >= n_controls {
+            continue;
+        }
+        for r in rules_at.get(&(p, gamma)).into_iter().flatten() {
+            match **r {
+                PdsRule::Pop { p2, .. } => {
+                    // New ε-move p2 → q.
+                    if eps_into.entry(q).or_default().insert(p2) {
+                        if auto.is_final(q) {
+                            auto.set_final(p2);
+                        }
+                        if let Some(outs) = rel_from.get(&q) {
+                            for &(g2, q2) in &outs.clone() {
+                                worklist.push_back((p2, g2, q2));
+                            }
+                        }
+                    }
+                }
+                PdsRule::Swap { p2, gamma2, .. } => {
+                    worklist.push_back((p2, gamma2, q));
+                }
+                PdsRule::Push {
+                    p2, gamma2, gamma3, ..
+                } => {
+                    let qm = mid_states[&(p2, gamma2)];
+                    worklist.push_back((p2, gamma2, qm));
+                    worklist.push_back((qm, gamma3, q));
+                }
+            }
+        }
+    }
+    auto
+}
+
+/// Computes a P-automaton recognizing `pre*(C)` — all configurations from
+/// which some configuration in `C` is reachable.
+pub fn pre_star(pds: &Pds, initial: &ConfigAutomaton) -> ConfigAutomaton {
+    let mut auto = initial.clone();
+
+    let mut rel: HashSet<(u32, u32, u32)> = HashSet::new();
+    let mut rel_from: HashMap<u32, Vec<(u32, u32)>> = HashMap::new();
+    let mut worklist: VecDeque<(u32, u32, u32)> = initial.transitions().collect();
+
+    // Swap/push rules indexed by their right-hand head (p2, γ2).
+    type HeadIndex<T> = HashMap<(u32, u32), Vec<T>>;
+    let mut swaps_at: HeadIndex<(u32, u32)> = HashMap::new();
+    let mut pushes_at: HeadIndex<(u32, u32, u32)> = HashMap::new();
+    for r in pds.rules() {
+        match *r {
+            PdsRule::Pop { p, gamma, p2 } => {
+                // ⟨p2, ε⟩ trivially reaches itself: (p, γ, p2) is in pre*.
+                worklist.push_back((p, gamma, p2));
+            }
+            PdsRule::Swap {
+                p,
+                gamma,
+                p2,
+                gamma2,
+            } => {
+                swaps_at.entry((p2, gamma2)).or_default().push((p, gamma));
+            }
+            PdsRule::Push {
+                p,
+                gamma,
+                p2,
+                gamma2,
+                gamma3,
+            } => {
+                pushes_at
+                    .entry((p2, gamma2))
+                    .or_default()
+                    .push((p, gamma, gamma3));
+            }
+        }
+    }
+    // Active push waits: (q1, γ3) → rules (p, γ) whose head matched into q1.
+    let mut waiting: HashMap<(u32, u32), Vec<(u32, u32)>> = HashMap::new();
+
+    while let Some((p2, gamma2, q)) = worklist.pop_front() {
+        if !rel.insert((p2, gamma2, q)) {
+            continue;
+        }
+        auto.add_transition(p2, gamma2, q);
+        rel_from.entry(p2).or_default().push((gamma2, q));
+
+        for &(p, gamma) in swaps_at.get(&(p2, gamma2)).into_iter().flatten() {
+            worklist.push_back((p, gamma, q));
+        }
+        for &(p, gamma, gamma3) in pushes_at.get(&(p2, gamma2)).into_iter().flatten() {
+            // Need q --γ3--> q2 to conclude (p, γ, q2).
+            waiting.entry((q, gamma3)).or_default().push((p, gamma));
+            if let Some(outs) = rel_from.get(&q) {
+                for &(g, q2) in &outs.clone() {
+                    if g == gamma3 {
+                        worklist.push_back((p, gamma, q2));
+                    }
+                }
+            }
+        }
+        // This transition may complete earlier push waits.
+        if let Some(rules) = waiting.get(&(p2, gamma2)) {
+            for &(p, gamma) in &rules.clone() {
+                worklist.push_back((p, gamma, q));
+            }
+        }
+    }
+    auto
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// PDS: ⟨0, a⟩ → ⟨0, a b⟩; ⟨0, a⟩ → ⟨1, ε⟩; ⟨1, b⟩ → ⟨1, ε⟩.
+    /// Stack symbols: a = 0, b = 1. From ⟨0, a⟩ the reachable set is
+    /// `⟨0, a bⁿ⟩ ∪ ⟨1, bⁿ⟩`.
+    fn sample() -> Pds {
+        let mut pds = Pds::new(2, 2);
+        pds.push_rule(0, 0, 0, 0, 1);
+        pds.pop_rule(0, 0, 1);
+        pds.pop_rule(1, 1, 1);
+        pds
+    }
+
+    fn singleton(n_controls: usize, control: u32, stack: &[u32]) -> ConfigAutomaton {
+        let mut a = ConfigAutomaton::new(n_controls);
+        let mut cur = control;
+        for (i, &gamma) in stack.iter().enumerate() {
+            let next = a.add_state();
+            a.add_transition(cur, gamma, next);
+            cur = next;
+            if i == stack.len() - 1 {
+                a.set_final(next);
+            }
+        }
+        if stack.is_empty() {
+            a.set_final(control);
+        }
+        a
+    }
+
+    #[test]
+    fn post_star_reaches_pushed_stacks() {
+        let pds = sample();
+        let init = singleton(2, 0, &[0]); // ⟨0, a⟩
+        let post = post_star(&pds, &init);
+        assert!(post.accepts(0, &[0]));
+        assert!(post.accepts(0, &[0, 1]));
+        assert!(post.accepts(0, &[0, 1, 1, 1]));
+        assert!(post.accepts(1, &[1, 1]), "after popping the a");
+        assert!(post.accepts(1, &[]), "everything popped");
+        assert!(!post.accepts(0, &[1, 0]), "a is always on top in control 0");
+        assert!(!post.accepts(1, &[0]), "control 1 never sees an a");
+    }
+
+    #[test]
+    fn pre_star_finds_ancestors() {
+        let pds = sample();
+        // Target: ⟨1, ε⟩ (control 1, empty stack).
+        let init = singleton(2, 1, &[]);
+        let pre = pre_star(&pds, &init);
+        assert!(pre.accepts(1, &[]));
+        assert!(pre.accepts(0, &[0]), "⟨0, a⟩ can fully unwind");
+        assert!(pre.accepts(0, &[0, 1, 1]));
+        assert!(pre.accepts(1, &[1, 1]));
+        assert!(!pre.accepts(0, &[1]), "⟨0, b⟩ is stuck");
+        assert!(!pre.accepts(1, &[0]), "⟨1, a⟩ is stuck");
+    }
+
+    #[test]
+    fn post_star_empty_stack_acceptance() {
+        // ⟨0, a⟩ → ⟨1, ε⟩: the empty-stack config ⟨1, ε⟩ becomes reachable.
+        let mut pds = Pds::new(2, 1);
+        pds.pop_rule(0, 0, 1);
+        let init = singleton(2, 0, &[0]);
+        let post = post_star(&pds, &init);
+        assert!(post.accepts(1, &[]), "⟨1, ε⟩ reachable");
+        assert!(post.control_nonempty(1));
+    }
+
+    #[test]
+    fn saturation_handles_swap_chains() {
+        // ⟨0, a⟩ → ⟨0, b⟩ → ⟨1, c⟩ over symbols a=0, b=1, c=2.
+        let mut pds = Pds::new(2, 3);
+        pds.swap_rule(0, 0, 0, 1);
+        pds.swap_rule(0, 1, 1, 2);
+        let init = singleton(2, 0, &[0]);
+        let post = post_star(&pds, &init);
+        assert!(post.accepts(0, &[1]));
+        assert!(post.accepts(1, &[2]));
+        assert!(!post.accepts(1, &[0]));
+        // And pre* of ⟨1, c⟩ contains ⟨0, a⟩.
+        let target = singleton(2, 1, &[2]);
+        let pre = pre_star(&pds, &target);
+        assert!(pre.accepts(0, &[0]));
+    }
+}

@@ -1,0 +1,70 @@
+//! Stack-aware points-to analysis (§7.5): the paper's exact C example,
+//! plus the "wrapped allocation function" refactoring it motivates.
+//!
+//! Run with `cargo run --example points_to`.
+
+use rasc::ptr::{PointsTo, Program};
+
+fn main() {
+    // The paper's example:
+    //   void main() { int a,b; foo¹(&a,&b); foo²(&b,&a); }
+    //   void foo(int *x, int *y) { /* May x and y be aliased? */ }
+    let src = r#"
+        fn foo(x, y) { }
+        fn main() {
+            foo(&a, &b);
+            foo(&b, &a);
+        }
+    "#;
+    let program = Program::parse(src).expect("valid MiniPtr");
+    let mut pt = PointsTo::analyze(&program).expect("analysis succeeds");
+
+    println!("flat points-to sets:");
+    println!("  pt(foo::x) = {:?}", pt.points_to("foo::x").unwrap());
+    println!("  pt(foo::y) = {:?}", pt.points_to("foo::y").unwrap());
+    println!(
+        "  flat may-alias(x, y)        = {}",
+        pt.may_alias("foo::x", "foo::y").unwrap()
+    );
+    println!("context-sensitive term sets (the constraint solutions, §7.5):");
+    println!("  X = {:?}", pt.points_to_terms("foo::x").unwrap());
+    println!("  Y = {:?}", pt.points_to_terms("foo::y").unwrap());
+    println!(
+        "  stack-aware may-alias(x, y) = {}",
+        pt.may_alias_stack_aware("foo::x", "foo::y").unwrap()
+    );
+    assert!(pt.may_alias("foo::x", "foo::y").unwrap());
+    assert!(!pt.may_alias_stack_aware("foo::x", "foo::y").unwrap());
+
+    // The paper's motivating refactoring problem: wrapping an allocation
+    // function destroys allocation-site precision for flat analyses…
+    let wrapped = r#"
+        fn my_malloc() { m = alloc; return m; }
+        fn mkpair(p, q) { }
+        fn main() {
+            x = my_malloc();
+            y = my_malloc();
+            mkpair(&x, &y);
+        }
+    "#;
+    let program = Program::parse(wrapped).expect("valid MiniPtr");
+    let mut pt = PointsTo::analyze(&program).expect("analysis succeeds");
+    // Both x and y flatly point to the one allocation site inside the
+    // wrapper — the imprecision the paper describes. Stack-aware queries
+    // on the *pointers to* x and y still distinguish them, because the
+    // &x/&y locations are distinct:
+    println!();
+    println!("wrapped-allocator program:");
+    println!("  pt(main::x) = {:?}", pt.points_to("main::x").unwrap());
+    println!("  pt(main::y) = {:?}", pt.points_to("main::y").unwrap());
+    assert_eq!(
+        pt.points_to("main::x").unwrap(),
+        pt.points_to("main::y").unwrap(),
+        "allocation-site abstraction merges the two allocations"
+    );
+    assert!(
+        !pt.may_alias_stack_aware("mkpair::p", "mkpair::q").unwrap(),
+        "&x and &y are distinct locations regardless"
+    );
+    println!("ok: §7.5 reproduced (flat alias yes, stack-aware alias no)");
+}

@@ -1,0 +1,349 @@
+//! The `rasc` command-line interface.
+//!
+//! ```text
+//! rasc check      --spec FILE --program FILE [--entry NAME] [--engine E] [--trace]
+//! rasc dataflow   --program FILE --fact NAME=GEN/KILL … [--at LABEL]
+//! rasc flow       --program FILE --from LABEL --to LABEL [--dual] [--pn]
+//! rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]
+//! rasc spec       --spec FILE [--dot] [--monoid]
+//! rasc cfg        --program FILE [--dot]
+//! ```
+//!
+//! `check` verifies a §8-syntax property specification against a MiniImp
+//! program; `flow` runs the §7 type-based flow analysis on a MiniLam
+//! program; `points-to` runs the §7.5 analysis on a MiniPtr program.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rasc::automata::{Monoid, PropertySpec};
+use rasc::cfgir::Cfg;
+use rasc::dataflow::{ConstraintDataflow, GenKillSpec};
+use rasc::flow::{DualAnalysis, FlowAnalysis};
+use rasc::pdmc::{render_trace, witness_trace, ConstraintChecker};
+use rasc::ptr::PointsTo;
+use rasc::pushdown::PdsChecker;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rasc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(usage());
+    };
+    let opts = parse_opts(&args[1..])?;
+    match cmd.as_str() {
+        "check" => check(&opts),
+        "dataflow" => dataflow(&opts),
+        "flow" => flow(&opts),
+        "points-to" => points_to(&opts),
+        "spec" => spec_cmd(&opts),
+        "cfg" => cfg_cmd(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     rasc check      --spec FILE --program FILE [--entry NAME] [--engine constraints|forward|pushdown] [--trace]\n  \
+     rasc dataflow   --program FILE --fact NAME=GEN/KILL ... [--at LABEL]\n  \
+     rasc flow       --program FILE --from LABEL --to LABEL [--dual] [--pn]\n  \
+     rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]\n  \
+     rasc spec       --spec FILE [--dot] [--monoid]\n  \
+     rasc cfg        --program FILE [--dot]"
+        .to_owned()
+}
+
+#[derive(Debug, Default)]
+struct Opts {
+    flags: Vec<String>,
+    values: HashMap<String, Vec<String>>,
+}
+
+impl Opts {
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .get(name)
+            .and_then(|v| v.first())
+            .map(String::as_str)
+    }
+
+    fn values(&self, name: &str) -> &[String] {
+        self.values.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.value(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+}
+
+/// Options taking N values (everything else is a flag).
+fn arity(name: &str) -> usize {
+    match name {
+        "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" => 1,
+        "alias" => 2,
+        _ => 0,
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{arg}`"));
+        };
+        let n = arity(name);
+        if n == 0 {
+            opts.flags.push(name.to_owned());
+            i += 1;
+        } else {
+            if i + 1 + n > args.len() {
+                return Err(format!("--{name} expects {n} value(s)"));
+            }
+            let vals: Vec<String> = args[i + 1..i + 1 + n].to_vec();
+            if vals.iter().any(|v| v.starts_with("--")) {
+                return Err(format!("--{name} expects {n} value(s)"));
+            }
+            opts.values.entry(name.to_owned()).or_default().extend(vals);
+            i += 1 + n;
+        }
+    }
+    Ok(opts)
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn check(opts: &Opts) -> Result<(), String> {
+    let spec_text = read(opts.required("spec")?)?;
+    let program_text = read(opts.required("program")?)?;
+    let entry = opts.value("entry").unwrap_or("main");
+    let engine = opts.value("engine").unwrap_or("constraints");
+
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let program = rasc::cfgir::Program::parse(&program_text).map_err(|e| e.to_string())?;
+    let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+
+    let violations: Vec<rasc::cfgir::NodeId> = match engine {
+        "constraints" => {
+            if spec.is_parametric() {
+                let mut checker =
+                    ConstraintChecker::parametric(&cfg, &spec, entry).map_err(|e| e.to_string())?;
+                checker.solve();
+                checker.violations()
+            } else {
+                let mut checker =
+                    ConstraintChecker::new(&cfg, &sigma, &dfa, entry).map_err(|e| e.to_string())?;
+                checker.solve();
+                checker.violations()
+            }
+        }
+        "forward" | "pushdown" => {
+            // The PDS checker serves both names here; `forward` users want
+            // the faster engine, which for the CLI's purposes is the
+            // saturation checker.
+            let checker = PdsChecker::new(&cfg, &sigma, &dfa, entry).map_err(|e| e.to_string())?;
+            let mut nodes: Vec<_> = checker.run().into_iter().map(|v| v.node).collect();
+            nodes.sort();
+            nodes.dedup();
+            nodes
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+
+    if violations.is_empty() {
+        println!(
+            "ok: property holds ({} program points checked)",
+            cfg.num_nodes()
+        );
+        return Ok(());
+    }
+    println!(
+        "VIOLATION: {} program point(s) can reach an error state",
+        violations.len()
+    );
+    if opts.flag("trace") {
+        if let Some(first) = violations.first() {
+            match witness_trace(&cfg, &sigma, &dfa, entry, *first) {
+                Some(steps) => println!("witness: {}", render_trace(&steps)),
+                None => println!("witness: (parametric property — no single-machine trace)"),
+            }
+        }
+    }
+    Err(format!("{} violation(s) found", violations.len()))
+}
+
+fn dataflow(opts: &Opts) -> Result<(), String> {
+    let program_text = read(opts.required("program")?)?;
+    let program = rasc::cfgir::Program::parse(&program_text).map_err(|e| e.to_string())?;
+    let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+    let mut spec = GenKillSpec::new();
+    let mut fact_names = Vec::new();
+    for decl in opts.values("fact") {
+        // NAME=GEN/KILL, e.g. x=def_x/kill_x
+        let (name, rest) = decl
+            .split_once('=')
+            .ok_or_else(|| format!("bad --fact `{decl}` (want NAME=GEN/KILL)"))?;
+        let (gen, kill) = rest
+            .split_once('/')
+            .ok_or_else(|| format!("bad --fact `{decl}` (want NAME=GEN/KILL)"))?;
+        let f = spec.fact(name);
+        spec.event(gen, &[f], &[]);
+        spec.event(kill, &[], &[f]);
+        fact_names.push(name.to_owned());
+    }
+    if fact_names.is_empty() {
+        return Err("at least one --fact NAME=GEN/KILL is required".to_owned());
+    }
+    let mut df = ConstraintDataflow::new(&cfg, &spec, "main").map_err(|e| e.to_string())?;
+    df.solve();
+    match opts.value("at") {
+        Some(label) => {
+            let node = cfg
+                .label_node(label)
+                .ok_or_else(|| format!("no statement labeled `{label}`"))?;
+            let bits = df.facts_at(node);
+            let holding: Vec<&str> = fact_names
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| bits & (1 << i) != 0)
+                .map(|(_, n)| n.as_str())
+                .collect();
+            println!("at `{label}`: {{{}}}", holding.join(", "));
+        }
+        None => {
+            println!(
+                "solved {} facts over {} program points",
+                fact_names.len(),
+                cfg.num_nodes()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn flow(opts: &Opts) -> Result<(), String> {
+    let program_text = read(opts.required("program")?)?;
+    let from = opts.required("from")?;
+    let to = opts.required("to")?;
+    let program = rasc::flow::Program::parse(&program_text).map_err(|e| e.to_string())?;
+    let (matched, pn) = if opts.flag("dual") {
+        let mut d = DualAnalysis::new(&program).map_err(|e| e.to_string())?;
+        d.solve();
+        d.label_var(from).map_err(|e| e.to_string())?;
+        d.label_var(to).map_err(|e| e.to_string())?;
+        (d.flows(from, to), d.flows_pn(from, to))
+    } else {
+        let mut a = FlowAnalysis::new(&program).map_err(|e| e.to_string())?;
+        a.solve();
+        a.label_var(from).map_err(|e| e.to_string())?;
+        a.label_var(to).map_err(|e| e.to_string())?;
+        (a.flows(from, to), a.flows_pn(from, to))
+    };
+    if opts.flag("pn") {
+        println!("{from} flows to {to} (PN): {pn}");
+    } else {
+        println!("{from} flows to {to} (matched): {matched}");
+    }
+    Ok(())
+}
+
+fn points_to(opts: &Opts) -> Result<(), String> {
+    let program_text = read(opts.required("program")?)?;
+    let program = rasc::ptr::Program::parse(&program_text).map_err(|e| e.to_string())?;
+    let mut pt = PointsTo::analyze(&program).map_err(|e| e.to_string())?;
+    let alias = opts.values("alias");
+    if alias.len() == 2 {
+        let (x, y) = (&alias[0], &alias[1]);
+        let result = if opts.flag("stack-aware") {
+            pt.may_alias_stack_aware(x, y).map_err(|e| e.to_string())?
+        } else {
+            pt.may_alias(x, y).map_err(|e| e.to_string())?
+        };
+        println!("may-alias({x}, {y}) = {result}");
+    }
+    if opts.flag("sets") {
+        for f in &program.funs {
+            let mut vars: Vec<String> = f.params.clone();
+            for s in &f.stmts {
+                if let rasc::ptr::Stmt::AddrOf { dst, .. }
+                | rasc::ptr::Stmt::Copy { dst, .. }
+                | rasc::ptr::Stmt::Load { dst, .. }
+                | rasc::ptr::Stmt::Alloc { dst }
+                | rasc::ptr::Stmt::FieldLoad { dst, .. } = s
+                {
+                    vars.push(dst.clone());
+                }
+            }
+            vars.sort();
+            vars.dedup();
+            for v in vars {
+                let key = format!("{}::{v}", f.name);
+                if let Ok(set) = pt.points_to(&key) {
+                    println!("pt({key}) = {{{}}}", set.join(", "));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn spec_cmd(opts: &Opts) -> Result<(), String> {
+    let spec_text = read(opts.required("spec")?)?;
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+    println!(
+        "states: {} ({} minimized), symbols: {}, parametric: {}",
+        dfa.len(),
+        dfa.minimize().len(),
+        sigma.len(),
+        spec.is_parametric()
+    );
+    if opts.flag("monoid") {
+        let monoid = Monoid::of_dfa(&dfa.minimize());
+        println!("|F_M^≡| = {}", monoid.len());
+    }
+    if opts.flag("dot") {
+        print!("{}", dfa.to_dot(&sigma));
+    }
+    Ok(())
+}
+
+fn cfg_cmd(opts: &Opts) -> Result<(), String> {
+    let program_text = read(opts.required("program")?)?;
+    let program = rasc::cfgir::Program::parse(&program_text).map_err(|e| e.to_string())?;
+    let cfg = Cfg::build(&program).map_err(|e| e.to_string())?;
+    if opts.flag("dot") {
+        print!("{}", cfg.to_dot());
+    } else {
+        println!(
+            "functions: {}, program points: {}, edges: {}, call sites: {}",
+            cfg.functions().len(),
+            cfg.num_nodes(),
+            cfg.edges().len(),
+            cfg.call_sites().len()
+        );
+    }
+    Ok(())
+}

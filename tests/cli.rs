@@ -1,0 +1,193 @@
+//! End-to-end tests of the `rasc` command-line interface against the
+//! bundled sample specifications and programs.
+
+use std::process::Command;
+
+fn rasc(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rasc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn check_finds_the_vulnerability() {
+    let (ok, text) = rasc(&[
+        "check",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--program",
+        "assets/programs/vulnerable.mimp",
+        "--trace",
+    ]);
+    assert!(!ok, "violations exit nonzero");
+    assert!(text.contains("VIOLATION"), "{text}");
+    assert!(text.contains("witness:"), "{text}");
+    assert!(text.contains("execl"), "{text}");
+}
+
+#[test]
+fn check_passes_the_safe_program() {
+    let (ok, text) = rasc(&[
+        "check",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--program",
+        "assets/programs/safe.mimp",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("ok: property holds"), "{text}");
+}
+
+#[test]
+fn check_engines_agree() {
+    for engine in ["constraints", "pushdown"] {
+        let (ok, _) = rasc(&[
+            "check",
+            "--spec",
+            "assets/specs/privilege.spec",
+            "--program",
+            "assets/programs/vulnerable.mimp",
+            "--engine",
+            engine,
+        ]);
+        assert!(!ok, "engine {engine} must find the violation");
+    }
+}
+
+#[test]
+fn flow_answers_the_figure_11_queries() {
+    let (ok, text) = rasc(&[
+        "flow",
+        "--program",
+        "assets/programs/fig11.mlam",
+        "--from",
+        "B",
+        "--to",
+        "V",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("B flows to V (matched): true"), "{text}");
+    let (ok, text) = rasc(&[
+        "flow",
+        "--program",
+        "assets/programs/fig11.mlam",
+        "--from",
+        "A",
+        "--to",
+        "V",
+        "--dual",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("A flows to V (matched): false"), "{text}");
+}
+
+#[test]
+fn points_to_alias_queries() {
+    let (ok, text) = rasc(&[
+        "points-to",
+        "--program",
+        "assets/programs/section_7_5.mptr",
+        "--alias",
+        "foo::x",
+        "foo::y",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("may-alias(foo::x, foo::y) = true"), "{text}");
+    let (ok, text) = rasc(&[
+        "points-to",
+        "--program",
+        "assets/programs/section_7_5.mptr",
+        "--alias",
+        "foo::x",
+        "foo::y",
+        "--stack-aware",
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("may-alias(foo::x, foo::y) = false"), "{text}");
+}
+
+#[test]
+fn dataflow_at_labels() {
+    let base = [
+        "dataflow",
+        "--program",
+        "assets/programs/dataflow.mimp",
+        "--fact",
+        "x=def_x/kill_x",
+    ];
+    let (ok, text) = rasc(&[&base[..], &["--at", "p"]].concat());
+    assert!(ok, "{text}");
+    assert!(text.contains("at `p`: {x}"), "{text}");
+    let (ok, text) = rasc(&[&base[..], &["--at", "q"]].concat());
+    assert!(ok, "{text}");
+    assert!(text.contains("at `q`: {}"), "{text}");
+}
+
+#[test]
+fn spec_reports_machine_shape() {
+    let (ok, text) = rasc(&["spec", "--spec", "assets/specs/privilege.spec", "--monoid"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("states: 3"), "{text}");
+    assert!(text.contains("|F_M^≡| = "), "{text}");
+    let (ok, text) = rasc(&["spec", "--spec", "assets/specs/privilege.spec", "--dot"]);
+    assert!(ok);
+    assert!(text.contains("digraph"), "{text}");
+}
+
+#[test]
+fn cfg_stats_and_dot() {
+    let (ok, text) = rasc(&["cfg", "--program", "assets/programs/vulnerable.mimp"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("program points:"), "{text}");
+    let (ok, text) = rasc(&[
+        "cfg",
+        "--program",
+        "assets/programs/vulnerable.mimp",
+        "--dot",
+    ]);
+    assert!(ok);
+    assert!(text.contains("digraph cfg"), "{text}");
+}
+
+#[test]
+fn parametric_check_via_cli() {
+    // A leaky program against the parametric file-state property.
+    let dir = std::env::temp_dir().join("rasc_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("leak.mimp");
+    std::fs::write(
+        &prog,
+        "fn main() { event open(fd1); event open(fd2); event close(fd1); }",
+    )
+    .unwrap();
+    let (ok, text) = rasc(&[
+        "check",
+        "--spec",
+        "assets/specs/file_state.spec",
+        "--program",
+        prog.to_str().unwrap(),
+    ]);
+    assert!(!ok, "fd2 leaks: {text}");
+    assert!(text.contains("VIOLATION"), "{text}");
+}
+
+#[test]
+fn bad_usage_is_reported() {
+    let (ok, text) = rasc(&["check", "--spec", "assets/specs/privilege.spec"]);
+    assert!(!ok);
+    assert!(text.contains("missing required option --program"), "{text}");
+    let (ok, text) = rasc(&["frobnicate"]);
+    assert!(!ok);
+    assert!(text.contains("unknown command"), "{text}");
+    let (ok, text) = rasc(&["help"]);
+    assert!(ok);
+    assert!(text.contains("usage:"), "{text}");
+}

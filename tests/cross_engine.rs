@@ -1,0 +1,128 @@
+//! Randomized cross-engine agreement: on generated programs, the
+//! annotated-constraint checker (bidirectional), the forward solver
+//! encoding, and the direct pushdown `post*` checker must agree on
+//! whether — and where — the privilege property is violated.
+
+use rasc::automata::{Alphabet, Dfa, PropertySpec};
+use rasc::cfgir::{Cfg, EdgeLabel, NodeId, Program};
+use rasc::constraints::forward::ForwardSystem;
+use rasc::constraints::Variance;
+use rasc::pdmc::{properties, ConstraintChecker};
+use rasc::pushdown::PdsChecker;
+use rasc_bench::workload::{generate, WorkloadConfig};
+
+fn violating_nodes_constraints(cfg: &Cfg, sigma: &Alphabet, dfa: &Dfa) -> Vec<NodeId> {
+    let mut checker = ConstraintChecker::new(cfg, sigma, dfa, "main").unwrap();
+    checker.solve();
+    checker.violations()
+}
+
+fn violating_nodes_forward(cfg: &Cfg, sigma: &Alphabet, dfa: &Dfa) -> Vec<NodeId> {
+    let mut sys = ForwardSystem::new(dfa);
+    let vars: Vec<_> = (0..cfg.num_nodes())
+        .map(|i| sys.var(&format!("S{i}")))
+        .collect();
+    let pc = sys.constant("pc");
+    sys.add_constant(pc, vars[cfg.entry("main").unwrap().entry.index()]);
+    for (from, to, label) in cfg.edges() {
+        let ann = match label {
+            EdgeLabel::Plain => sys.identity(),
+            EdgeLabel::Event { name, .. } => match sigma.lookup(name) {
+                Some(s) => sys.word(&[s]),
+                None => sys.identity(),
+            },
+        };
+        sys.add_edge(vars[from.index()], vars[to.index()], ann);
+    }
+    let eps = sys.identity();
+    for site in cfg.call_sites() {
+        let callee = &cfg.functions()[site.callee.index()];
+        let o_i = sys.declare(&format!("o{}", site.id.index()), &[Variance::Covariant]);
+        sys.add_source(
+            o_i,
+            &[vars[site.call_node.index()]],
+            vars[callee.entry.index()],
+            eps,
+        )
+        .unwrap();
+        sys.add_projection(
+            o_i,
+            0,
+            vars[callee.exit.index()],
+            vars[site.return_node.index()],
+            eps,
+        )
+        .unwrap();
+    }
+    sys.solve();
+    let occ = sys.constant_occurrence_states(pc);
+    (0..cfg.num_nodes())
+        .filter(|&n| occ[vars[n].index()].iter().any(|&s| sys.state_accepting(s)))
+        .map(NodeId::from_index)
+        .collect()
+}
+
+fn violating_nodes_pds(cfg: &Cfg, sigma: &Alphabet, dfa: &Dfa) -> Vec<NodeId> {
+    let checker = PdsChecker::new(cfg, sigma, dfa, "main").unwrap();
+    let mut nodes: Vec<NodeId> = checker.run().into_iter().map(|v| v.node).collect();
+    nodes.sort();
+    nodes.dedup();
+    // The backward (pre*) decision procedure must agree on the verdict.
+    assert_eq!(
+        !nodes.is_empty(),
+        checker.violated_backward(),
+        "post* vs pre*"
+    );
+    nodes
+}
+
+#[test]
+fn three_engines_agree_on_random_programs_simple_property() {
+    let spec = PropertySpec::parse(properties::SIMPLE_PRIVILEGE).unwrap();
+    let (sigma, dfa) = spec.compile();
+    let names: Vec<String> = sigma.symbols().map(|s| sigma.name(s).to_owned()).collect();
+    for seed in 0..25u64 {
+        let wl = WorkloadConfig::sized(120, names.clone(), seed);
+        let program = generate(&wl);
+        let cfg = Cfg::build(&program).unwrap();
+        let a = violating_nodes_constraints(&cfg, &sigma, &dfa);
+        let b = violating_nodes_forward(&cfg, &sigma, &dfa);
+        let c = violating_nodes_pds(&cfg, &sigma, &dfa);
+        assert_eq!(a, b, "bidirectional vs forward, seed {seed}\n{program}");
+        assert_eq!(a, c, "constraints vs pushdown, seed {seed}\n{program}");
+    }
+}
+
+#[test]
+fn three_engines_agree_on_random_programs_full_property() {
+    let (sigma, dfa) = properties::full_privilege_property();
+    let names: Vec<String> = sigma.symbols().map(|s| sigma.name(s).to_owned()).collect();
+    for seed in 100..115u64 {
+        let wl = WorkloadConfig::sized(200, names.clone(), seed);
+        let program = generate(&wl);
+        let cfg = Cfg::build(&program).unwrap();
+        let a = violating_nodes_constraints(&cfg, &sigma, &dfa);
+        let b = violating_nodes_forward(&cfg, &sigma, &dfa);
+        let c = violating_nodes_pds(&cfg, &sigma, &dfa);
+        assert_eq!(a, b, "bidirectional vs forward, seed {seed}");
+        assert_eq!(a, c, "constraints vs pushdown, seed {seed}");
+    }
+}
+
+#[test]
+fn engines_agree_on_deep_recursion() {
+    let spec = PropertySpec::parse(properties::SIMPLE_PRIVILEGE).unwrap();
+    let (sigma, dfa) = spec.compile();
+    // Mutually recursive functions with the grant/drop/exec events spread
+    // across them.
+    let src = "fn a() { event seteuid_zero; if (*) { b(); } }
+        fn b() { if (*) { a(); } else { event execl; } }
+        fn main() { a(); }";
+    let cfg = Cfg::build(&Program::parse(src).unwrap()).unwrap();
+    let x = violating_nodes_constraints(&cfg, &sigma, &dfa);
+    let y = violating_nodes_pds(&cfg, &sigma, &dfa);
+    let z = violating_nodes_forward(&cfg, &sigma, &dfa);
+    assert!(!x.is_empty());
+    assert_eq!(x, y);
+    assert_eq!(x, z);
+}

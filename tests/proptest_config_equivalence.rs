@@ -1,0 +1,171 @@
+//! Property test: the §8 solver optimizations (cycle elimination,
+//! projection merging) must be *semantics-preserving*. Random constraint
+//! systems — with cycles, constructors, and projections — are solved under
+//! all four configurations, and every observable query result must agree.
+
+use proptest::prelude::*;
+use rasc::automata::{Alphabet, Dfa, SymbolId};
+use rasc::constraints::algebra::{Algebra, MonoidAlgebra};
+use rasc::constraints::{ConsId, SetExpr, SolverConfig, System, VarId, Variance};
+
+const N_VARS: usize = 8;
+
+/// A random constraint in a small system: variable edges (possibly cyclic),
+/// constructor sources, constructor sinks, and projections.
+#[derive(Debug, Clone)]
+enum RandCon {
+    Edge(usize, usize, Option<u8>),
+    Const(usize, Option<u8>),
+    Wrap(usize, usize), // o(v1) ⊆ v2
+    Proj(usize, usize), // o⁻¹(v1) ⊆ v2
+    Sink(usize, usize), // v1 ⊆ o(v2)
+}
+
+fn arb_con() -> impl Strategy<Value = RandCon> {
+    prop_oneof![
+        5 => (0..N_VARS, 0..N_VARS, proptest::option::of(0u8..2)).prop_map(|(a, b, s)| RandCon::Edge(a, b, s)),
+        2 => (0..N_VARS, proptest::option::of(0u8..2)).prop_map(|(v, s)| RandCon::Const(v, s)),
+        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Wrap(a, b)),
+        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Proj(a, b)),
+        1 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Sink(a, b)),
+    ]
+}
+
+struct Built {
+    sys: System<MonoidAlgebra>,
+    vars: Vec<VarId>,
+    probe: ConsId,
+    o: ConsId,
+}
+
+fn build(machine: &Dfa, syms: &[SymbolId], cons: &[RandCon], config: SolverConfig) -> Built {
+    let mut sys = System::with_config(MonoidAlgebra::new(machine), config);
+    let vars: Vec<VarId> = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    let o = sys.constructor("o", &[Variance::Covariant]);
+    for c in cons {
+        match *c {
+            RandCon::Edge(a, b, s) => {
+                let ann = match s {
+                    Some(i) => sys.algebra_mut().word(&[syms[i as usize]]),
+                    None => sys.algebra().identity(),
+                };
+                sys.add_ann(SetExpr::var(vars[a]), SetExpr::var(vars[b]), ann)
+                    .unwrap();
+            }
+            RandCon::Const(v, s) => {
+                let ann = match s {
+                    Some(i) => sys.algebra_mut().word(&[syms[i as usize]]),
+                    None => sys.algebra().identity(),
+                };
+                sys.add_ann(SetExpr::cons(probe, []), SetExpr::var(vars[v]), ann)
+                    .unwrap();
+            }
+            RandCon::Wrap(a, b) => {
+                sys.add(SetExpr::cons_vars(o, [vars[a]]), SetExpr::var(vars[b]))
+                    .unwrap();
+            }
+            RandCon::Proj(a, b) => {
+                sys.add(SetExpr::proj(o, 0, vars[a]), SetExpr::var(vars[b]))
+                    .unwrap();
+            }
+            RandCon::Sink(a, b) => {
+                sys.add(SetExpr::var(vars[a]), SetExpr::cons_vars(o, [vars[b]]))
+                    .unwrap();
+            }
+        }
+    }
+    sys.solve();
+    Built {
+        sys,
+        vars,
+        probe,
+        o,
+    }
+}
+
+/// Per-variable observation: occurrence classes, top-level classes,
+/// emptiness, and `o`-reachability.
+type VarSignature = (Vec<String>, Vec<String>, bool, bool);
+
+/// The observable signature of a solved system: per variable, the sorted
+/// probe occurrence annotations (as rendered strings, stable across
+/// algebra instances), plus emptiness and the probe's top-level classes.
+fn signature(b: &mut Built) -> Vec<VarSignature> {
+    let vars = b.vars.clone();
+    vars.iter()
+        .map(|&v| {
+            let mut occ: Vec<String> = b
+                .sys
+                .occurrence_annotations(v, b.probe)
+                .into_iter()
+                .map(|a| b.sys.algebra().describe(a))
+                .collect();
+            occ.sort();
+            let mut top: Vec<String> = b
+                .sys
+                .lower_bound_annotations(v, b.probe)
+                .into_iter()
+                .map(|a| b.sys.algebra().describe(a))
+                .collect();
+            top.sort();
+            let nonempty = b.sys.nonempty(v);
+            let o_reaches = b.sys.occurs_accepting(v, b.o);
+            (occ, top, nonempty, o_reaches)
+        })
+        .collect()
+}
+
+fn machine() -> (Alphabet, Dfa) {
+    // L = words with an odd number of `a` and ending in `b` — small but
+    // nontrivial (4-state minimal machine).
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let re = rasc::automata::Regex::parse("b* a (b | a b* a)* b+", &sigma).unwrap();
+    let dfa = re.compile(&sigma);
+    (sigma, dfa)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn optimizations_preserve_all_query_results(cons in proptest::collection::vec(arb_con(), 1..28)) {
+        let (sigma, dfa) = machine();
+        let syms: Vec<SymbolId> = sigma.symbols().collect();
+        let configs = [
+            SolverConfig { cycle_elimination: true, projection_merging: true, ..SolverConfig::default() },
+            SolverConfig { cycle_elimination: true, projection_merging: false, ..SolverConfig::default() },
+            SolverConfig { cycle_elimination: false, projection_merging: true, ..SolverConfig::default() },
+            SolverConfig { cycle_elimination: false, projection_merging: false, ..SolverConfig::default() },
+        ];
+        let mut reference: Option<Vec<VarSignature>> = None;
+        for config in configs {
+            let mut built = build(&dfa, &syms, &cons, config);
+            let sig = signature(&mut built);
+            match &reference {
+                None => reference = Some(sig),
+                Some(r) => prop_assert_eq!(
+                    r,
+                    &sig,
+                    "config {:?} diverged on constraints {:?}",
+                    config,
+                    cons
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn solve_is_idempotent_and_monotone(cons in proptest::collection::vec(arb_con(), 1..20)) {
+        // Adding the same constraints twice and re-solving must not change
+        // any observable result (the solver is a closure operator).
+        let (sigma, dfa) = machine();
+        let syms: Vec<SymbolId> = sigma.symbols().collect();
+        let mut once = build(&dfa, &syms, &cons, SolverConfig::default());
+        let sig_once = signature(&mut once);
+        let doubled: Vec<RandCon> = cons.iter().cloned().chain(cons.iter().cloned()).collect();
+        let mut twice = build(&dfa, &syms, &doubled, SolverConfig::default());
+        let sig_twice = signature(&mut twice);
+        prop_assert_eq!(sig_once, sig_twice);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the points-to analysis: on random MiniPtr programs,
+//! the stack-aware alias relation must *refine* the flat one (contexts can
+//! separate locations, never merge them), and basic structural laws hold.
+
+use proptest::prelude::*;
+use rasc::ptr::{PointsTo, Program};
+
+const VARS: [&str; 5] = ["p", "q", "r", "s", "t"];
+const TARGETS: [&str; 3] = ["a", "b", "c"];
+
+#[derive(Debug, Clone)]
+enum RandStmt {
+    AddrOf(usize, usize),
+    Copy(usize, usize),
+    Load(usize, usize),
+    Store(usize, usize),
+    Alloc(usize),
+    FieldStore(usize, usize),
+    FieldLoad(usize, usize),
+    CallF(usize, usize), // f(x, y)
+}
+
+fn arb_stmt() -> impl Strategy<Value = RandStmt> {
+    prop_oneof![
+        3 => (0..VARS.len(), 0..TARGETS.len()).prop_map(|(d, o)| RandStmt::AddrOf(d, o)),
+        3 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Copy(d, s)),
+        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Load(d, s)),
+        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Store(d, s)),
+        1 => (0..VARS.len()).prop_map(RandStmt::Alloc),
+        1 => (0..VARS.len(), 0..VARS.len()).prop_map(|(b, s)| RandStmt::FieldStore(b, s)),
+        1 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, b)| RandStmt::FieldLoad(d, b)),
+        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(x, y)| RandStmt::CallF(x, y)),
+    ]
+}
+
+fn render(stmts: &[RandStmt]) -> String {
+    let mut main = String::new();
+    for s in stmts {
+        let line = match *s {
+            RandStmt::AddrOf(d, o) => format!("{} = &{};", VARS[d], TARGETS[o]),
+            RandStmt::Copy(d, s) => format!("{} = {};", VARS[d], VARS[s]),
+            RandStmt::Load(d, s) => format!("{} = *{};", VARS[d], VARS[s]),
+            RandStmt::Store(d, s) => format!("*{} = {};", VARS[d], VARS[s]),
+            RandStmt::Alloc(d) => format!("{} = alloc;", VARS[d]),
+            RandStmt::FieldStore(b, s) => format!("{}.f = {};", VARS[b], VARS[s]),
+            RandStmt::FieldLoad(d, b) => format!("{} = {}.f;", VARS[d], VARS[b]),
+            RandStmt::CallF(x, y) => format!("sink({}, {});", VARS[x], VARS[y]),
+        };
+        main.push_str("    ");
+        main.push_str(&line);
+        main.push('\n');
+    }
+    format!("fn sink(u, v) {{ }}\nfn main() {{\n{main}}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn stack_aware_alias_refines_flat_alias(stmts in proptest::collection::vec(arb_stmt(), 1..16)) {
+        let src = render(&stmts);
+        let program = Program::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let mut pt = PointsTo::analyze(&program).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let mut names: Vec<String> = VARS.iter().map(|v| format!("main::{v}")).collect();
+        names.push("sink::u".to_owned());
+        names.push("sink::v".to_owned());
+        for x in &names {
+            for y in &names {
+                if pt.points_to(x).is_err() || pt.points_to(y).is_err() {
+                    continue; // variable never occurred
+                }
+                let flat = pt.may_alias(x, y).unwrap();
+                let stack = pt.may_alias_stack_aware(x, y).unwrap();
+                prop_assert!(
+                    !stack || flat,
+                    "stack-aware alias without flat alias for ({x}, {y}) in\n{src}"
+                );
+                // Symmetry of both relations.
+                prop_assert_eq!(flat, pt.may_alias(y, x).unwrap());
+                prop_assert_eq!(stack, pt.may_alias_stack_aware(y, x).unwrap());
+            }
+        }
+        // Self-alias agrees with non-emptiness of the flat set.
+        for x in &names {
+            if let Ok(set) = pt.points_to(x) {
+                prop_assert_eq!(pt.may_alias(x, x).unwrap(), !set.is_empty());
+            }
+        }
+    }
+}
