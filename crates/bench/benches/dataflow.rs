@@ -1,12 +1,12 @@
-//! Criterion benchmark: annotation-based interprocedural dataflow vs the
-//! classical iterative worklist baseline (§3.3).
+//! Benchmark: annotation-based interprocedural dataflow vs the classical
+//! iterative worklist baseline (§3.3).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rasc_bench::workload::{generate, WorkloadConfig};
 use rasc_cfgir::Cfg;
 use rasc_dataflow::{ConstraintDataflow, GenKillSpec, IterativeDataflow};
+use rasc_devtools::Bencher;
 
-fn bench_dataflow(c: &mut Criterion) {
+fn main() {
     let mut spec = GenKillSpec::new();
     let mut event_names = Vec::new();
     for i in 0..8 {
@@ -17,31 +17,18 @@ fn bench_dataflow(c: &mut Criterion) {
         event_names.push(format!("kill_x{i}"));
     }
 
-    let mut group = c.benchmark_group("dataflow");
-    group.sample_size(10);
+    let mut b = Bencher::new().sample_size(10);
     for size in [500usize, 4_000] {
         let wl = WorkloadConfig::sized(size, event_names.clone(), 1234);
         let program = generate(&wl);
         let cfg = Cfg::build(&program).expect("valid");
-        group.bench_with_input(
-            BenchmarkId::new("constraints_genkill", size),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let mut df = ConstraintDataflow::new(cfg, &spec, "main").expect("main");
-                    df.solve();
-                })
-            },
-        );
-        group.bench_with_input(BenchmarkId::new("iterative", size), &cfg, |b, cfg| {
-            b.iter(|| {
-                let mut df = IterativeDataflow::new(cfg, &spec, "main").expect("main");
-                df.solve(0);
-            })
+        b.bench(&format!("dataflow/constraints_genkill/{size}"), || {
+            let mut df = ConstraintDataflow::new(&cfg, &spec, "main").expect("main");
+            df.solve();
+        });
+        b.bench(&format!("dataflow/iterative/{size}"), || {
+            let mut df = IterativeDataflow::new(&cfg, &spec, "main").expect("main");
+            df.solve(0);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dataflow);
-criterion_main!(benches);

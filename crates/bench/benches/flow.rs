@@ -1,33 +1,25 @@
-//! Criterion benchmark for the §7 flow analyses: the primary encoding
-//! (type brackets as annotations) vs the §7.6 dual (calls as annotations),
+//! Benchmark for the §7 flow analyses: the primary encoding (type
+//! brackets as annotations) vs the §7.6 dual (calls as annotations),
 //! across type depths.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rasc_bench::flow_workload::nested_pairs_program;
+use rasc_devtools::Bencher;
 use rasc_flow::{DualAnalysis, FlowAnalysis, Program};
 
-fn bench_flow(c: &mut Criterion) {
-    let mut group = c.benchmark_group("flow_analyses");
+fn main() {
+    let mut b = Bencher::new();
     for depth in [3usize, 6] {
         let src = nested_pairs_program(depth, 4);
         let program = Program::parse(&src).expect("generated program parses");
-        group.bench_with_input(BenchmarkId::new("primary", depth), &program, |b, p| {
-            b.iter(|| {
-                let mut a = FlowAnalysis::new(p).expect("well-typed");
-                a.solve();
-                a.flows("SRC0", "DST0")
-            })
+        b.bench(&format!("flow_analyses/primary/{depth}"), || {
+            let mut a = FlowAnalysis::new(&program).expect("well-typed");
+            a.solve();
+            a.flows("SRC0", "DST0")
         });
-        group.bench_with_input(BenchmarkId::new("dual", depth), &program, |b, p| {
-            b.iter(|| {
-                let mut d = DualAnalysis::new(p).expect("well-typed");
-                d.solve();
-                d.flows("SRC0", "DST0")
-            })
+        b.bench(&format!("flow_analyses/dual/{depth}"), || {
+            let mut d = DualAnalysis::new(&program).expect("well-typed");
+            d.solve();
+            d.flows("SRC0", "DST0")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_flow);
-criterion_main!(benches);

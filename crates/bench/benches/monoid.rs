@@ -1,24 +1,22 @@
-//! Criterion benchmarks for the representative-function machinery:
-//! Figure 1 (gen/kill), Figure 2 (adversarial closure), and the §8
+//! Benchmarks for the representative-function machinery: Figure 1
+//! (gen/kill), Figure 2 (adversarial closure), and the §8
 //! composition-is-a-table-lookup claim.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rasc_automata::{adversarial_machine, Alphabet, Dfa, Monoid};
 use rasc_core::algebra::{Algebra, GenKillAlgebra, MonoidAlgebra};
+use rasc_devtools::Bencher;
 use rasc_pdmc::properties;
 
-fn bench_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig2_monoid_closure");
+fn main() {
+    let mut b = Bencher::new();
+
     for n in [3usize, 4, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let (_, machine) = adversarial_machine(n);
-            b.iter(|| Monoid::of_dfa(&machine).len())
+        let (_, machine) = adversarial_machine(n);
+        b.bench(&format!("fig2_monoid_closure/{n}"), || {
+            Monoid::of_dfa(&machine).len()
         });
     }
-    group.finish();
-}
 
-fn bench_compose(c: &mut Criterion) {
     // Memoized composition on the full privilege property: the steady
     // state should be a hash lookup.
     let (_, dfa) = properties::full_privilege_property();
@@ -29,55 +27,39 @@ fn bench_compose(c: &mut Criterion) {
     }
     // Warm the memo table.
     for &a in &anns {
-        for &b in &anns {
-            let _ = alg.compose(a, b);
+        for &c in &anns {
+            let _ = alg.compose(a, c);
         }
     }
-    c.bench_function("property1_compose_memoized", |bencher| {
-        let mut i = 0usize;
-        bencher.iter(|| {
-            let a = anns[i % anns.len()];
-            let b = anns[(i / anns.len()) % anns.len()];
-            i += 1;
-            alg.compose(a, b)
-        })
+    let mut i = 0usize;
+    b.bench("property1_compose_memoized", || {
+        let a = anns[i % anns.len()];
+        let c = anns[(i / anns.len()) % anns.len()];
+        i += 1;
+        alg.compose(a, c)
     });
 
     // The bit-parallel gen/kill algebra (§3.3) for comparison.
     let mut gk = GenKillAlgebra::new(32);
     let t1 = gk.transfer(0xffff, 0xffff0000);
     let t2 = gk.transfer(0x0f0f, 0xf0f0);
-    c.bench_function("genkill_compose", |bencher| {
-        bencher.iter(|| gk.compose(t1, t2))
-    });
-}
+    b.bench("genkill_compose", || gk.compose(t1, t2));
 
-fn bench_one_bit_products(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_nbit_closure");
     for n in [2u32, 4, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut sigma = Alphabet::new();
-            let pairs: Vec<_> = (0..n)
-                .map(|i| {
-                    let g = sigma.intern(&format!("g{i}"));
-                    let k = sigma.intern(&format!("k{i}"));
-                    (g, k)
-                })
-                .collect();
-            let mut product = Dfa::one_bit(&sigma, pairs[0].0, pairs[0].1);
-            for &(g, k) in &pairs[1..] {
-                product = product.product(&Dfa::one_bit(&sigma, g, k));
-            }
-            b.iter(|| Monoid::of_dfa(&product).len())
+        let mut sigma = Alphabet::new();
+        let pairs: Vec<_> = (0..n)
+            .map(|i| {
+                let g = sigma.intern(&format!("g{i}"));
+                let k = sigma.intern(&format!("k{i}"));
+                (g, k)
+            })
+            .collect();
+        let mut product = Dfa::one_bit(&sigma, pairs[0].0, pairs[0].1);
+        for &(g, k) in &pairs[1..] {
+            product = product.product(&Dfa::one_bit(&sigma, g, k));
+        }
+        b.bench(&format!("fig1_nbit_closure/{n}"), || {
+            Monoid::of_dfa(&product).len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_closure,
-    bench_compose,
-    bench_one_bit_products
-);
-criterion_main!(benches);

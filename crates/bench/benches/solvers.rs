@@ -1,28 +1,23 @@
-//! Criterion benchmark for the §5 solver-strategy comparison on ladder
-//! workloads over an adversarial machine.
+//! Benchmark for the §5 solver-strategy comparison on ladder workloads
+//! over an adversarial machine.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rasc_automata::adversarial_machine;
 use rasc_bench::constraints_workload::{ladder, run_backward, run_bidirectional, run_forward};
+use rasc_devtools::Bencher;
 
-fn bench_directions(c: &mut Criterion) {
+fn main() {
     let (sigma, machine) = adversarial_machine(4);
-    let mut group = c.benchmark_group("solver_directions");
-    group.sample_size(10);
+    let mut b = Bencher::new().sample_size(10);
     for len in [8usize, 32] {
         let wl = ladder(4, len, &sigma, 0xBEEF);
-        group.bench_with_input(BenchmarkId::new("bidirectional", len), &wl, |b, wl| {
-            b.iter(|| run_bidirectional(&machine, wl))
+        b.bench(&format!("solver_directions/bidirectional/{len}"), || {
+            run_bidirectional(&machine, &wl)
         });
-        group.bench_with_input(BenchmarkId::new("forward", len), &wl, |b, wl| {
-            b.iter(|| run_forward(&machine, wl))
+        b.bench(&format!("solver_directions/forward/{len}"), || {
+            run_forward(&machine, &wl)
         });
-        group.bench_with_input(BenchmarkId::new("backward", len), &wl, |b, wl| {
-            b.iter(|| run_backward(&machine, wl))
+        b.bench(&format!("solver_directions/backward/{len}"), || {
+            run_backward(&machine, &wl)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_directions);
-criterion_main!(benches);

@@ -1,47 +1,37 @@
-//! Criterion benchmark for the Table 1 experiment (scaled-down sizes so a
-//! full `cargo bench` stays minutes, not hours; the `table1` binary runs
-//! the paper-scale version).
+//! Benchmark for the Table 1 experiment (scaled-down sizes so a full
+//! bench run stays minutes, not hours; the `table1` binary runs the
+//! paper-scale version).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rasc_bench::workload::{generate, WorkloadConfig};
 use rasc_cfgir::Cfg;
+use rasc_devtools::Bencher;
 use rasc_pdmc::{properties, ConstraintChecker};
 use rasc_pushdown::PdsChecker;
 
-fn bench_privilege_checkers(c: &mut Criterion) {
+fn main() {
     let (sigma, property) = properties::full_privilege_property();
     let event_names: Vec<String> = sigma.symbols().map(|s| sigma.name(s).to_owned()).collect();
 
-    let mut group = c.benchmark_group("table1_privilege");
-    group.sample_size(10);
+    let mut b = Bencher::new().sample_size(10);
     for size in [400usize, 2_000, 8_000] {
         let wl = WorkloadConfig::sized(size, event_names.clone(), 0xC0FFEE);
         let program = generate(&wl);
         let cfg = Cfg::build(&program).expect("valid");
 
-        group.bench_with_input(
-            BenchmarkId::new("constraints_bidirectional", size),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| {
-                    let mut checker =
-                        ConstraintChecker::new(cfg, &sigma, &property, "main").expect("main");
-                    checker.solve();
-                    checker.violations().len()
-                })
+        b.bench(
+            &format!("table1_privilege/constraints_bidirectional/{size}"),
+            || {
+                let mut checker =
+                    ConstraintChecker::new(&cfg, &sigma, &property, "main").expect("main");
+                checker.solve();
+                checker.violations().len()
             },
         );
-        group.bench_with_input(BenchmarkId::new("pds_poststar", size), &cfg, |b, cfg| {
-            b.iter(|| {
-                PdsChecker::new(cfg, &sigma, &property, "main")
-                    .expect("main")
-                    .run()
-                    .len()
-            })
+        b.bench(&format!("table1_privilege/pds_poststar/{size}"), || {
+            PdsChecker::new(&cfg, &sigma, &property, "main")
+                .expect("main")
+                .run()
+                .len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_privilege_checkers);
-criterion_main!(benches);

@@ -8,12 +8,11 @@
 //!
 //! Usage: `dataflow_vs_iterative [max_size]`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rasc_bench::workload::{generate, WorkloadConfig};
 use rasc_bench::{secs, timed};
 use rasc_cfgir::{Cfg, NodeId};
 use rasc_dataflow::{ConstraintDataflow, ForwardDataflow, GenKillSpec, IterativeDataflow};
+use rasc_devtools::Rng;
 
 fn main() {
     let max_size: usize = std::env::args()
@@ -33,7 +32,7 @@ fn main() {
         "sound?",
         "nodes more precise"
     );
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::new(99);
     for n_facts in [2usize, 4, 8] {
         let mut spec = GenKillSpec::new();
         let mut event_names = Vec::new();
@@ -55,7 +54,7 @@ fn main() {
         };
         let mut size = 500;
         while size <= max_size {
-            let wl = WorkloadConfig::sized(size, event_names.clone(), rng.gen());
+            let wl = WorkloadConfig::sized(size, event_names.clone(), rng.next_u64());
             let program = generate(&wl);
             let cfg = Cfg::build(&program).expect("valid program");
 

@@ -8,13 +8,12 @@
 //! analysis separates bidirectional (`i` up to `|S|^{|S|}`) from
 //! unidirectional (`i = |S|`) solving.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rasc_automata::{Alphabet, Dfa, SymbolId};
 use rasc_core::algebra::{Algebra, MonoidAlgebra};
 use rasc_core::backward::BackwardSystem;
 use rasc_core::forward::ForwardSystem;
 use rasc_core::{SetExpr, System};
+use rasc_devtools::Rng;
 
 /// An annotated edge-list workload over some machine's alphabet.
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ pub struct EdgeListWorkload {
 
 /// A linear chain of `n` edges with random single-symbol annotations.
 pub fn chain(n: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let syms: Vec<SymbolId> = sigma.symbols().collect();
     let edges = (0..n)
         .map(|i| (i, i + 1, vec![syms[rng.gen_range(0..syms.len())]]))
@@ -48,7 +47,7 @@ pub fn chain(n: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
 /// random annotations and merging again — every stage multiplies the set
 /// of distinct path words.
 pub fn ladder(width: usize, len: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let syms: Vec<SymbolId> = sigma.symbols().collect();
     let mut edges = Vec::new();
     // Variables: stage hubs 0..=len, plus width rung vars per stage.

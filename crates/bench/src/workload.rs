@@ -9,9 +9,8 @@
 //! these knobs, so the comparison's shape survives the substitution (see
 //! DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rasc_cfgir::{Block, Program, Stmt};
+use rasc_devtools::Rng;
 
 /// Parameters for the program generator.
 #[derive(Debug, Clone)]
@@ -56,7 +55,7 @@ impl WorkloadConfig {
 
 /// Generates a deterministic synthetic program for `cfg`.
 pub fn generate(cfg: &WorkloadConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let n_funs = cfg.functions.max(1);
     let per_fun = (cfg.target_stmts / n_funs).max(1);
 
@@ -74,7 +73,7 @@ pub fn generate(cfg: &WorkloadConfig) -> Program {
 }
 
 fn gen_block(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     cfg: &WorkloadConfig,
     n_funs: usize,
     budget: usize,
@@ -83,7 +82,7 @@ fn gen_block(
     let mut block = Block::new();
     let mut remaining = budget;
     while remaining > 0 {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         if roll < cfg.event_density && !cfg.event_names.is_empty() {
             let name = &cfg.event_names[rng.gen_range(0..cfg.event_names.len())];
             block.push(Stmt::Event {
@@ -130,12 +129,11 @@ fn gen_block(
     block
 }
 
-
 /// Generates a program exercising the *parametric* file-state property:
 /// random open/close events over `n_descriptors` distinct descriptors,
 /// with calls/branches/loops as in [`generate`].
 pub fn generate_parametric(target_stmts: usize, n_descriptors: usize, seed: u64) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let cfg = WorkloadConfig::sized(target_stmts, Vec::new(), seed);
     let n_funs = cfg.functions.max(1);
     let per_fun = (target_stmts / n_funs).max(1);
@@ -153,7 +151,7 @@ pub fn generate_parametric(target_stmts: usize, n_descriptors: usize, seed: u64)
 }
 
 fn gen_parametric_block(
-    rng: &mut StdRng,
+    rng: &mut Rng,
     cfg: &WorkloadConfig,
     n_funs: usize,
     n_descriptors: usize,
@@ -163,7 +161,7 @@ fn gen_parametric_block(
     let mut block = Block::new();
     let mut remaining = budget;
     while remaining > 0 {
-        let roll: f64 = rng.gen();
+        let roll: f64 = rng.gen_f64();
         if roll < 0.10 {
             let fd = rng.gen_range(0..n_descriptors);
             let name = if rng.gen_bool(0.5) { "open" } else { "close" };

@@ -1,90 +1,112 @@
 //! Property test: pretty-printing a MiniImp AST and re-parsing it yields
 //! the same AST, for arbitrary generated programs.
 
-use proptest::prelude::*;
 use rasc_cfgir::{Block, Cfg, Program, Stmt};
+use rasc_devtools::{forall, prop_assert, prop_assert_eq, Config, Rng, Unshrunk};
 
-fn ident() -> impl Strategy<Value = String> {
-    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
-        !matches!(
+/// A random identifier matching `[a-z][a-z0-9_]{0,6}`, never a keyword.
+fn ident(rng: &mut Rng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    loop {
+        let mut s = String::new();
+        s.push(HEAD[rng.gen_range(0..HEAD.len())] as char);
+        for _ in 0..rng.gen_range(0..7) {
+            s.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+        }
+        if !matches!(
             s.as_str(),
             "fn" | "if" | "else" | "while" | "skip" | "return" | "event"
-        )
-    })
+        ) {
+            return s;
+        }
+    }
 }
 
-fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        Just(Stmt::Skip),
-        Just(Stmt::Return),
-        (ident(), proptest::collection::vec(ident(), 0..3))
-            .prop_map(|(name, args)| Stmt::Event { name, args }),
-        (0usize..3).prop_map(|i| Stmt::Call(format!("f{i}"))),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        let block =
-            proptest::collection::vec(inner.clone().prop_map(|stmt| (None::<String>, stmt)), 0..4)
-                .prop_map(|stmts| {
-                    let mut b = Block::new();
-                    for (_, s) in stmts {
-                        b.push(s);
-                    }
-                    b
-                });
-        prop_oneof![
-            (block.clone(), block.clone()).prop_map(|(t, e)| Stmt::If(t, e)),
-            block.prop_map(Stmt::While),
-        ]
-    })
+fn arb_stmt(rng: &mut Rng, depth: usize) -> Stmt {
+    let leaf = depth == 0 || rng.gen_bool(0.5);
+    if leaf {
+        return match rng.gen_range(0..4) {
+            0 => Stmt::Skip,
+            1 => Stmt::Return,
+            2 => {
+                let name = ident(rng);
+                let args = (0..rng.gen_range(0..3)).map(|_| ident(rng)).collect();
+                Stmt::Event { name, args }
+            }
+            _ => Stmt::Call(format!("f{}", rng.gen_range(0..3))),
+        };
+    }
+    let block = |rng: &mut Rng| {
+        let mut b = Block::new();
+        for _ in 0..rng.gen_range(0..4) {
+            b.push(arb_stmt(rng, depth - 1));
+        }
+        b
+    };
+    if rng.gen_bool(0.5) {
+        let t = block(rng);
+        let e = block(rng);
+        Stmt::If(t, e)
+    } else {
+        Stmt::While(block(rng))
+    }
 }
 
-fn arb_program() -> impl Strategy<Value = Program> {
-    proptest::collection::vec(proptest::collection::vec(arb_stmt(), 0..6), 1..4).prop_map(
-        |bodies| {
-            let mut p = Program::new();
-            // Functions f0..f2 always exist so calls resolve; the first is
-            // also duplicated as main.
-            for (i, stmts) in bodies.iter().enumerate() {
-                let mut b = Block::new();
-                for s in stmts {
-                    b.push(s.clone());
-                }
-                p.fun(&format!("f{i}"), b);
+fn arb_program(rng: &mut Rng) -> Program {
+    let mut p = Program::new();
+    // Functions f0..f2 always exist so calls resolve.
+    let n_funs = rng.gen_range(1..4);
+    for i in 0..n_funs.max(3) {
+        let mut b = Block::new();
+        if i < n_funs {
+            for _ in 0..rng.gen_range(0..6) {
+                b.push(arb_stmt(rng, 3));
             }
-            for i in bodies.len()..3 {
-                p.fun(&format!("f{i}"), Block::new());
-            }
-            let mut main_body = Block::new();
-            main_body.push(Stmt::Call("f0".to_owned()));
-            p.fun("main", main_body);
-            p
+        }
+        p.fun(&format!("f{i}"), b);
+    }
+    let mut main_body = Block::new();
+    main_body.push(Stmt::Call("f0".to_owned()));
+    p.fun("main", main_body);
+    p
+}
+
+#[test]
+fn pretty_parse_round_trip() {
+    forall(
+        "pretty_parse_round_trip",
+        Config::cases(128),
+        |rng| Unshrunk(arb_program(rng)),
+        |Unshrunk(p)| {
+            let printed = p.to_string();
+            let reparsed = Program::parse(&printed)
+                .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
+            prop_assert_eq!(p, &reparsed, "printed:\n{printed}");
+            Ok(())
         },
-    )
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn pretty_parse_round_trip(p in arb_program()) {
-        let printed = p.to_string();
-        let reparsed = Program::parse(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n{printed}"));
-        prop_assert_eq!(p, reparsed, "printed:\n{}", printed);
-    }
-
-    #[test]
-    fn generated_programs_build_cfgs(p in arb_program()) {
-        let cfg = Cfg::build(&p).expect("calls resolve by construction");
-        prop_assert!(cfg.entry("main").is_ok());
-        // Structural sanity: every edge endpoint is a valid node, every
-        // call site references declared functions.
-        for (from, to, _) in cfg.edges() {
-            prop_assert!(from.index() < cfg.num_nodes());
-            prop_assert!(to.index() < cfg.num_nodes());
-        }
-        for site in cfg.call_sites() {
-            prop_assert!(site.callee.index() < cfg.functions().len());
-        }
-    }
+#[test]
+fn generated_programs_build_cfgs() {
+    forall(
+        "generated_programs_build_cfgs",
+        Config::cases(128),
+        |rng| Unshrunk(arb_program(rng)),
+        |Unshrunk(p)| {
+            let cfg = Cfg::build(p).expect("calls resolve by construction");
+            prop_assert!(cfg.entry("main").is_ok());
+            // Structural sanity: every edge endpoint is a valid node, every
+            // call site references declared functions.
+            for (from, to, _) in cfg.edges() {
+                prop_assert!(from.index() < cfg.num_nodes());
+                prop_assert!(to.index() < cfg.num_nodes());
+            }
+            for site in cfg.call_sites() {
+                prop_assert!(site.callee.index() < cfg.functions().len());
+            }
+            Ok(())
+        },
+    );
 }

@@ -108,6 +108,51 @@ enum Fact {
     Ub(VarId, SnkId, AnnId),
 }
 
+/// One reversible solver mutation, recorded while an epoch is open so
+/// [`System::pop_epoch`] can undo exactly the delta (BANSHEE-style
+/// backtracking).
+#[derive(Debug)]
+enum UndoOp {
+    /// Remove annotation `a` from `vars[x].succs[y]`.
+    Succ(VarId, VarId, AnnId),
+    /// Remove annotation `a` from `vars[y].preds[x]`.
+    Pred(VarId, VarId, AnnId),
+    /// Remove annotation `a` from `vars[x].lbs[src]`.
+    Lb(VarId, SrcId, AnnId),
+    /// Remove annotation `a` from `vars[x].ubs[snk]`.
+    Ub(VarId, SnkId, AnnId),
+    /// Restore a union-find parent pointer (covers both unions and path
+    /// compression, so pre-epoch classes survive rollback intact).
+    Parent { idx: u32, old: u32 },
+    /// Restore a variable's solved-form data moved out by a cycle
+    /// collapse.
+    VarData { idx: u32, data: Box<VarData> },
+    /// Remove a projection-merging memo entry.
+    ProjMerge(ConsId, usize, VarId),
+}
+
+/// A snapshot of the monotone solver dimensions at [`System::push_epoch`]
+/// time; everything created past these watermarks is dropped on rollback.
+#[derive(Debug, Clone, Copy)]
+struct EpochMark {
+    ops_len: usize,
+    n_vars: usize,
+    n_constructors: usize,
+    n_sources: usize,
+    n_sinks: usize,
+    n_constraints: usize,
+    n_clashes: usize,
+    facts_processed: usize,
+    cycles_collapsed: usize,
+}
+
+/// The rollback journal: undo ops plus a stack of epoch marks.
+#[derive(Debug, Default)]
+struct Journal {
+    ops: Vec<UndoOp>,
+    marks: Vec<EpochMark>,
+}
+
 #[derive(Debug, Default)]
 struct VarData {
     name: String,
@@ -200,6 +245,16 @@ pub struct System<A: Algebra> {
     proj_merge: HashMap<(ConsId, usize, VarId), VarId>,
     /// Variables collapsed by cycle elimination.
     cycles_collapsed: usize,
+    /// Per-variable mutation stamps: `versions[v]` is the value of
+    /// `mutation_counter` when `v`'s solved-form data last changed. Query
+    /// caches compare stamps to invalidate only results whose dependency
+    /// variables actually changed.
+    versions: Vec<u64>,
+    /// Monotone mutation counter (never decreases, not even on rollback,
+    /// so stale cache stamps can never be revalidated by accident).
+    mutation_counter: u64,
+    /// Present while at least one epoch is open.
+    journal: Option<Journal>,
 }
 
 impl<A: Algebra> System<A> {
@@ -229,7 +284,36 @@ impl<A: Algebra> System<A> {
             parent: Vec::new(),
             proj_merge: HashMap::new(),
             cycles_collapsed: 0,
+            versions: Vec::new(),
+            mutation_counter: 0,
+            journal: None,
         }
+    }
+
+    /// Marks `v`'s solved-form data as changed at a fresh mutation stamp.
+    fn touch(&mut self, v: VarId) {
+        self.mutation_counter += 1;
+        self.versions[v.index()] = self.mutation_counter;
+    }
+
+    /// The stamp of the last change to `v`'s cycle-class data. A cached
+    /// query result that recorded `(v, var_version(v))` for every variable
+    /// it visited remains valid while all stamps compare equal.
+    pub fn var_version(&self, v: VarId) -> u64 {
+        self.versions[self.find(v).index()]
+    }
+
+    /// The global mutation counter: changes whenever *any* variable's
+    /// solved-form data changes (including on rollback). Whole-system
+    /// queries (e.g. emptiness) cache against this.
+    pub fn global_version(&self) -> u64 {
+        self.mutation_counter
+    }
+
+    /// The canonical representative of `v`'s cycle-elimination class —
+    /// the stable key for caching query results about `v`.
+    pub fn find_root(&self, v: VarId) -> VarId {
+        self.find(v)
     }
 
     /// The representative of `v`'s cycle-elimination class (without path
@@ -242,13 +326,24 @@ impl<A: Algebra> System<A> {
         VarId(cur)
     }
 
-    /// Path-compressing find.
+    /// Path-compressing find. Compression writes are journaled while an
+    /// epoch is open: without this, a pre-epoch member compressed through
+    /// a mid-epoch union would still point at the merged-away winner
+    /// after rollback.
     fn find_mut(&mut self, v: VarId) -> VarId {
         let root = self.find(v);
         let mut cur = v.0;
         while self.parent[cur as usize] != cur {
             let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root.0;
+            if next != root.0 {
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Parent {
+                        idx: cur,
+                        old: next,
+                    });
+                }
+                self.parent[cur as usize] = root.0;
+            }
             cur = next;
         }
         root
@@ -259,30 +354,44 @@ impl<A: Algebra> System<A> {
     /// merged variable.
     fn union_into(&mut self, winner: VarId, loser: VarId) {
         debug_assert_ne!(winner, loser);
+        if let Some(j) = self.journal.as_mut() {
+            j.ops.push(UndoOp::Parent {
+                idx: loser.0,
+                old: self.parent[loser.0 as usize],
+            });
+        }
         self.parent[loser.0 as usize] = winner.0;
         self.cycles_collapsed += 1;
         let data = std::mem::take(&mut self.vars[loser.index()]);
         self.vars[loser.index()].name = data.name.clone();
-        for (y, anns) in data.succs {
-            for ann in anns {
+        for (&y, anns) in &data.succs {
+            for &ann in anns {
                 self.worklist.push_back(Fact::Edge(winner, y, ann));
             }
         }
-        for (x, anns) in data.preds {
-            for ann in anns {
+        for (&x, anns) in &data.preds {
+            for &ann in anns {
                 self.worklist.push_back(Fact::Edge(x, winner, ann));
             }
         }
-        for (src, anns) in data.lbs {
-            for ann in anns {
+        for (&src, anns) in &data.lbs {
+            for &ann in anns {
                 self.worklist.push_back(Fact::Lb(winner, src, ann));
             }
         }
-        for (snk, anns) in data.ubs {
-            for ann in anns {
+        for (&snk, anns) in &data.ubs {
+            for &ann in anns {
                 self.worklist.push_back(Fact::Ub(winner, snk, ann));
             }
         }
+        if let Some(j) = self.journal.as_mut() {
+            j.ops.push(UndoOp::VarData {
+                idx: loser.0,
+                data: Box::new(data),
+            });
+        }
+        self.touch(winner);
+        self.touch(loser);
     }
 
     /// Bounded DFS over ε-annotated edges looking for a path `from → to`;
@@ -352,6 +461,7 @@ impl<A: Algebra> System<A> {
     pub fn var(&mut self, name: &str) -> VarId {
         let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
         self.parent.push(id.0);
+        self.versions.push(0);
         self.vars.push(VarData {
             name: name.to_owned(),
             ..VarData::default()
@@ -447,6 +557,9 @@ impl<A: Algebra> System<A> {
                         None => {
                             let aux = self.var("$projmerge");
                             self.proj_merge.insert((c, i, x), aux);
+                            if let Some(j) = self.journal.as_mut() {
+                                j.ops.push(UndoOp::ProjMerge(c, i, x));
+                            }
                             let snk = self.intern_sink(Sink::Proj {
                                 cons: c,
                                 index: i,
@@ -634,6 +747,12 @@ impl<A: Algebra> System<A> {
                         continue;
                     }
                     insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
+                    if let Some(j) = self.journal.as_mut() {
+                        j.ops.push(UndoOp::Succ(x, y, f));
+                        j.ops.push(UndoOp::Pred(x, y, f));
+                    }
+                    self.touch(x);
+                    self.touch(y);
                     if self.config.cycle_elimination
                         && f == self.algebra.identity()
                         && self.try_collapse_cycle(y, x)
@@ -663,6 +782,10 @@ impl<A: Algebra> System<A> {
                     if !insert_ann(self.vars[x.index()].lbs.entry(src).or_default(), g) {
                         continue;
                     }
+                    if let Some(j) = self.journal.as_mut() {
+                        j.ops.push(UndoOp::Lb(x, src, g));
+                    }
+                    self.touch(x);
                     let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
                     for (y, f) in succs {
                         let h = self.algebra.compose(f, g);
@@ -682,6 +805,10 @@ impl<A: Algebra> System<A> {
                     if !insert_ann(self.vars[x.index()].ubs.entry(snk).or_default(), h) {
                         continue;
                     }
+                    if let Some(j) = self.journal.as_mut() {
+                        j.ops.push(UndoOp::Ub(x, snk, h));
+                    }
+                    self.touch(x);
                     let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
                     for (w, f) in preds {
                         let composed = self.algebra.compose(h, f);
@@ -695,6 +822,124 @@ impl<A: Algebra> System<A> {
                 }
             }
         }
+    }
+
+    /// Opens a rollback epoch (BANSHEE-style backtracking, §8).
+    ///
+    /// The worklist is drained first so the epoch boundary is a solved
+    /// fixpoint; afterwards every solver mutation — edges, lower/upper
+    /// bounds, union-find merges (including path compression), memoized
+    /// projection-merge entries, fresh variables/constructors/sources/
+    /// sinks, and clashes — is journaled until the matching
+    /// [`System::pop_epoch`]. Epochs nest.
+    pub fn push_epoch(&mut self) {
+        self.solve();
+        let mark = EpochMark {
+            ops_len: self.journal.as_ref().map_or(0, |j| j.ops.len()),
+            n_vars: self.vars.len(),
+            n_constructors: self.constructors.len(),
+            n_sources: self.sources.len(),
+            n_sinks: self.sinks.len(),
+            n_constraints: self.constraints.len(),
+            n_clashes: self.clashes.len(),
+            facts_processed: self.facts_processed,
+            cycles_collapsed: self.cycles_collapsed,
+        };
+        self.journal
+            .get_or_insert_with(Journal::default)
+            .marks
+            .push(mark);
+    }
+
+    /// Number of currently open epochs.
+    pub fn epoch_depth(&self) -> usize {
+        self.journal.as_ref().map_or(0, |j| j.marks.len())
+    }
+
+    /// Undoes every mutation recorded since the matching
+    /// [`System::push_epoch`], restoring the solved form, union-find
+    /// classes, clash list, and stats of the pre-epoch state exactly.
+    /// Returns `false` (and does nothing) when no epoch is open.
+    ///
+    /// Mutation stamps keep moving forward across a rollback — a cached
+    /// query result taken mid-epoch can never be revalidated against the
+    /// restored state by accident.
+    ///
+    /// The algebra's hash-cons tables are *not* shrunk: annotation ids are
+    /// canonical by content, so entries interned mid-epoch are semantically
+    /// inert and remain as warm memo state (the `annotations` stat may
+    /// therefore exceed its pre-epoch value).
+    pub fn pop_epoch(&mut self) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return false;
+        };
+        let Some(mark) = journal.marks.pop() else {
+            return false;
+        };
+        // Every pending fact was derived after the epoch opened (the
+        // boundary is a fixpoint), so pending work is rolled back too.
+        self.worklist.clear();
+        let ops: Vec<UndoOp> = journal.ops.drain(mark.ops_len..).collect();
+        if journal.marks.is_empty() {
+            self.journal = None;
+        }
+        let mut touched: HashSet<u32> = HashSet::new();
+        for op in ops.into_iter().rev() {
+            match op {
+                UndoOp::Succ(x, y, a) => {
+                    remove_ann(&mut self.vars[x.index()].succs, y, a);
+                    touched.insert(x.0);
+                    touched.insert(y.0);
+                }
+                UndoOp::Pred(x, y, a) => {
+                    remove_ann(&mut self.vars[y.index()].preds, x, a);
+                }
+                UndoOp::Lb(x, src, a) => {
+                    remove_ann(&mut self.vars[x.index()].lbs, src, a);
+                    touched.insert(x.0);
+                }
+                UndoOp::Ub(x, snk, a) => {
+                    remove_ann(&mut self.vars[x.index()].ubs, snk, a);
+                    touched.insert(x.0);
+                }
+                UndoOp::Parent { idx, old } => {
+                    self.parent[idx as usize] = old;
+                    touched.insert(idx);
+                }
+                UndoOp::VarData { idx, data } => {
+                    self.vars[idx as usize] = *data;
+                    touched.insert(idx);
+                }
+                UndoOp::ProjMerge(c, i, v) => {
+                    self.proj_merge.remove(&(c, i, v));
+                }
+            }
+        }
+        // Drop everything created after the watermarks.
+        for s in self.sources.drain(mark.n_sources..) {
+            self.source_ids.remove(&s);
+        }
+        for s in self.sinks.drain(mark.n_sinks..) {
+            self.sink_ids.remove(&s);
+        }
+        for c in self.clashes.drain(mark.n_clashes..) {
+            self.clash_set.remove(&c);
+        }
+        self.vars.truncate(mark.n_vars);
+        self.parent.truncate(mark.n_vars);
+        self.versions.truncate(mark.n_vars);
+        self.constructors.truncate(mark.n_constructors);
+        self.constraints.truncate(mark.n_constraints);
+        self.facts_processed = mark.facts_processed;
+        self.cycles_collapsed = mark.cycles_collapsed;
+        // Advance the stamps of every variable the rollback touched.
+        for idx in touched {
+            if (idx as usize) < mark.n_vars {
+                self.touch(VarId(idx));
+            }
+        }
+        self.mutation_counter += 1;
+        true
     }
 
     /// The surface constraints added so far, in order.
@@ -946,6 +1191,20 @@ fn insert_ann(set: &mut Vec<AnnId>, a: AnnId) -> bool {
     }
 }
 
+/// Removes one annotation from a keyed annotation-set map, dropping the
+/// key when its set empties (so rolled-back state is structurally equal
+/// to the pre-epoch state).
+fn remove_ann<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<AnnId>>, key: K, a: AnnId) {
+    if let Some(anns) = map.get_mut(&key) {
+        if let Ok(pos) = anns.binary_search(&a) {
+            anns.remove(pos);
+        }
+        if anns.is_empty() {
+            map.remove(&key);
+        }
+    }
+}
+
 fn flatten<K: Copy>(map: &HashMap<K, Vec<AnnId>>) -> Vec<(K, AnnId)> {
     let mut out = Vec::new();
     for (&k, anns) in map {
@@ -1187,6 +1446,114 @@ mod tests {
             rendered.contains("W ⊆"),
             "derived edge from projection: {rendered}"
         );
+    }
+
+    #[test]
+    fn pop_epoch_restores_solved_form_and_stats() {
+        let (mut sys, g, k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y) = (sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        let fk = sys.algebra_mut().word(&[k]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        let before_stats = sys.stats();
+        let before_form = sys.render_solved_form();
+        assert_eq!(sys.epoch_depth(), 0);
+
+        sys.push_epoch();
+        assert_eq!(sys.epoch_depth(), 1);
+        let z = sys.var("Z");
+        let d = sys.constructor("d", &[]);
+        sys.add_ann(SetExpr::var(y), SetExpr::var(z), fk).unwrap();
+        sys.add(SetExpr::cons(d, []), SetExpr::var(z)).unwrap();
+        sys.add(SetExpr::var(z), SetExpr::cons(c, [])).unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(z, c), vec![fk]);
+        assert!(!sys.is_consistent(), "d ⊆ Z ⊆ c(...) clashes");
+
+        assert!(sys.pop_epoch());
+        assert_eq!(sys.epoch_depth(), 0);
+        assert_eq!(sys.stats(), before_stats);
+        assert_eq!(sys.render_solved_form(), before_form);
+        assert!(sys.is_consistent());
+        assert_eq!(sys.num_vars(), 2);
+        assert!(!sys.pop_epoch(), "no epoch left to pop");
+    }
+
+    #[test]
+    fn nested_epochs_unwind_independently() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y) = (sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.push_epoch();
+        sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        let mid_form = sys.render_solved_form();
+        let mid_stats = sys.stats();
+        sys.push_epoch();
+        let z = sys.var("Z");
+        sys.add(SetExpr::var(y), SetExpr::var(z)).unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(z, c), vec![fg]);
+        assert!(sys.pop_epoch());
+        assert_eq!(sys.render_solved_form(), mid_form);
+        assert_eq!(sys.stats(), mid_stats);
+        assert_eq!(sys.lower_bound_annotations(y, c), vec![fg]);
+        assert!(sys.pop_epoch());
+        assert!(sys.lower_bound_annotations(y, c).is_empty());
+    }
+
+    #[test]
+    fn pop_epoch_unwinds_cycle_collapses() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y, z) = (sys.var("X"), sys.var("Y"), sys.var("Z"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        let before = sys.stats();
+        sys.push_epoch();
+        // Close an ε-cycle X → Y → Z → X: collapses all three.
+        sys.add(SetExpr::var(y), SetExpr::var(z)).unwrap();
+        sys.add(SetExpr::var(z), SetExpr::var(x)).unwrap();
+        sys.solve();
+        assert!(sys.stats().cycles_collapsed > before.cycles_collapsed);
+        assert_eq!(sys.find(z), sys.find(x));
+        assert!(sys.pop_epoch());
+        let after = sys.stats();
+        assert_eq!(after, before);
+        assert_ne!(sys.find(z), sys.find(x), "classes separated again");
+        assert_eq!(sys.lower_bound_annotations(y, c), vec![fg]);
+        assert!(sys.lower_bound_annotations(z, c).is_empty());
+    }
+
+    #[test]
+    fn version_stamps_move_forward_across_rollback() {
+        let (mut sys, g, _) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let (x, y) = (sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        sys.solve();
+        let v0 = sys.var_version(y);
+        let g0 = sys.global_version();
+        sys.push_epoch();
+        sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        sys.solve();
+        let v1 = sys.var_version(y);
+        assert!(v1 > v0, "mid-epoch change stamped");
+        sys.pop_epoch();
+        assert!(sys.var_version(y) > v1, "rollback re-stamps, never rewinds");
+        assert!(sys.global_version() > g0);
     }
 
     #[test]

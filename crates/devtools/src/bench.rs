@@ -1,0 +1,170 @@
+//! Wall-clock benchmark timing, replacing `criterion` for the offline
+//! benchmark harness.
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    /// Benchmark label.
+    pub name: String,
+    /// Measured iterations (after warmup).
+    pub iters: u32,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: f64,
+}
+
+impl BenchStats {
+    /// Median time per iteration in seconds.
+    pub fn median_secs(&self) -> f64 {
+        self.median_ns / 1e9
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times `f` with a short warmup, then runs it until `min_time` elapses
+/// (at least `min_iters` iterations), returning per-iteration statistics.
+///
+/// The closure's return value is consumed by a black-box sink so the
+/// optimizer cannot delete the measured work.
+pub fn bench<T>(
+    name: &str,
+    min_iters: u32,
+    min_time: Duration,
+    mut f: impl FnMut() -> T,
+) -> BenchStats {
+    // Warmup: one untimed run (JIT-free Rust, so this mostly warms caches).
+    sink(f());
+    let mut samples: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    while samples.len() < min_iters as usize || start.elapsed() < min_time {
+        let t0 = Instant::now();
+        sink(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+        if samples.len() >= 1_000_000 {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let iters = samples.len() as u32;
+    let mean_ns = samples.iter().sum::<f64>() / f64::from(iters);
+    let median_ns = samples[samples.len() / 2];
+    BenchStats {
+        name: name.to_owned(),
+        iters,
+        mean_ns,
+        median_ns,
+        min_ns: samples[0],
+    }
+}
+
+/// Convenience: single timed run of `f`, in seconds (for long workloads
+/// where repeated sampling is too expensive).
+pub fn bench_secs<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+#[inline]
+fn sink<T>(value: T) {
+    // An opaque drop: reading the value through a volatile-ish pattern is
+    // unnecessary — forbidding inlining of this sink is enough to keep the
+    // computed value alive in practice for these coarse benchmarks.
+    std::hint::black_box(value);
+}
+
+/// A small criterion-flavoured runner: collects [`BenchStats`] and prints
+/// one aligned line per benchmark as it completes.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    min_iters: u32,
+    min_time: Duration,
+    results: Vec<BenchStats>,
+}
+
+impl Bencher {
+    /// A runner with the default sampling policy (10 iterations and at
+    /// least 300 ms per benchmark).
+    pub fn new() -> Bencher {
+        Bencher {
+            min_iters: 10,
+            min_time: Duration::from_millis(300),
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the minimum number of measured iterations.
+    pub fn sample_size(mut self, iters: u32) -> Bencher {
+        self.min_iters = iters;
+        self
+    }
+
+    /// Overrides the minimum sampling time per benchmark.
+    pub fn min_time(mut self, d: Duration) -> Bencher {
+        self.min_time = d;
+        self
+    }
+
+    /// Runs and records one benchmark, printing its summary line.
+    pub fn bench<T>(&mut self, name: &str, f: impl FnMut() -> T) -> &BenchStats {
+        let stats = bench(name, self.min_iters, self.min_time, f);
+        println!(
+            "{:<44} median {:>12}  mean {:>12}  ({} iters)",
+            stats.name,
+            human(stats.median_ns),
+            human(stats.mean_ns),
+            stats.iters
+        );
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_is_positive_and_ordered() {
+        let fast = bench("fast", 5, Duration::from_millis(5), || 1 + 1);
+        let slow = bench("slow", 5, Duration::from_millis(5), || {
+            (0..20_000u64).map(std::hint::black_box).sum::<u64>()
+        });
+        assert!(fast.median_ns > 0.0);
+        assert!(slow.median_ns > fast.median_ns);
+        assert!(fast.min_ns <= fast.median_ns);
+    }
+
+    #[test]
+    fn bencher_collects_results() {
+        let mut b = Bencher::new()
+            .sample_size(3)
+            .min_time(Duration::from_millis(1));
+        b.bench("a", || 42);
+        b.bench("b", || 43);
+        assert_eq!(b.results().len(), 2);
+        assert_eq!(b.results()[0].name, "a");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline development tooling for the `rasc` workspace.
+//!
+//! The build environment has no access to crates.io, so the usual
+//! dev-dependencies (`rand`, `proptest`, `criterion`) are replaced by this
+//! small self-contained crate:
+//!
+//! * [`Rng`] — a seedable xorshift64* PRNG (deterministic per seed);
+//! * [`forall`] / [`Config`] — a minimal property-test harness with
+//!   counterexample shrinking for `Vec`-shaped inputs;
+//! * [`fn@bench`] — wall-clock benchmark timing with warmup and
+//!   median/mean reporting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bench;
+mod prop;
+mod rng;
+
+pub use bench::{bench, bench_secs, BenchStats, Bencher};
+pub use prop::{forall, Config, Shrink, Unshrunk};
+pub use rng::Rng;

@@ -1,0 +1,283 @@
+//! A minimal property-test harness: random cases from a generator
+//! function, a property returning `Result`, and greedy shrinking of
+//! failing inputs.
+
+use crate::rng::Rng;
+
+/// Harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases to run.
+    pub cases: u32,
+    /// Base seed; case `i` uses stream `seed + i`.
+    pub seed: u64,
+    /// Upper bound on shrink attempts once a failure is found.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 64,
+            seed: 0x5EED_0000_BA5E, // fixed default seed for reproducibility
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` cases with the default seed.
+    pub fn cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// Types that can propose strictly "smaller" variants of themselves, for
+/// counterexample shrinking. The default proposes nothing.
+pub trait Shrink: Sized {
+    /// Candidate smaller values; the harness keeps any candidate that
+    /// still fails the property and iterates.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+macro_rules! impl_shrink_uint {
+    ($($t:ty),*) => {$(
+        impl Shrink for $t {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self > 0 {
+                    out.push(0);
+                    if *self > 1 {
+                        out.push(*self / 2);
+                    }
+                    out.push(*self - 1);
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_uint!(u8, u16, u32, u64, usize);
+
+impl Shrink for bool {
+    fn shrink(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl Shrink for String {}
+
+/// Opts a value out of shrinking (for generated structures with no
+/// natural notion of "smaller", e.g. compiled machines or ASTs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unshrunk<T>(pub T);
+
+impl<T: Clone> Shrink for Unshrunk<T> {}
+
+impl<T: Clone + Shrink> Shrink for Option<T> {
+    fn shrink(&self) -> Vec<Self> {
+        match self {
+            None => Vec::new(),
+            Some(v) => {
+                let mut out = vec![None];
+                out.extend(v.shrink().into_iter().map(Some));
+                out
+            }
+        }
+    }
+}
+
+macro_rules! impl_shrink_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Clone + Shrink),+> Shrink for ($($name,)+) {
+            fn shrink(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink() {
+                        let mut tuple = self.clone();
+                        tuple.$idx = candidate;
+                        out.push(tuple);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_shrink_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<T: Clone> Shrink for Vec<T> {
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        let n = self.len();
+        if n == 0 {
+            return out;
+        }
+        // Halves first (fast progress), then single-element removals.
+        if n > 1 {
+            out.push(self[..n / 2].to_vec());
+            out.push(self[n / 2..].to_vec());
+        }
+        for i in 0..n.min(32) {
+            let mut v = self.clone();
+            v.remove(i);
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// Runs `prop` on `cfg.cases` values drawn from `gen`, shrinking and
+/// panicking with the smallest counterexample found on failure.
+///
+/// The property signals failure by returning `Err(message)`; use ordinary
+/// `assert!` only for conditions that should abort without shrinking.
+pub fn forall<T, G, P>(name: &str, cfg: Config, gen: G, prop: P)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    G: Fn(&mut Rng) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for case in 0..cfg.cases {
+        let mut rng = Rng::new(cfg.seed.wrapping_add(u64::from(case)));
+        let input = gen(&mut rng);
+        if let Err(first_msg) = prop(&input) {
+            let (min_input, min_msg) = shrink_failure(input, first_msg, cfg, &prop);
+            panic!(
+                "property `{name}` failed (case {case}, seed {}):\n  {min_msg}\n  \
+                 minimal input: {min_input:#?}",
+                cfg.seed.wrapping_add(u64::from(case)),
+            );
+        }
+    }
+}
+
+fn shrink_failure<T, P>(mut input: T, mut msg: String, cfg: Config, prop: &P) -> (T, String)
+where
+    T: std::fmt::Debug + Clone + Shrink,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in input.shrink() {
+            steps += 1;
+            if steps >= cfg.max_shrink_steps {
+                break 'outer;
+            }
+            if let Err(m) = prop(&candidate) {
+                input = candidate;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break; // no candidate fails: input is locally minimal
+    }
+    (input, msg)
+}
+
+/// Fails the enclosing property (which must return `Result<(), String>`)
+/// when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fails the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!("expected equal:\n  left:  {left:?}\n  right: {right:?}"));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return Err(format!(
+                "expected equal ({}):\n  left:  {left:?}\n  right: {right:?}",
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut _count = 0;
+        forall(
+            "sorted-after-sort",
+            Config::cases(32),
+            |rng| {
+                (0..rng.gen_range(0..10))
+                    .map(|_| rng.next_u64())
+                    .collect::<Vec<_>>()
+            },
+            |v| {
+                let mut s = v.clone();
+                s.sort();
+                prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+                Ok(())
+            },
+        );
+        _count += 1;
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_a_small_case() {
+        let result = std::panic::catch_unwind(|| {
+            forall(
+                "no-big-values",
+                Config::cases(64),
+                |rng| {
+                    (0..rng.gen_range(0..20))
+                        .map(|_| rng.gen_range(0..100))
+                        .collect::<Vec<_>>()
+                },
+                |v| {
+                    prop_assert!(v.iter().all(|&x| x < 90), "found {v:?}");
+                    Ok(())
+                },
+            )
+        });
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(e) => *e.downcast::<String>().expect("panic message"),
+        };
+        // The shrunk counterexample should be a single offending element.
+        assert!(msg.contains("minimal input"), "{msg}");
+        assert!(msg.contains("no-big-values"), "{msg}");
+    }
+}

@@ -1,0 +1,94 @@
+//! A small deterministic PRNG (xorshift64*), replacing `rand` for the
+//! workload generators and property tests.
+
+/// A seedable xorshift64* pseudo-random number generator.
+///
+/// Not cryptographic; statistically fine for workload generation and
+/// property-test case selection. Generation is deterministic per seed, so
+/// workloads and failing cases are reproducible.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Distinct seeds give independent
+    /// streams; a zero seed is remapped (xorshift has a zero fixpoint).
+    pub fn new(seed: u64) -> Rng {
+        // SplitMix64 scramble of the seed so that consecutive seeds do not
+        // give correlated initial states.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Rng {
+            state: if z == 0 { 0x9E37_79B9_7F4A_7C15 } else { z },
+        }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`. Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        let span = (range.end - range.start) as u64;
+        // Modulo bias is negligible for the small spans used here.
+        range.start + (self.next_u64() % span) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range(0..items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_and_probabilities_are_sane() {
+        let mut rng = Rng::new(42);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(3..8);
+            assert!((3..8).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit");
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads), "{heads}");
+        assert_eq!((0..100).filter(|_| rng.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| rng.gen_bool(1.0)).count(), 100);
+    }
+}

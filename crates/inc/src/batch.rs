@@ -1,0 +1,434 @@
+//! The batch query front-end: a JSON-lines command protocol over a
+//! [`Session`] — the seed of the serving story.
+//!
+//! Each input line is one JSON object; each produces exactly one JSON
+//! response line. Blank lines and `#` comments are skipped. Errors are
+//! reported in-band (`{"error": …}`) and do not abort the stream.
+//!
+//! ```text
+//! {"cmd":"declare","cons":"pair","signature":"++"}
+//! {"cmd":"add","lhs":"pair(X,Y)","rhs":"Z","ann":["g"]}
+//! {"cmd":"push"}
+//! {"cmd":"query","kind":"occurs","var":"Z","cons":"c"}
+//! {"cmd":"pop"}
+//! {"cmd":"stats"}
+//! ```
+//!
+//! * `declare` — declare constructor `cons` with one `+` (covariant) or
+//!   `-` (contravariant) per argument; omitted `signature` declares a
+//!   constant.
+//! * `add` — add `lhs ⊆ rhs` and re-solve incrementally. Expressions are
+//!   `X`, `c(X,Y)`, or `c^-1(X)` (1-based projection); variables are
+//!   created on first use, constructors must be declared. `ann` is a word
+//!   over the property machine's alphabet (omitted = ε).
+//! * `push` / `pop` — open / roll back an epoch.
+//! * `query` — `kind` is `occurs` (accepting occurrence), `anns`
+//!   (occurrence annotation classes), `pn` (partially matched
+//!   reachability), or `nonempty`.
+//! * `stats` — solver statistics plus cache counters.
+
+use std::collections::HashMap;
+
+use rasc_automata::{Alphabet, Dfa};
+use rasc_core::algebra::{Algebra, MonoidAlgebra};
+use rasc_core::{ConsId, SetExpr, SolverConfig, VarId, Variance};
+
+use crate::json::{obj, Json};
+use crate::session::Session;
+
+/// A stateful batch-protocol interpreter over one [`Session`].
+#[derive(Debug)]
+pub struct BatchEngine {
+    session: Session<MonoidAlgebra>,
+    sigma: Alphabet,
+    cons: HashMap<String, ConsId>,
+    vars: HashMap<String, VarId>,
+}
+
+impl BatchEngine {
+    /// An engine whose annotations range over `machine`'s transition
+    /// monoid, with symbols named by `sigma`.
+    pub fn new(sigma: Alphabet, machine: &Dfa) -> BatchEngine {
+        Self::with_config(sigma, machine, SolverConfig::default())
+    }
+
+    /// An engine with explicit solver configuration.
+    pub fn with_config(sigma: Alphabet, machine: &Dfa, config: SolverConfig) -> BatchEngine {
+        BatchEngine {
+            session: Session::with_config(MonoidAlgebra::new(machine), config),
+            sigma,
+            cons: HashMap::new(),
+            vars: HashMap::new(),
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session<MonoidAlgebra> {
+        &self.session
+    }
+
+    /// Handles one input line; `None` for blank/comment lines, otherwise
+    /// exactly one JSON response line.
+    pub fn handle_line(&mut self, line: &str) -> Option<String> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        let response = match Json::parse(trimmed) {
+            Ok(cmd) => self
+                .dispatch(&cmd)
+                .unwrap_or_else(|msg| obj([("error", Json::from(msg.as_str()))])),
+            Err(msg) => obj([(
+                "error",
+                Json::from(format!("malformed JSON: {msg}").as_str()),
+            )]),
+        };
+        Some(response.render())
+    }
+
+    fn dispatch(&mut self, cmd: &Json) -> Result<Json, String> {
+        let name = cmd
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or("missing `cmd` field")?;
+        match name {
+            "declare" => self.declare(cmd),
+            "add" => self.add(cmd),
+            "push" => {
+                self.session.push_epoch();
+                Ok(obj([
+                    ("ok", Json::from("push")),
+                    ("depth", Json::from(self.session.epoch_depth())),
+                ]))
+            }
+            "pop" => {
+                if !self.session.pop_epoch() {
+                    return Err("no open epoch".to_owned());
+                }
+                // Names bound mid-epoch now refer to rolled-away ids.
+                let stats = self.session.stats();
+                self.vars.retain(|_, v| v.index() < stats.vars);
+                self.cons.retain(|_, c| c.index() < stats.constructors);
+                Ok(obj([
+                    ("ok", Json::from("pop")),
+                    ("depth", Json::from(self.session.epoch_depth())),
+                ]))
+            }
+            "query" => self.query(cmd),
+            "stats" => Ok(self.stats()),
+            other => Err(format!("unknown command `{other}`")),
+        }
+    }
+
+    fn declare(&mut self, cmd: &Json) -> Result<Json, String> {
+        let name = cmd
+            .get("cons")
+            .and_then(Json::as_str)
+            .ok_or("declare: missing `cons`")?;
+        if self.cons.contains_key(name) {
+            return Err(format!("constructor `{name}` already declared"));
+        }
+        if self.vars.contains_key(name) {
+            return Err(format!("`{name}` is already a variable"));
+        }
+        let signature: Vec<Variance> = match cmd.get("signature").and_then(Json::as_str) {
+            None => Vec::new(),
+            Some(s) => s
+                .chars()
+                .map(|c| match c {
+                    '+' => Ok(Variance::Covariant),
+                    '-' => Ok(Variance::Contravariant),
+                    other => Err(format!("declare: bad variance `{other}` (want + or -)")),
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let id = self.session.constructor(name, &signature);
+        self.cons.insert(name.to_owned(), id);
+        Ok(obj([
+            ("ok", Json::from("declare")),
+            ("cons", Json::from(name)),
+            ("arity", Json::from(signature.len())),
+        ]))
+    }
+
+    fn add(&mut self, cmd: &Json) -> Result<Json, String> {
+        let lhs_text = cmd
+            .get("lhs")
+            .and_then(Json::as_str)
+            .ok_or("add: missing `lhs`")?
+            .to_owned();
+        let rhs_text = cmd
+            .get("rhs")
+            .and_then(Json::as_str)
+            .ok_or("add: missing `rhs`")?
+            .to_owned();
+        let ann = match cmd.get("ann") {
+            None => None,
+            Some(word) => {
+                let names = word.as_arr().ok_or("add: `ann` must be an array")?;
+                let mut symbols = Vec::with_capacity(names.len());
+                for n in names {
+                    let n = n.as_str().ok_or("add: `ann` entries must be strings")?;
+                    let sym = self
+                        .sigma
+                        .lookup(n)
+                        .ok_or_else(|| format!("unknown symbol `{n}`"))?;
+                    symbols.push(sym);
+                }
+                Some(self.session.system_mut().algebra_mut().word(&symbols))
+            }
+        };
+        let lhs = self.parse_expr(&lhs_text)?;
+        let rhs = self.parse_expr(&rhs_text)?;
+        let result = match ann {
+            Some(a) => self.session.add_ann(lhs, rhs, a),
+            None => self.session.add(lhs, rhs),
+        };
+        result.map_err(|e| format!("add: {e}"))?;
+        Ok(obj([
+            ("ok", Json::from("add")),
+            (
+                "constraints",
+                Json::from(self.session.system().constraints().len()),
+            ),
+            ("consistent", Json::from(self.session.is_consistent())),
+        ]))
+    }
+
+    fn query(&mut self, cmd: &Json) -> Result<Json, String> {
+        let kind = cmd
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("query: missing `kind`")?
+            .to_owned();
+        let var_name = cmd
+            .get("var")
+            .and_then(Json::as_str)
+            .ok_or("query: missing `var`")?;
+        let &x = self
+            .vars
+            .get(var_name)
+            .ok_or_else(|| format!("unknown variable `{var_name}`"))?;
+        let target = || -> Result<ConsId, String> {
+            let name = cmd
+                .get("cons")
+                .and_then(Json::as_str)
+                .ok_or("query: missing `cons`")?;
+            self.cons
+                .get(name)
+                .copied()
+                .ok_or_else(|| format!("unknown constructor `{name}`"))
+        };
+        let result = match kind.as_str() {
+            "occurs" => Json::from(self.session.occurs_accepting(x, target()?)),
+            "nonempty" => Json::from(self.session.nonempty(x)),
+            "anns" => {
+                let anns = self.session.occurrence_annotations(x, target()?);
+                self.describe_all(&anns)
+            }
+            "pn" => {
+                let anns = self.session.pn_occurrence_annotations(x, target()?);
+                self.describe_all(&anns)
+            }
+            other => return Err(format!("unknown query kind `{other}`")),
+        };
+        Ok(obj([
+            ("ok", Json::from("query")),
+            ("kind", Json::from(kind.as_str())),
+            ("var", Json::from(var_name)),
+            ("result", result),
+        ]))
+    }
+
+    fn describe_all(&self, anns: &[rasc_core::algebra::AnnId]) -> Json {
+        Json::Arr(
+            anns.iter()
+                .map(|&a| Json::from(self.session.system().algebra().describe(a).as_str()))
+                .collect(),
+        )
+    }
+
+    fn stats(&self) -> Json {
+        let s = self.session.stats();
+        let c = self.session.cache_stats();
+        obj([
+            ("ok", Json::from("stats")),
+            ("vars", Json::from(s.vars)),
+            (
+                "constraints",
+                Json::from(self.session.system().constraints().len()),
+            ),
+            ("edges", Json::from(s.edges)),
+            ("lower_bounds", Json::from(s.lower_bounds)),
+            ("upper_bounds", Json::from(s.upper_bounds)),
+            ("facts_processed", Json::from(s.facts_processed)),
+            ("cycles_collapsed", Json::from(s.cycles_collapsed)),
+            ("clashes", Json::from(self.session.clashes().len())),
+            ("consistent", Json::from(self.session.is_consistent())),
+            ("epoch_depth", Json::from(self.session.epoch_depth())),
+            ("cache_hits", Json::from(c.hits)),
+            ("cache_misses", Json::from(c.misses)),
+            ("cache_invalidations", Json::from(c.invalidations)),
+        ])
+    }
+
+    /// Parses `X`, `c(X,Y)`, or `c^-1(X)`; variables are created on first
+    /// use, constructors must be declared.
+    fn parse_expr(&mut self, text: &str) -> Result<SetExpr, String> {
+        let text = text.trim();
+        let Some((head, rest)) = text.split_once('(') else {
+            // Bare identifier: a declared constant, or a variable.
+            let name = validate_ident(text)?;
+            if let Some(&c) = self.cons.get(name) {
+                return Ok(SetExpr::cons_vars(c, []));
+            }
+            return Ok(SetExpr::var(self.var_of(name)));
+        };
+        let Some(args_text) = rest.strip_suffix(')') else {
+            return Err(format!("expected `)` at end of `{text}`"));
+        };
+        if let Some((cons_name, index_text)) = head.split_once("^-") {
+            // Projection `c^-i(X)`, 1-based index.
+            let cons_name = validate_ident(cons_name.trim())?;
+            let &c = self
+                .cons
+                .get(cons_name)
+                .ok_or_else(|| format!("unknown constructor `{cons_name}`"))?;
+            let index: usize = index_text
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad projection index in `{text}`"))?;
+            if index == 0 {
+                return Err("projection indices are 1-based".to_owned());
+            }
+            let subject = validate_ident(args_text.trim())?;
+            let v = self.var_of(subject);
+            return Ok(SetExpr::proj(c, index - 1, v));
+        }
+        let cons_name = validate_ident(head.trim())?;
+        let &c = self
+            .cons
+            .get(cons_name)
+            .ok_or_else(|| format!("unknown constructor `{cons_name}`"))?;
+        let mut args = Vec::new();
+        if !args_text.trim().is_empty() {
+            for part in args_text.split(',') {
+                let name = validate_ident(part.trim())?;
+                if self.cons.contains_key(name) {
+                    return Err(format!("constructor argument `{name}` must be a variable"));
+                }
+                args.push(self.var_of(name));
+            }
+        }
+        Ok(SetExpr::cons_vars(c, args))
+    }
+
+    fn var_of(&mut self, name: &str) -> VarId {
+        if let Some(&v) = self.vars.get(name) {
+            return v;
+        }
+        let v = self.session.var(name);
+        self.vars.insert(name.to_owned(), v);
+        v
+    }
+}
+
+fn validate_ident(text: &str) -> Result<&str, String> {
+    let ok = !text.is_empty()
+        && text
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$');
+    if ok {
+        Ok(text)
+    } else {
+        Err(format!("bad identifier `{text}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> BatchEngine {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let machine = Dfa::one_bit(&sigma, g, k);
+        BatchEngine::new(sigma, &machine)
+    }
+
+    fn run(e: &mut BatchEngine, line: &str) -> Json {
+        Json::parse(&e.handle_line(line).expect("a response")).expect("valid JSON response")
+    }
+
+    #[test]
+    fn protocol_session_end_to_end() {
+        let mut e = engine();
+        assert!(e.handle_line("").is_none());
+        assert!(e.handle_line("# comment").is_none());
+        let r = run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("declare"));
+        run(
+            &mut e,
+            r#"{"cmd":"declare","cons":"pair","signature":"++"}"#,
+        );
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair(X,X)","rhs":"P"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair^-1(P)","rhs":"Y"}"#);
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"anns","var":"Y","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_arr().unwrap().len(), 1);
+        let r = run(&mut e, r#"{"cmd":"query","kind":"nonempty","var":"P"}"#);
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn push_pop_restores_results_through_the_protocol() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"declare","cons":"d"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        let r = run(&mut e, r#"{"cmd":"push"}"#);
+        assert_eq!(r.get("depth").unwrap().as_u64(), Some(1));
+        run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"d","rhs":"Y"}"#);
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        let r = run(&mut e, r#"{"cmd":"pop"}"#);
+        assert_eq!(r.get("depth").unwrap().as_u64(), Some(0));
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert_eq!(r.get("constraints").unwrap().as_u64(), Some(1));
+        // Y was rolled away entirely.
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+        );
+        assert!(r.get("error").is_some());
+        let r = run(&mut e, r#"{"cmd":"pop"}"#);
+        assert!(r.get("error").is_some());
+    }
+
+    #[test]
+    fn errors_are_in_band_and_nonfatal() {
+        let mut e = engine();
+        let r = run(&mut e, "not json");
+        assert!(r.get("error").unwrap().as_str().unwrap().contains("JSON"));
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"q(X)","rhs":"Y"}"#);
+        assert!(r.get("error").is_some(), "undeclared constructor");
+        let r = run(&mut e, r#"{"cmd":"frobnicate"}"#);
+        assert!(r.get("error").is_some());
+        // The engine still works after errors.
+        let r = run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("declare"));
+    }
+}

@@ -1,0 +1,18 @@
+//! Incremental solving sessions (`rasc-inc`).
+//!
+//! The session layer over the bidirectional solver:
+//!
+//! * [`Session`] — incremental constraint addition, epoch-based rollback,
+//!   and a generation-stamped query cache;
+//! * [`BatchEngine`] — the JSON-lines batch protocol (`rasc batch`);
+//! * [`json`] — the minimal JSON reader/writer backing the protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod json;
+mod session;
+
+pub use batch::BatchEngine;
+pub use session::{CacheStats, Session};

@@ -1,0 +1,380 @@
+//! The incremental session layer over the bidirectional solver.
+//!
+//! A [`Session`] owns a [`System`] and adds the three capabilities the
+//! one-shot solver lacks for serving workloads:
+//!
+//! * **Incremental constraint addition** — [`Session::add`] enqueues only
+//!   the new constraint's sources/sinks and re-drains the existing
+//!   worklist fixpoint, so the cost is proportional to the delta, not to
+//!   the whole system (the separate/online analysis capability of §5.1).
+//! * **Epoch-based rollback** — [`Session::push_epoch`] /
+//!   [`Session::pop_epoch`] journal and undo exactly the delta, in the
+//!   style of BANSHEE's backtracking (§8).
+//! * **A stamped query cache** — query results are memoized together with
+//!   the mutation stamps of every variable they depended on; later
+//!   increments invalidate only results whose dependency stamps moved.
+
+use std::collections::HashMap;
+
+use rasc_core::algebra::{Algebra, AnnId};
+use rasc_core::{
+    Clash, ConsId, Result, SetExpr, SolverConfig, SolverStats, System, VarId, Variance,
+};
+
+/// Hit/miss counters for the session's query cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cache lookups answered without recomputation.
+    pub hits: u64,
+    /// Lookups that computed (and stored) a fresh result.
+    pub misses: u64,
+    /// Stored results discarded because a dependency stamp moved.
+    pub invalidations: u64,
+}
+
+/// What a cached result depended on: either an explicit set of variables
+/// (with the stamps they had when the result was computed), or — for
+/// whole-system queries — the global mutation counter.
+#[derive(Debug, Clone)]
+enum Stamp {
+    Vars(Vec<(VarId, u64)>),
+    Global(u64),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Anns(Vec<AnnId>),
+    Bool(bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Occurrence(VarId, ConsId),
+    PnOccurrence(VarId, ConsId),
+    Nonempty(VarId),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    stamp: Stamp,
+    value: Value,
+}
+
+/// An incremental solving session: a [`System`] plus rollback epochs and
+/// a generation-stamped query cache. See the module docs.
+#[derive(Debug)]
+pub struct Session<A: Algebra> {
+    sys: System<A>,
+    cache: HashMap<Key, Entry>,
+    stats: CacheStats,
+}
+
+impl<A: Algebra> Session<A> {
+    /// A session over an empty system with the default solver
+    /// configuration.
+    pub fn new(algebra: A) -> Session<A> {
+        Self::with_config(algebra, SolverConfig::default())
+    }
+
+    /// A session with explicit solver configuration.
+    pub fn with_config(algebra: A, config: SolverConfig) -> Session<A> {
+        Session {
+            sys: System::with_config(algebra, config),
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Wraps an existing (possibly already solved) system.
+    pub fn from_system(mut sys: System<A>) -> Session<A> {
+        sys.solve();
+        Session {
+            sys,
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The underlying solved system (read-only).
+    pub fn system(&self) -> &System<A> {
+        &self.sys
+    }
+
+    /// The underlying system, mutable. Stamp validation keeps the cache
+    /// sound across direct mutations, but prefer the session methods.
+    pub fn system_mut(&mut self) -> &mut System<A> {
+        &mut self.sys
+    }
+
+    /// Creates a fresh set variable.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.sys.var(name)
+    }
+
+    /// Declares a constructor.
+    pub fn constructor(&mut self, name: &str, signature: &[Variance]) -> ConsId {
+        self.sys.constructor(name, signature)
+    }
+
+    /// Adds `lhs ⊆ rhs` and immediately re-drains the worklist: only the
+    /// consequences of the new constraint are propagated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::add`]; on error the system is unchanged.
+    pub fn add(&mut self, lhs: SetExpr, rhs: SetExpr) -> Result<()> {
+        self.sys.add(lhs, rhs)?;
+        self.sys.solve();
+        Ok(())
+    }
+
+    /// Adds the annotated constraint `lhs ⊆^ann rhs` incrementally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::add_ann`]; on error the system is unchanged.
+    pub fn add_ann(&mut self, lhs: SetExpr, rhs: SetExpr, ann: AnnId) -> Result<()> {
+        self.sys.add_ann(lhs, rhs, ann)?;
+        self.sys.solve();
+        Ok(())
+    }
+
+    /// Opens a rollback epoch (see [`System::push_epoch`]).
+    pub fn push_epoch(&mut self) {
+        self.sys.push_epoch();
+    }
+
+    /// Rolls back to the matching [`Session::push_epoch`]. Returns `false`
+    /// when no epoch is open. Cached results taken mid-epoch are
+    /// invalidated by their stamps (stamps only move forward), not purged
+    /// eagerly — pre-epoch results stay warm. The algebra's hash-cons
+    /// tables are not shrunk (ids are canonical by content), so the
+    /// `annotations` stat may exceed its pre-epoch value.
+    pub fn pop_epoch(&mut self) -> bool {
+        self.sys.pop_epoch()
+    }
+
+    /// Number of open epochs.
+    pub fn epoch_depth(&self) -> usize {
+        self.sys.epoch_depth()
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Solver statistics (uncached; cheap).
+    pub fn stats(&self) -> SolverStats {
+        self.sys.stats()
+    }
+
+    /// The inconsistencies discovered so far.
+    pub fn clashes(&self) -> &[Clash] {
+        self.sys.clashes()
+    }
+
+    /// Whether the system is consistent.
+    pub fn is_consistent(&self) -> bool {
+        self.sys.is_consistent()
+    }
+
+    /// Cached [`System::occurrence_annotations`]: all composed annotations
+    /// with which `target` occurs at any depth in the least solution of
+    /// `x`. The cached result depends exactly on the variables reachable
+    /// from `x` through lower-bound arguments, so unrelated increments do
+    /// not evict it.
+    pub fn occurrence_annotations(&mut self, x: VarId, target: ConsId) -> Vec<AnnId> {
+        let key = Key::Occurrence(self.sys.find_root(x), target);
+        if let Some(Value::Anns(anns)) = self.lookup(&key) {
+            return anns;
+        }
+        let value = self.sys.occurrence_annotations(x, target);
+        let deps = self.lb_closure_stamps(x);
+        self.store(key, Stamp::Vars(deps), Value::Anns(value.clone()));
+        value
+    }
+
+    /// Cached acceptance query: whether `target` occurs in `ρ(x)` with an
+    /// accepting composed annotation (shares the
+    /// [`Session::occurrence_annotations`] cache entry).
+    pub fn occurs_accepting(&mut self, x: VarId, target: ConsId) -> bool {
+        self.occurrence_annotations(x, target)
+            .iter()
+            .any(|&a| self.sys.algebra().is_accepting(a))
+    }
+
+    /// Cached [`System::pn_occurrence_annotations`] (partially matched
+    /// reachability). PN descents traverse solved edges and projection
+    /// sinks anywhere in the system, so the entry is stamped against the
+    /// global mutation counter.
+    pub fn pn_occurrence_annotations(&mut self, x: VarId, target: ConsId) -> Vec<AnnId> {
+        let key = Key::PnOccurrence(self.sys.find_root(x), target);
+        if let Some(Value::Anns(anns)) = self.lookup(&key) {
+            return anns;
+        }
+        let value = self.sys.pn_occurrence_annotations(x, target);
+        let stamp = Stamp::Global(self.sys.global_version());
+        self.store(key, stamp, Value::Anns(value.clone()));
+        value
+    }
+
+    /// Cached [`System::nonempty`]. Emptiness is a whole-system
+    /// productivity fixpoint, so the entry is stamped against the global
+    /// mutation counter.
+    pub fn nonempty(&mut self, x: VarId) -> bool {
+        let key = Key::Nonempty(self.sys.find_root(x));
+        if let Some(Value::Bool(b)) = self.lookup(&key) {
+            return b;
+        }
+        let value = self.sys.nonempty(x);
+        let stamp = Stamp::Global(self.sys.global_version());
+        self.store(key, stamp, Value::Bool(value));
+        value
+    }
+
+    /// Validates and returns a cached value, dropping stale entries.
+    fn lookup(&mut self, key: &Key) -> Option<Value> {
+        let entry = self.cache.get(key)?;
+        let valid = match &entry.stamp {
+            Stamp::Global(g) => *g == self.sys.global_version(),
+            Stamp::Vars(deps) => deps.iter().all(|&(v, stamp)| {
+                v.index() < self.sys.num_vars() && self.sys.var_version(v) == stamp
+            }),
+        };
+        if valid {
+            self.stats.hits += 1;
+            Some(entry.value.clone())
+        } else {
+            self.cache.remove(key);
+            self.stats.invalidations += 1;
+            None
+        }
+    }
+
+    fn store(&mut self, key: Key, stamp: Stamp, value: Value) {
+        self.stats.misses += 1;
+        self.cache.insert(key, Entry { stamp, value });
+    }
+
+    /// The dependency set of a term-descent query from `x`: every
+    /// canonical variable reachable through lower-bound arguments, with
+    /// its current stamp. If an increment later adds a lower bound to any
+    /// of these (growing the reachable set), the parent's stamp moves.
+    fn lb_closure_stamps(&self, x: VarId) -> Vec<(VarId, u64)> {
+        let mut seen: Vec<VarId> = vec![self.sys.find_root(x)];
+        let mut stack = vec![self.sys.find_root(x)];
+        while let Some(v) = stack.pop() {
+            for (_, args, _) in self.sys.lower_bounds(v) {
+                for a in args {
+                    let a = self.sys.find_root(a);
+                    if !seen.contains(&a) {
+                        seen.push(a);
+                        stack.push(a);
+                    }
+                }
+            }
+        }
+        seen.into_iter()
+            .map(|v| (v, self.sys.var_version(v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rasc_automata::{Alphabet, Dfa, SymbolId};
+    use rasc_core::algebra::MonoidAlgebra;
+
+    fn one_bit_session() -> (Session<MonoidAlgebra>, SymbolId, SymbolId) {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let m = Dfa::one_bit(&sigma, g, k);
+        (Session::new(MonoidAlgebra::new(&m)), g, k)
+    }
+
+    #[test]
+    fn incremental_adds_are_queryable_immediately() {
+        let (mut s, g, _) = one_bit_session();
+        let c = s.constructor("c", &[]);
+        let (x, y) = (s.var("X"), s.var("Y"));
+        let fg = s.system_mut().algebra_mut().word(&[g]);
+        s.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        assert!(s.occurrence_annotations(y, c).is_empty());
+        s.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        assert_eq!(s.occurrence_annotations(y, c), vec![fg]);
+        assert!(s.occurs_accepting(y, c));
+    }
+
+    #[test]
+    fn unrelated_increments_keep_cache_entries_warm() {
+        let (mut s, g, _) = one_bit_session();
+        let c = s.constructor("c", &[]);
+        let (x, y) = (s.var("X"), s.var("Y"));
+        let fg = s.system_mut().algebra_mut().word(&[g]);
+        s.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        let first = s.occurrence_annotations(x, c);
+        assert_eq!(s.cache_stats().misses, 1);
+        // An increment in a disconnected component.
+        s.add(SetExpr::cons(c, []), SetExpr::var(y)).unwrap();
+        assert_eq!(s.occurrence_annotations(x, c), first);
+        assert_eq!(s.cache_stats().hits, 1, "per-var stamps survived");
+        // An increment feeding x invalidates.
+        let d = s.constructor("d", &[]);
+        s.add(SetExpr::cons(d, []), SetExpr::var(x)).unwrap();
+        s.occurrence_annotations(x, c);
+        assert_eq!(s.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn rollback_restores_query_results() {
+        let (mut s, g, k) = one_bit_session();
+        let c = s.constructor("c", &[]);
+        let (x, y) = (s.var("X"), s.var("Y"));
+        let fg = s.system_mut().algebra_mut().word(&[g]);
+        let fk = s.system_mut().algebra_mut().word(&[k]);
+        s.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+        s.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
+        let before = s.occurrence_annotations(y, c);
+        let before_stats = s.stats();
+        s.push_epoch();
+        let z = s.var("Z");
+        s.add_ann(SetExpr::cons(c, []), SetExpr::var(y), fk)
+            .unwrap();
+        s.add(SetExpr::var(y), SetExpr::var(z)).unwrap();
+        assert_eq!(s.occurrence_annotations(y, c).len(), 2);
+        assert!(s.pop_epoch());
+        assert_eq!(s.occurrence_annotations(y, c), before);
+        assert_eq!(s.stats(), before_stats);
+    }
+
+    #[test]
+    fn nonempty_and_pn_queries_track_the_global_stamp() {
+        let (mut s, g, _) = one_bit_session();
+        let c = s.constructor("c", &[]);
+        let pair = s.constructor("pair", &[Variance::Covariant, Variance::Covariant]);
+        let (a, b, x) = (s.var("A"), s.var("B"), s.var("X"));
+        let _ = g;
+        s.add(SetExpr::cons(c, []), SetExpr::var(a)).unwrap();
+        s.add(SetExpr::cons_vars(pair, [a, b]), SetExpr::var(x))
+            .unwrap();
+        assert!(!s.nonempty(x), "B is empty");
+        assert!(!s.nonempty(x), "cached");
+        assert_eq!(s.cache_stats().hits, 1);
+        s.add(SetExpr::cons(c, []), SetExpr::var(b)).unwrap();
+        assert!(s.nonempty(x), "stale global stamp recomputed");
+        let anns = s.pn_occurrence_annotations(x, c);
+        assert!(!anns.is_empty());
+        assert_eq!(s.pn_occurrence_annotations(x, c), anns);
+    }
+}

@@ -7,11 +7,14 @@
 //! rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]
 //! rasc spec       --spec FILE [--dot] [--monoid]
 //! rasc cfg        --program FILE [--dot]
+//! rasc batch      --spec FILE [--input FILE]
 //! ```
 //!
 //! `check` verifies a §8-syntax property specification against a MiniImp
 //! program; `flow` runs the §7 type-based flow analysis on a MiniLam
-//! program; `points-to` runs the §7.5 analysis on a MiniPtr program.
+//! program; `points-to` runs the §7.5 analysis on a MiniPtr program;
+//! `batch` runs an incremental solving session over a JSON-lines command
+//! stream (see `rasc::inc::BatchEngine` for the protocol).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -47,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "points-to" => points_to(&opts),
         "spec" => spec_cmd(&opts),
         "cfg" => cfg_cmd(&opts),
+        "batch" => batch(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -62,7 +66,8 @@ fn usage() -> String {
      rasc flow       --program FILE --from LABEL --to LABEL [--dual] [--pn]\n  \
      rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]\n  \
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
-     rasc cfg        --program FILE [--dot]"
+     rasc cfg        --program FILE [--dot]\n  \
+     rasc batch      --spec FILE [--input FILE]   (JSON-lines commands on stdin or FILE)"
         .to_owned()
 }
 
@@ -97,7 +102,7 @@ impl Opts {
 /// Options taking N values (everything else is a flag).
 fn arity(name: &str) -> usize {
     match name {
-        "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" => 1,
+        "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
         "alias" => 2,
         _ => 0,
     }
@@ -303,6 +308,36 @@ fn points_to(opts: &Opts) -> Result<(), String> {
                 if let Ok(set) = pt.points_to(&key) {
                     println!("pt({key}) = {{{}}}", set.join(", "));
                 }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn batch(opts: &Opts) -> Result<(), String> {
+    use std::io::{BufRead, Write};
+    let spec_text = read(opts.required("spec")?)?;
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+    let mut engine = rasc::inc::BatchEngine::new(sigma, &dfa);
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut process = |line: &str| -> Result<(), String> {
+        if let Some(response) = engine.handle_line(line) {
+            writeln!(out, "{response}").map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    };
+    match opts.value("input") {
+        Some(path) => {
+            for line in read(path)?.lines() {
+                process(line)?;
+            }
+        }
+        None => {
+            let stdin = std::io::stdin();
+            for line in stdin.lock().lines() {
+                process(&line.map_err(|e| e.to_string())?)?;
             }
         }
     }

@@ -11,6 +11,8 @@
 //! * [`ptr`] — field-sensitive points-to analysis with stack-aware alias queries.
 //! * [`dataflow`] — interprocedural bit-vector dataflow via annotations.
 //! * [`flow`] — type-based flow analysis with non-structural subtyping.
+//! * [`inc`] — incremental solving sessions: epoch rollback, stamped
+//!   query caching, and the JSON-lines batch protocol.
 
 #![forbid(unsafe_code)]
 
@@ -19,6 +21,9 @@ pub use rasc_cfgir as cfgir;
 pub use rasc_core as constraints;
 pub use rasc_dataflow as dataflow;
 pub use rasc_flow as flow;
+pub use rasc_inc as inc;
 pub use rasc_pdmc as pdmc;
 pub use rasc_ptr as ptr;
 pub use rasc_pushdown as pushdown;
+
+pub use rasc_inc::Session;

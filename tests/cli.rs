@@ -191,3 +191,56 @@ fn bad_usage_is_reported() {
     assert!(ok);
     assert!(text.contains("usage:"), "{text}");
 }
+
+#[test]
+fn batch_runs_an_incremental_session() {
+    let (ok, text) = rasc(&[
+        "batch",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--input",
+        "assets/batch/session.jsonl",
+    ]);
+    assert!(ok, "{text}");
+    let lines: Vec<&str> = text.lines().collect();
+    // One response per non-comment line of the script.
+    assert_eq!(lines.len(), 13, "{text}");
+    assert!(
+        lines[5].contains(r#""result":true"#),
+        "pc reaches Exec accepting: {text}"
+    );
+    assert!(
+        lines[8].contains(r#""result":true"#),
+        "the Error state absorbs, so the mid-epoch extension still accepts: {text}"
+    );
+    assert!(lines[10].contains(r#""ok":"pop""#), "{text}");
+    assert!(
+        lines[11].contains(r#""result":true"#),
+        "pre-epoch result restored: {text}"
+    );
+    assert!(lines[12].contains(r#""ok":"stats""#), "{text}");
+}
+
+#[test]
+fn batch_reports_protocol_errors_in_band() {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rasc"))
+        .args(["batch", "--spec", "assets/specs/privilege.spec"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(b"{\"cmd\":\"pop\"}\n{\"cmd\":\"declare\",\"cons\":\"c\"}\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(out.status.success(), "{text}");
+    assert!(text.lines().next().unwrap().contains("error"), "{text}");
+    assert!(text.lines().nth(1).unwrap().contains("declare"), "{text}");
+}

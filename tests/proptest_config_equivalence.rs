@@ -3,10 +3,10 @@
 //! systems — with cycles, constructors, and projections — are solved under
 //! all four configurations, and every observable query result must agree.
 
-use proptest::prelude::*;
 use rasc::automata::{Alphabet, Dfa, SymbolId};
 use rasc::constraints::algebra::{Algebra, MonoidAlgebra};
 use rasc::constraints::{ConsId, SetExpr, SolverConfig, System, VarId, Variance};
+use rasc_devtools::{forall, prop_assert_eq, Config, Rng};
 
 const N_VARS: usize = 8;
 
@@ -21,14 +21,36 @@ enum RandCon {
     Sink(usize, usize), // v1 ⊆ o(v2)
 }
 
-fn arb_con() -> impl Strategy<Value = RandCon> {
-    prop_oneof![
-        5 => (0..N_VARS, 0..N_VARS, proptest::option::of(0u8..2)).prop_map(|(a, b, s)| RandCon::Edge(a, b, s)),
-        2 => (0..N_VARS, proptest::option::of(0u8..2)).prop_map(|(v, s)| RandCon::Const(v, s)),
-        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Wrap(a, b)),
-        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Proj(a, b)),
-        1 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Sink(a, b)),
-    ]
+fn arb_sym(rng: &mut Rng) -> Option<u8> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..2) as u8)
+    } else {
+        None
+    }
+}
+
+/// Weighted choice mirroring the original distribution 5:2:2:2:1.
+fn arb_con(rng: &mut Rng) -> RandCon {
+    let v = |rng: &mut Rng| rng.gen_range(0..N_VARS);
+    match rng.gen_range(0..12) {
+        0..=4 => {
+            let (a, b) = (v(rng), v(rng));
+            let s = arb_sym(rng);
+            RandCon::Edge(a, b, s)
+        }
+        5 | 6 => {
+            let a = v(rng);
+            let s = arb_sym(rng);
+            RandCon::Const(a, s)
+        }
+        7 | 8 => RandCon::Wrap(v(rng), v(rng)),
+        9 | 10 => RandCon::Proj(v(rng), v(rng)),
+        _ => RandCon::Sink(v(rng), v(rng)),
+    }
+}
+
+fn arb_cons(rng: &mut Rng, max: usize) -> Vec<RandCon> {
+    (0..rng.gen_range(1..max)).map(|_| arb_con(rng)).collect()
 }
 
 struct Built {
@@ -125,47 +147,69 @@ fn machine() -> (Alphabet, Dfa) {
     (sigma, dfa)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn optimizations_preserve_all_query_results(cons in proptest::collection::vec(arb_con(), 1..28)) {
-        let (sigma, dfa) = machine();
-        let syms: Vec<SymbolId> = sigma.symbols().collect();
-        let configs = [
-            SolverConfig { cycle_elimination: true, projection_merging: true, ..SolverConfig::default() },
-            SolverConfig { cycle_elimination: true, projection_merging: false, ..SolverConfig::default() },
-            SolverConfig { cycle_elimination: false, projection_merging: true, ..SolverConfig::default() },
-            SolverConfig { cycle_elimination: false, projection_merging: false, ..SolverConfig::default() },
-        ];
-        let mut reference: Option<Vec<VarSignature>> = None;
-        for config in configs {
-            let mut built = build(&dfa, &syms, &cons, config);
-            let sig = signature(&mut built);
-            match &reference {
-                None => reference = Some(sig),
-                Some(r) => prop_assert_eq!(
-                    r,
-                    &sig,
-                    "config {:?} diverged on constraints {:?}",
-                    config,
-                    cons
-                ),
+#[test]
+fn optimizations_preserve_all_query_results() {
+    forall(
+        "optimizations_preserve_all_query_results",
+        Config::cases(96),
+        |rng| arb_cons(rng, 28),
+        |cons| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let configs = [
+                SolverConfig {
+                    cycle_elimination: true,
+                    projection_merging: true,
+                    ..SolverConfig::default()
+                },
+                SolverConfig {
+                    cycle_elimination: true,
+                    projection_merging: false,
+                    ..SolverConfig::default()
+                },
+                SolverConfig {
+                    cycle_elimination: false,
+                    projection_merging: true,
+                    ..SolverConfig::default()
+                },
+                SolverConfig {
+                    cycle_elimination: false,
+                    projection_merging: false,
+                    ..SolverConfig::default()
+                },
+            ];
+            let mut reference: Option<Vec<VarSignature>> = None;
+            for config in configs {
+                let mut built = build(&dfa, &syms, cons, config);
+                let sig = signature(&mut built);
+                match &reference {
+                    None => reference = Some(sig),
+                    Some(r) => prop_assert_eq!(r, &sig, "config {config:?} diverged"),
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn solve_is_idempotent_and_monotone(cons in proptest::collection::vec(arb_con(), 1..20)) {
-        // Adding the same constraints twice and re-solving must not change
-        // any observable result (the solver is a closure operator).
-        let (sigma, dfa) = machine();
-        let syms: Vec<SymbolId> = sigma.symbols().collect();
-        let mut once = build(&dfa, &syms, &cons, SolverConfig::default());
-        let sig_once = signature(&mut once);
-        let doubled: Vec<RandCon> = cons.iter().cloned().chain(cons.iter().cloned()).collect();
-        let mut twice = build(&dfa, &syms, &doubled, SolverConfig::default());
-        let sig_twice = signature(&mut twice);
-        prop_assert_eq!(sig_once, sig_twice);
-    }
+#[test]
+fn solve_is_idempotent_and_monotone() {
+    forall(
+        "solve_is_idempotent_and_monotone",
+        Config::cases(96),
+        |rng| arb_cons(rng, 20),
+        |cons| {
+            // Adding the same constraints twice and re-solving must not change
+            // any observable result (the solver is a closure operator).
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let mut once = build(&dfa, &syms, cons, SolverConfig::default());
+            let sig_once = signature(&mut once);
+            let doubled: Vec<RandCon> = cons.iter().cloned().chain(cons.iter().cloned()).collect();
+            let mut twice = build(&dfa, &syms, &doubled, SolverConfig::default());
+            let sig_twice = signature(&mut twice);
+            prop_assert_eq!(sig_once, sig_twice);
+            Ok(())
+        },
+    );
 }

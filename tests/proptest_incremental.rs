@@ -1,0 +1,325 @@
+//! Property tests for the incremental session layer (`rasc-inc`):
+//!
+//! * **Equivalence** — adding random constraints one at a time through a
+//!   [`Session`] (re-draining the worklist after each) must yield exactly
+//!   the observable results of a fresh batch solve of the same system,
+//!   under every §8 optimization configuration.
+//! * **Rollback** — `push_epoch` / add random constraints / `pop_epoch`
+//!   must restore every observable query result and the solver statistics
+//!   bit-for-bit.
+
+use rasc::automata::{Alphabet, Dfa, SymbolId};
+use rasc::constraints::algebra::{Algebra, MonoidAlgebra};
+use rasc::constraints::{ConsId, SetExpr, SolverConfig, System, VarId, Variance};
+use rasc::Session;
+use rasc_devtools::{forall, prop_assert, prop_assert_eq, Config, Rng};
+
+const N_VARS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum RandCon {
+    Edge(usize, usize, Option<u8>),
+    Const(usize, Option<u8>),
+    Wrap(usize, usize), // o(v1) ⊆ v2
+    Proj(usize, usize), // o⁻¹(v1) ⊆ v2
+    Sink(usize, usize), // v1 ⊆ o(v2)
+}
+
+fn arb_sym(rng: &mut Rng) -> Option<u8> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..2) as u8)
+    } else {
+        None
+    }
+}
+
+fn arb_con(rng: &mut Rng) -> RandCon {
+    let v = |rng: &mut Rng| rng.gen_range(0..N_VARS);
+    match rng.gen_range(0..12) {
+        0..=4 => {
+            let (a, b) = (v(rng), v(rng));
+            let s = arb_sym(rng);
+            RandCon::Edge(a, b, s)
+        }
+        5 | 6 => {
+            let a = v(rng);
+            let s = arb_sym(rng);
+            RandCon::Const(a, s)
+        }
+        7 | 8 => RandCon::Wrap(v(rng), v(rng)),
+        9 | 10 => RandCon::Proj(v(rng), v(rng)),
+        _ => RandCon::Sink(v(rng), v(rng)),
+    }
+}
+
+fn arb_cons(rng: &mut Rng, lo: usize, hi: usize) -> Vec<RandCon> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_con(rng)).collect()
+}
+
+fn machine() -> (Alphabet, Dfa) {
+    // Odd number of `a`, ending in `b` — 4-state minimal machine.
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let re = rasc::automata::Regex::parse("b* a (b | a b* a)* b+", &sigma).unwrap();
+    let dfa = re.compile(&sigma);
+    (sigma, dfa)
+}
+
+struct Shape {
+    vars: Vec<VarId>,
+    probe: ConsId,
+    o: ConsId,
+}
+
+fn declare(sys: &mut System<MonoidAlgebra>) -> Shape {
+    let vars = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    let o = sys.constructor("o", &[Variance::Covariant]);
+    Shape { vars, probe, o }
+}
+
+/// Adds one random constraint directly to a system (no solve).
+fn apply(sys: &mut System<MonoidAlgebra>, shape: &Shape, syms: &[SymbolId], c: &RandCon) {
+    let ann = |sys: &mut System<MonoidAlgebra>, s: &Option<u8>| match s {
+        Some(i) => sys.algebra_mut().word(&[syms[*i as usize]]),
+        None => sys.algebra().identity(),
+    };
+    match *c {
+        RandCon::Edge(a, b, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(SetExpr::var(shape.vars[a]), SetExpr::var(shape.vars[b]), w)
+                .unwrap();
+        }
+        RandCon::Const(v, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(
+                SetExpr::cons(shape.probe, []),
+                SetExpr::var(shape.vars[v]),
+                w,
+            )
+            .unwrap();
+        }
+        RandCon::Wrap(a, b) => {
+            sys.add(
+                SetExpr::cons_vars(shape.o, [shape.vars[a]]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Proj(a, b) => {
+            sys.add(
+                SetExpr::proj(shape.o, 0, shape.vars[a]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Sink(a, b) => {
+            sys.add(
+                SetExpr::var(shape.vars[a]),
+                SetExpr::cons_vars(shape.o, [shape.vars[b]]),
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Per-variable observation through the *session* query layer: sorted
+/// probe occurrence annotations (rendered), emptiness, `o`-acceptance,
+/// and partially matched occurrences — plus global consistency.
+type Signature = (Vec<(Vec<String>, bool, bool, Vec<String>)>, bool);
+
+fn session_signature(s: &mut Session<MonoidAlgebra>, shape: &Shape) -> Signature {
+    let per_var = shape
+        .vars
+        .iter()
+        .map(|&v| {
+            let mut occ: Vec<String> = s
+                .occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            occ.sort();
+            let nonempty = s.nonempty(v);
+            let o_reaches = s.occurs_accepting(v, shape.o);
+            let mut pn: Vec<String> = s
+                .pn_occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            pn.sort();
+            (occ, nonempty, o_reaches, pn)
+        })
+        .collect();
+    (per_var, s.is_consistent())
+}
+
+/// The same observation computed directly on a solved system.
+fn system_signature(sys: &mut System<MonoidAlgebra>, shape: &Shape) -> Signature {
+    let per_var = shape
+        .vars
+        .iter()
+        .map(|&v| {
+            let mut occ: Vec<String> = sys
+                .occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| sys.algebra().describe(a))
+                .collect();
+            occ.sort();
+            let nonempty = sys.nonempty(v);
+            let o_reaches = sys.occurs_accepting(v, shape.o);
+            let mut pn: Vec<String> = sys
+                .pn_occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| sys.algebra().describe(a))
+                .collect();
+            pn.sort();
+            (occ, nonempty, o_reaches, pn)
+        })
+        .collect();
+    (per_var, sys.is_consistent())
+}
+
+#[test]
+fn incremental_session_matches_fresh_batch_solve() {
+    forall(
+        "incremental_session_matches_fresh_batch_solve",
+        Config::cases(96),
+        |rng| arb_cons(rng, 1, 24),
+        |cons| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let configs = [
+                SolverConfig {
+                    cycle_elimination: true,
+                    projection_merging: true,
+                    ..SolverConfig::default()
+                },
+                SolverConfig {
+                    cycle_elimination: false,
+                    projection_merging: false,
+                    ..SolverConfig::default()
+                },
+            ];
+            for config in configs {
+                // Batch: add everything, solve once.
+                let mut batch = System::with_config(MonoidAlgebra::new(&dfa), config);
+                let shape = declare(&mut batch);
+                for c in cons {
+                    apply(&mut batch, &shape, &syms, c);
+                }
+                batch.solve();
+                let want = system_signature(&mut batch, &shape);
+
+                // Incremental: one constraint per `Session::add`, each
+                // re-draining the worklist before the next.
+                let mut sess = Session::with_config(MonoidAlgebra::new(&dfa), config);
+                let shape_s = declare(sess.system_mut());
+                for c in cons {
+                    apply(sess.system_mut(), &shape_s, &syms, c);
+                    sess.system_mut().solve();
+                }
+                let got = session_signature(&mut sess, &shape_s);
+                prop_assert_eq!(&got, &want, "config {config:?} diverged incrementally");
+
+                // Asking again must be answered from cache, identically.
+                let again = session_signature(&mut sess, &shape_s);
+                prop_assert_eq!(&again, &want, "cached answers diverged");
+                prop_assert!(sess.cache_stats().hits > 0, "second pass should hit");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn pop_epoch_restores_all_observables() {
+    forall(
+        "pop_epoch_restores_all_observables",
+        Config::cases(96),
+        |rng| (arb_cons(rng, 0, 12), arb_cons(rng, 1, 8)),
+        |(base, extra)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let mut sess = Session::new(MonoidAlgebra::new(&dfa));
+            let shape = declare(sess.system_mut());
+            for c in base {
+                apply(sess.system_mut(), &shape, &syms, c);
+                sess.system_mut().solve();
+            }
+            let before = session_signature(&mut sess, &shape);
+            // The algebra's hash-cons table is a monotone memo and is
+            // deliberately not rolled back (ids are canonical by content),
+            // so its size is not part of the restored-state contract.
+            let mut before_stats = sess.stats();
+            before_stats.annotations = 0;
+
+            sess.push_epoch();
+            for c in extra {
+                apply(sess.system_mut(), &shape, &syms, c);
+                sess.system_mut().solve();
+            }
+            // Mid-epoch queries populate the cache with stamped entries
+            // that must not leak back after rollback.
+            let _ = session_signature(&mut sess, &shape);
+            prop_assert_eq!(sess.epoch_depth(), 1);
+            prop_assert!(sess.pop_epoch());
+
+            let after = session_signature(&mut sess, &shape);
+            prop_assert_eq!(&after, &before, "rollback changed an observable");
+            let mut after_stats = sess.stats();
+            after_stats.annotations = 0;
+            prop_assert_eq!(after_stats, before_stats, "rollback changed stats");
+            prop_assert_eq!(sess.epoch_depth(), 0);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn nested_epochs_unwind_in_order() {
+    forall(
+        "nested_epochs_unwind_in_order",
+        Config::cases(64),
+        |rng| {
+            (
+                arb_cons(rng, 0, 8),
+                arb_cons(rng, 1, 6),
+                arb_cons(rng, 1, 6),
+            )
+        },
+        |(base, mid, top)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let mut sess = Session::new(MonoidAlgebra::new(&dfa));
+            let shape = declare(sess.system_mut());
+            for c in base {
+                apply(sess.system_mut(), &shape, &syms, c);
+                sess.system_mut().solve();
+            }
+            let sig_base = session_signature(&mut sess, &shape);
+
+            sess.push_epoch();
+            for c in mid {
+                apply(sess.system_mut(), &shape, &syms, c);
+                sess.system_mut().solve();
+            }
+            let sig_mid = session_signature(&mut sess, &shape);
+
+            sess.push_epoch();
+            for c in top {
+                apply(sess.system_mut(), &shape, &syms, c);
+                sess.system_mut().solve();
+            }
+            prop_assert_eq!(sess.epoch_depth(), 2);
+
+            prop_assert!(sess.pop_epoch());
+            let back_mid = session_signature(&mut sess, &shape);
+            prop_assert_eq!(&back_mid, &sig_mid, "inner rollback");
+
+            prop_assert!(sess.pop_epoch());
+            let back_base = session_signature(&mut sess, &shape);
+            prop_assert_eq!(&back_base, &sig_base, "outer rollback");
+            prop_assert!(!sess.pop_epoch(), "no epoch left");
+            Ok(())
+        },
+    );
+}

@@ -2,8 +2,8 @@
 //! the stack-aware alias relation must *refine* the flat one (contexts can
 //! separate locations, never merge them), and basic structural laws hold.
 
-use proptest::prelude::*;
 use rasc::ptr::{PointsTo, Program};
+use rasc_devtools::{forall, prop_assert, prop_assert_eq, Config, Rng};
 
 const VARS: [&str; 5] = ["p", "q", "r", "s", "t"];
 const TARGETS: [&str; 3] = ["a", "b", "c"];
@@ -20,17 +20,22 @@ enum RandStmt {
     CallF(usize, usize), // f(x, y)
 }
 
-fn arb_stmt() -> impl Strategy<Value = RandStmt> {
-    prop_oneof![
-        3 => (0..VARS.len(), 0..TARGETS.len()).prop_map(|(d, o)| RandStmt::AddrOf(d, o)),
-        3 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Copy(d, s)),
-        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Load(d, s)),
-        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, s)| RandStmt::Store(d, s)),
-        1 => (0..VARS.len()).prop_map(RandStmt::Alloc),
-        1 => (0..VARS.len(), 0..VARS.len()).prop_map(|(b, s)| RandStmt::FieldStore(b, s)),
-        1 => (0..VARS.len(), 0..VARS.len()).prop_map(|(d, b)| RandStmt::FieldLoad(d, b)),
-        2 => (0..VARS.len(), 0..VARS.len()).prop_map(|(x, y)| RandStmt::CallF(x, y)),
-    ]
+/// Weighted choice mirroring the original distribution 3:3:2:2:1:1:1:2.
+fn arb_stmt(rng: &mut Rng) -> RandStmt {
+    let v = |rng: &mut Rng| rng.gen_range(0..VARS.len());
+    match rng.gen_range(0..15) {
+        0..=2 => {
+            let d = v(rng);
+            RandStmt::AddrOf(d, rng.gen_range(0..TARGETS.len()))
+        }
+        3..=5 => RandStmt::Copy(v(rng), v(rng)),
+        6 | 7 => RandStmt::Load(v(rng), v(rng)),
+        8 | 9 => RandStmt::Store(v(rng), v(rng)),
+        10 => RandStmt::Alloc(v(rng)),
+        11 => RandStmt::FieldStore(v(rng), v(rng)),
+        12 => RandStmt::FieldLoad(v(rng), v(rng)),
+        _ => RandStmt::CallF(v(rng), v(rng)),
+    }
 }
 
 fn render(stmts: &[RandStmt]) -> String {
@@ -53,38 +58,47 @@ fn render(stmts: &[RandStmt]) -> String {
     format!("fn sink(u, v) {{ }}\nfn main() {{\n{main}}}\n")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn stack_aware_alias_refines_flat_alias(stmts in proptest::collection::vec(arb_stmt(), 1..16)) {
-        let src = render(&stmts);
-        let program = Program::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
-        let mut pt = PointsTo::analyze(&program).unwrap_or_else(|e| panic!("{e}\n{src}"));
-        let mut names: Vec<String> = VARS.iter().map(|v| format!("main::{v}")).collect();
-        names.push("sink::u".to_owned());
-        names.push("sink::v".to_owned());
-        for x in &names {
-            for y in &names {
-                if pt.points_to(x).is_err() || pt.points_to(y).is_err() {
-                    continue; // variable never occurred
+#[test]
+fn stack_aware_alias_refines_flat_alias() {
+    forall(
+        "stack_aware_alias_refines_flat_alias",
+        Config::cases(128),
+        |rng| {
+            (0..rng.gen_range(1..16))
+                .map(|_| arb_stmt(rng))
+                .collect::<Vec<_>>()
+        },
+        |stmts| {
+            let src = render(stmts);
+            let program = Program::parse(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            let mut pt = PointsTo::analyze(&program).unwrap_or_else(|e| panic!("{e}\n{src}"));
+            let mut names: Vec<String> = VARS.iter().map(|v| format!("main::{v}")).collect();
+            names.push("sink::u".to_owned());
+            names.push("sink::v".to_owned());
+            for x in &names {
+                for y in &names {
+                    if pt.points_to(x).is_err() || pt.points_to(y).is_err() {
+                        continue; // variable never occurred
+                    }
+                    let flat = pt.may_alias(x, y).unwrap();
+                    let stack = pt.may_alias_stack_aware(x, y).unwrap();
+                    prop_assert!(
+                        !stack || flat,
+                        "stack-aware alias without flat alias for ({x}, {y}) in\n{src}"
+                    );
+                    // Symmetry of both relations.
+                    prop_assert_eq!(flat, pt.may_alias(y, x).unwrap());
+                    prop_assert_eq!(stack, pt.may_alias_stack_aware(y, x).unwrap());
                 }
-                let flat = pt.may_alias(x, y).unwrap();
-                let stack = pt.may_alias_stack_aware(x, y).unwrap();
-                prop_assert!(
-                    !stack || flat,
-                    "stack-aware alias without flat alias for ({x}, {y}) in\n{src}"
-                );
-                // Symmetry of both relations.
-                prop_assert_eq!(flat, pt.may_alias(y, x).unwrap());
-                prop_assert_eq!(stack, pt.may_alias_stack_aware(y, x).unwrap());
             }
-        }
-        // Self-alias agrees with non-emptiness of the flat set.
-        for x in &names {
-            if let Ok(set) = pt.points_to(x) {
-                prop_assert_eq!(pt.may_alias(x, x).unwrap(), !set.is_empty());
+            // Self-alias agrees with non-emptiness of the flat set.
+            for x in &names {
+                if let Ok(set) = pt.points_to(x) {
+                    let nonempty = !set.is_empty();
+                    prop_assert_eq!(pt.may_alias(x, x).unwrap(), nonempty);
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -13,10 +13,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use proptest::prelude::*;
 use rasc::automata::{adversarial_machine, FnId, Monoid, SymbolId};
 use rasc::constraints::algebra::MonoidAlgebra;
 use rasc::constraints::{ConsId, GroundTerm, SetExpr, System, VarId, Variance};
+use rasc_devtools::{forall, prop_assert_eq, Config, Rng};
 
 const N_VARS: usize = 5;
 /// Comparison depth.
@@ -39,14 +39,24 @@ enum RandCon {
     Sink(usize, usize),
 }
 
-fn arb_con() -> impl Strategy<Value = RandCon> {
-    prop_oneof![
-        4 => (0..N_VARS, 0..N_VARS, 0u8..3).prop_map(|(a, b, s)| RandCon::Edge(a, b, s)),
-        3 => (0..N_VARS, 0u8..3).prop_map(|(v, s)| RandCon::Const(v, s)),
-        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Wrap(a, b)),
-        2 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Proj(a, b)),
-        1 => (0..N_VARS, 0..N_VARS).prop_map(|(a, b)| RandCon::Sink(a, b)),
-    ]
+/// Weighted choice mirroring the original distribution 4:3:2:2:1.
+fn arb_con(rng: &mut Rng) -> RandCon {
+    let v = |rng: &mut Rng| rng.gen_range(0..N_VARS);
+    match rng.gen_range(0..12) {
+        0..=3 => {
+            let (a, b) = (v(rng), v(rng));
+            let s = rng.gen_range(0..3) as u8;
+            RandCon::Edge(a, b, s)
+        }
+        4..=6 => {
+            let a = v(rng);
+            let s = rng.gen_range(0..3) as u8;
+            RandCon::Const(a, s)
+        }
+        7 | 8 => RandCon::Wrap(v(rng), v(rng)),
+        9 | 10 => RandCon::Proj(v(rng), v(rng)),
+        _ => RandCon::Sink(v(rng), v(rng)),
+    }
 }
 
 /// A naive annotated ground term over monoid classes.
@@ -202,56 +212,67 @@ fn convert(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
+#[test]
+fn solver_least_solution_matches_naive_semantics() {
+    forall(
+        "solver_least_solution_matches_naive_semantics",
+        Config::cases(160),
+        |rng| {
+            (0..rng.gen_range(1..10))
+                .map(|_| arb_con(rng))
+                .collect::<Vec<_>>()
+        },
+        |cons| {
+            let (_, machine) = adversarial_machine(3);
+            let mut monoid = Monoid::of_dfa(&machine.minimize());
+            let naive = naive_solution(cons, &mut monoid);
 
-    #[test]
-    fn solver_least_solution_matches_naive_semantics(
-        cons in proptest::collection::vec(arb_con(), 1..10)
-    ) {
-        let (_, machine) = adversarial_machine(3);
-        let mut monoid = Monoid::of_dfa(&machine.minimize());
-        let naive = naive_solution(&cons, &mut monoid);
-
-        let mut sys = System::new(MonoidAlgebra::new(&machine));
-        let vars: Vec<VarId> = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
-        let probe = sys.constructor("probe", &[]);
-        let o = sys.constructor("o", &[Variance::Covariant]);
-        for c in &cons {
-            match *c {
-                RandCon::Edge(a, b, s) => {
-                    let ann = sys.algebra_mut().word(&[SymbolId::from_index(s as usize)]);
-                    sys.add_ann(SetExpr::var(vars[a]), SetExpr::var(vars[b]), ann).unwrap();
-                }
-                RandCon::Const(v, s) => {
-                    let ann = sys.algebra_mut().word(&[SymbolId::from_index(s as usize)]);
-                    sys.add_ann(SetExpr::cons(probe, []), SetExpr::var(vars[v]), ann).unwrap();
-                }
-                RandCon::Wrap(a, b) => {
-                    sys.add(SetExpr::cons_vars(o, [vars[a]]), SetExpr::var(vars[b])).unwrap();
-                }
-                RandCon::Proj(a, b) => {
-                    sys.add(SetExpr::proj(o, 0, vars[a]), SetExpr::var(vars[b])).unwrap();
-                }
-                RandCon::Sink(a, b) => {
-                    sys.add(SetExpr::var(vars[a]), SetExpr::cons_vars(o, [vars[b]])).unwrap();
+            let mut sys = System::new(MonoidAlgebra::new(&machine));
+            let vars: Vec<VarId> = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
+            let probe = sys.constructor("probe", &[]);
+            let o = sys.constructor("o", &[Variance::Covariant]);
+            for c in cons {
+                match *c {
+                    RandCon::Edge(a, b, s) => {
+                        let ann = sys.algebra_mut().word(&[SymbolId::from_index(s as usize)]);
+                        sys.add_ann(SetExpr::var(vars[a]), SetExpr::var(vars[b]), ann)
+                            .unwrap();
+                    }
+                    RandCon::Const(v, s) => {
+                        let ann = sys.algebra_mut().word(&[SymbolId::from_index(s as usize)]);
+                        sys.add_ann(SetExpr::cons(probe, []), SetExpr::var(vars[v]), ann)
+                            .unwrap();
+                    }
+                    RandCon::Wrap(a, b) => {
+                        sys.add(SetExpr::cons_vars(o, [vars[a]]), SetExpr::var(vars[b]))
+                            .unwrap();
+                    }
+                    RandCon::Proj(a, b) => {
+                        sys.add(SetExpr::proj(o, 0, vars[a]), SetExpr::var(vars[b]))
+                            .unwrap();
+                    }
+                    RandCon::Sink(a, b) => {
+                        sys.add(SetExpr::var(vars[a]), SetExpr::cons_vars(o, [vars[b]]))
+                            .unwrap();
+                    }
                 }
             }
-        }
-        sys.solve();
+            sys.solve();
 
-        for v in 0..N_VARS {
-            let terms = sys.ground_terms(vars[v], DEPTH, 4096);
-            let got: BTreeSet<NaiveTerm> = terms
-                .iter()
-                .map(|t| convert(t, probe, sys.algebra(), &mut monoid))
-                .collect();
-            let want: BTreeSet<NaiveTerm> =
-                naive[v].iter().filter(|t| t.depth() <= DEPTH).cloned().collect();
-            prop_assert_eq!(
-                &got, &want,
-                "var v{} disagrees under {:?}", v, cons
-            );
-        }
-    }
+            for v in 0..N_VARS {
+                let terms = sys.ground_terms(vars[v], DEPTH, 4096);
+                let got: BTreeSet<NaiveTerm> = terms
+                    .iter()
+                    .map(|t| convert(t, probe, sys.algebra(), &mut monoid))
+                    .collect();
+                let want: BTreeSet<NaiveTerm> = naive[v]
+                    .iter()
+                    .filter(|t| t.depth() <= DEPTH)
+                    .cloned()
+                    .collect();
+                prop_assert_eq!(&got, &want, "var v{v} disagrees");
+            }
+            Ok(())
+        },
+    );
 }

@@ -5,28 +5,33 @@
 
 use std::collections::BTreeSet;
 
-use proptest::prelude::*;
 use rasc::automata::{adversarial_machine, Monoid, PropertySpec, SymbolId};
 use rasc::constraints::algebra::{Algebra, MonoidAlgebra, SubstAlgebra};
 use rasc::constraints::{SetExpr, System};
 use rasc_bench::constraints_workload::{
     run_backward, run_bidirectional, run_forward, EdgeListWorkload,
 };
+use rasc_devtools::{forall, prop_assert_eq, Config, Rng};
 
 /// A random DAG workload: edges always go from lower to higher indices,
 /// so path enumeration terminates.
-fn arb_dag(n_vars: usize, n_syms: u32) -> impl Strategy<Value = EdgeListWorkload> {
-    let edge = (0..n_vars - 1, 1usize..n_vars, 0..n_syms).prop_map(move |(a, b, s)| {
-        let from = a.min(b.saturating_sub(1));
-        let to = from + 1 + (b - 1 - from).min(n_vars - 2 - from);
-        (from, to, vec![SymbolId::from_index(s as usize)])
-    });
-    proptest::collection::vec(edge, 1..24).prop_map(move |edges| EdgeListWorkload {
+fn arb_dag(rng: &mut Rng, n_vars: usize, n_syms: usize) -> EdgeListWorkload {
+    let edges = (0..rng.gen_range(1..24))
+        .map(|_| {
+            let a = rng.gen_range(0..n_vars - 1);
+            let b = rng.gen_range(1..n_vars);
+            let s = rng.gen_range(0..n_syms);
+            let from = a.min(b.saturating_sub(1));
+            let to = from + 1 + (b - 1 - from).min(n_vars - 2 - from);
+            (from, to, vec![SymbolId::from_index(s)])
+        })
+        .collect();
+    EdgeListWorkload {
         n_vars,
         edges,
         source: 0,
         sink: n_vars - 1,
-    })
+    }
 }
 
 /// Exact oracle: enumerate all paths source → var in the DAG and collect
@@ -54,70 +59,96 @@ fn oracle_classes(
     classes
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bidirectional_solver_matches_path_enumeration(wl in arb_dag(8, 3)) {
-        let (_, machine) = adversarial_machine(3);
-        let mut monoid = Monoid::lazy_of_dfa(&machine.minimize());
-        let expected = oracle_classes(&wl, &mut monoid);
-
-        let mut sys = System::new(MonoidAlgebra::new(&machine));
-        let vars: Vec<_> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
-        let probe = sys.constructor("probe", &[]);
-        sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[wl.source])).unwrap();
-        for (from, to, word) in &wl.edges {
-            let ann = sys.algebra_mut().word(word);
-            sys.add_ann(SetExpr::var(vars[*from]), SetExpr::var(vars[*to]), ann).unwrap();
-        }
-        sys.solve();
-
-        // The adversarial machine has every state useful, so no pruning:
-        // the solved lower bounds must be exactly the oracle's classes.
-        for v in 0..wl.n_vars {
-            let got: BTreeSet<usize> = sys
-                .lower_bound_annotations(vars[v], probe)
-                .into_iter()
-                .map(|a| a.index())
-                .collect();
-            let want: BTreeSet<usize> = expected[v].iter().map(|f| f.index()).collect();
-            // Compare via the underlying function tables (ids may differ
-            // between the two monoid instances).
-            let got_fns: BTreeSet<Vec<usize>> = got
-                .iter()
-                .map(|&i| {
-                    sys.algebra()
-                        .monoid()
-                        .repr_fn(rasc::automata::FnId::from_index(i))
-                        .images()
-                        .map(|s| s.index())
-                        .collect()
-                })
-                .collect();
-            let want_fns: BTreeSet<Vec<usize>> = want
-                .iter()
-                .map(|&i| {
-                    monoid
-                        .repr_fn(rasc::automata::FnId::from_index(i))
-                        .images()
-                        .map(|s| s.index())
-                        .collect()
-                })
-                .collect();
-            prop_assert_eq!(got_fns, want_fns, "var {}", v);
-        }
+/// Edge lists shrink via the `Vec` instance; the fixed endpoints survive.
+fn edges_to_workload(n_vars: usize, edges: Vec<(usize, usize, Vec<SymbolId>)>) -> EdgeListWorkload {
+    EdgeListWorkload {
+        n_vars,
+        edges,
+        source: 0,
+        sink: n_vars - 1,
     }
+}
 
-    #[test]
-    fn all_strategies_agree_on_random_dags(wl in arb_dag(10, 3)) {
-        let (_, machine) = adversarial_machine(3);
-        let b = run_bidirectional(&machine, &wl);
-        let f = run_forward(&machine, &wl);
-        let k = run_backward(&machine, &wl);
-        prop_assert_eq!(b.reached, f.reached);
-        prop_assert_eq!(b.reached, k.reached);
-    }
+#[test]
+fn bidirectional_solver_matches_path_enumeration() {
+    forall(
+        "bidirectional_solver_matches_path_enumeration",
+        Config::cases(64),
+        |rng| arb_dag(rng, 8, 3).edges,
+        |edges| {
+            let wl = edges_to_workload(8, edges.clone());
+            let (_, machine) = adversarial_machine(3);
+            let mut monoid = Monoid::lazy_of_dfa(&machine.minimize());
+            let expected = oracle_classes(&wl, &mut monoid);
+
+            let mut sys = System::new(MonoidAlgebra::new(&machine));
+            let vars: Vec<_> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+            let probe = sys.constructor("probe", &[]);
+            sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[wl.source]))
+                .unwrap();
+            for (from, to, word) in &wl.edges {
+                let ann = sys.algebra_mut().word(word);
+                sys.add_ann(SetExpr::var(vars[*from]), SetExpr::var(vars[*to]), ann)
+                    .unwrap();
+            }
+            sys.solve();
+
+            // The adversarial machine has every state useful, so no pruning:
+            // the solved lower bounds must be exactly the oracle's classes.
+            for v in 0..wl.n_vars {
+                let got: BTreeSet<usize> = sys
+                    .lower_bound_annotations(vars[v], probe)
+                    .into_iter()
+                    .map(|a| a.index())
+                    .collect();
+                let want: BTreeSet<usize> = expected[v].iter().map(|f| f.index()).collect();
+                // Compare via the underlying function tables (ids may differ
+                // between the two monoid instances).
+                let got_fns: BTreeSet<Vec<usize>> = got
+                    .iter()
+                    .map(|&i| {
+                        sys.algebra()
+                            .monoid()
+                            .repr_fn(rasc::automata::FnId::from_index(i))
+                            .images()
+                            .map(|s| s.index())
+                            .collect()
+                    })
+                    .collect();
+                let want_fns: BTreeSet<Vec<usize>> = want
+                    .iter()
+                    .map(|&i| {
+                        monoid
+                            .repr_fn(rasc::automata::FnId::from_index(i))
+                            .images()
+                            .map(|s| s.index())
+                            .collect()
+                    })
+                    .collect();
+                prop_assert_eq!(got_fns, want_fns, "var {v}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn all_strategies_agree_on_random_dags() {
+    forall(
+        "all_strategies_agree_on_random_dags",
+        Config::cases(64),
+        |rng| arb_dag(rng, 10, 3).edges,
+        |edges| {
+            let wl = edges_to_workload(10, edges.clone());
+            let (_, machine) = adversarial_machine(3);
+            let b = run_bidirectional(&machine, &wl);
+            let f = run_forward(&machine, &wl);
+            let k = run_backward(&machine, &wl);
+            prop_assert_eq!(b.reached, f.reached);
+            prop_assert_eq!(b.reached, k.reached);
+            Ok(())
+        },
+    );
 }
 
 /// A random parametric event: `open`/`close`, instantiated at one of three
@@ -128,70 +159,87 @@ enum PEvent {
     Close(Option<u8>),
 }
 
-fn arb_pevents() -> impl Strategy<Value = Vec<PEvent>> {
-    let ev = prop_oneof![
-        proptest::option::of(0u8..3).prop_map(PEvent::Open),
-        proptest::option::of(0u8..3).prop_map(PEvent::Close),
-    ];
-    proptest::collection::vec(ev, 0..10)
+fn arb_pevents(rng: &mut Rng) -> Vec<PEvent> {
+    (0..rng.gen_range(0..10))
+        .map(|_| {
+            let label = if rng.gen_bool(0.5) {
+                Some(rng.gen_range(0..3) as u8)
+            } else {
+                None
+            };
+            if rng.gen_bool(0.5) {
+                PEvent::Open(label)
+            } else {
+                PEvent::Close(label)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+#[test]
+fn substitution_environments_match_per_instance_simulation() {
+    forall(
+        "substitution_environments_match_per_instance_simulation",
+        Config::cases(128),
+        arb_pevents,
+        |events| {
+            // The §6.4 semantics: an instance (x: ℓ) experiences the
+            // parametric events instantiated at ℓ plus every non-parametric
+            // event, in program order. Compose substitution environments and
+            // compare against that direct simulation for every label.
+            let spec = PropertySpec::parse(
+                "start state Closed : | open(x) -> Opened;\n\
+                 accept state Opened : | close(x) -> Closed;",
+            )
+            .unwrap();
+            let (sigma, dfa) = spec.compile();
+            let open_sym = sigma.lookup("open").unwrap();
+            let close_sym = sigma.lookup("close").unwrap();
 
-    #[test]
-    fn substitution_environments_match_per_instance_simulation(events in arb_pevents()) {
-        // The §6.4 semantics: an instance (x: ℓ) experiences the
-        // parametric events instantiated at ℓ plus every non-parametric
-        // event, in program order. Compose substitution environments and
-        // compare against that direct simulation for every label.
-        let spec = PropertySpec::parse(
-            "start state Closed : | open(x) -> Opened;\n\
-             accept state Opened : | close(x) -> Closed;",
-        ).unwrap();
-        let (sigma, dfa) = spec.compile();
-        let open_sym = sigma.lookup("open").unwrap();
-        let close_sym = sigma.lookup("close").unwrap();
+            let mut alg = SubstAlgebra::new(&dfa);
+            let x = alg.param("x");
+            let labels = [alg.label("l0"), alg.label("l1"), alg.label("l2")];
 
-        let mut alg = SubstAlgebra::new(&dfa);
-        let x = alg.param("x");
-        let labels = [alg.label("l0"), alg.label("l1"), alg.label("l2")];
-
-        let mut composed = alg.identity();
-        for &e in &events {
-            let ann = match e {
-                PEvent::Open(Some(l)) => alg.instantiate(open_sym, &[(x, labels[l as usize])]),
-                PEvent::Open(None) => alg.plain(open_sym),
-                PEvent::Close(Some(l)) => alg.instantiate(close_sym, &[(x, labels[l as usize])]),
-                PEvent::Close(None) => alg.plain(close_sym),
-            };
-            composed = alg.compose(ann, composed);
-        }
-
-        // Simulate each label's view of the event stream on the machine.
-        let complete = dfa.complete();
-        for (li, &label) in labels.iter().enumerate() {
-            let mut state = complete.start().unwrap();
-            for &e in &events {
-                let sym = match e {
-                    PEvent::Open(inst) if inst.is_none() || inst == Some(li as u8) => Some(open_sym),
-                    PEvent::Close(inst) if inst.is_none() || inst == Some(li as u8) => Some(close_sym),
-                    _ => None,
+            let mut composed = alg.identity();
+            for &e in events {
+                let ann = match e {
+                    PEvent::Open(Some(l)) => alg.instantiate(open_sym, &[(x, labels[l as usize])]),
+                    PEvent::Open(None) => alg.plain(open_sym),
+                    PEvent::Close(Some(l)) => {
+                        alg.instantiate(close_sym, &[(x, labels[l as usize])])
+                    }
+                    PEvent::Close(None) => alg.plain(close_sym),
                 };
-                if let Some(s) = sym {
-                    state = complete.delta(state, s).unwrap();
-                }
+                composed = alg.compose(ann, composed);
             }
-            let expected_open = complete.is_accepting(state);
-            // Query the composed environment for this label.
-            let env = alg.env(composed);
-            let key: std::collections::BTreeMap<_, _> = [(x, label)].into_iter().collect();
-            let f = env.lookup(&key);
-            let got_open = alg.monoid().is_accepting(f);
-            prop_assert_eq!(
-                got_open, expected_open,
-                "label l{} under {:?}", li, events
-            );
-        }
-    }
+
+            // Simulate each label's view of the event stream on the machine.
+            let complete = dfa.complete();
+            for (li, &label) in labels.iter().enumerate() {
+                let mut state = complete.start().unwrap();
+                for &e in events {
+                    let sym = match e {
+                        PEvent::Open(inst) if inst.is_none() || inst == Some(li as u8) => {
+                            Some(open_sym)
+                        }
+                        PEvent::Close(inst) if inst.is_none() || inst == Some(li as u8) => {
+                            Some(close_sym)
+                        }
+                        _ => None,
+                    };
+                    if let Some(s) = sym {
+                        state = complete.delta(state, s).unwrap();
+                    }
+                }
+                let expected_open = complete.is_accepting(state);
+                // Query the composed environment for this label.
+                let env = alg.env(composed);
+                let key: std::collections::BTreeMap<_, _> = [(x, label)].into_iter().collect();
+                let f = env.lookup(&key);
+                let got_open = alg.monoid().is_accepting(f);
+                prop_assert_eq!(got_open, expected_open, "label l{li}");
+            }
+            Ok(())
+        },
+    );
 }
