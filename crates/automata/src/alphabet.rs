@@ -15,7 +15,7 @@ impl SymbolId {
     /// Builds a symbol id from a raw index. The caller must ensure the
     /// index is valid for the alphabet it will be used with.
     pub fn from_index(index: usize) -> SymbolId {
-        SymbolId(u32::try_from(index).expect("symbol index too large"))
+        SymbolId(crate::id_u32(index, "symbols"))
     }
 
     /// The symbol's index within its alphabet.
@@ -77,7 +77,7 @@ impl Alphabet {
         if let Some(&id) = self.by_name.get(name) {
             return id;
         }
-        let id = SymbolId(u32::try_from(self.names.len()).expect("alphabet too large"));
+        let id = SymbolId(crate::id_u32(self.names.len(), "symbols"));
         self.names.push(name.to_owned());
         self.by_name.insert(name.to_owned(), id);
         id

@@ -101,7 +101,10 @@ fn closure_with(m: &Dfa, any_start: bool, any_end: bool) -> Dfa {
         nfa.set_accepting(states[s.index()], accepting);
         for sym_idx in 0..complete.alphabet_len() {
             let sym = crate::alphabet::SymbolId(sym_idx as u32);
-            let t = complete.delta(s, sym).expect("complete");
+            let t = crate::invariant(
+                complete.delta(s, sym),
+                "complete DFA defines every transition",
+            );
             if useful(t) {
                 nfa.add_transition(states[s.index()], sym, states[t.index()]);
             }

@@ -13,7 +13,7 @@ impl StateId {
     /// Builds a state id from a raw index. The caller must ensure the
     /// index is valid for the automaton it will be used with.
     pub fn from_index(index: usize) -> StateId {
-        StateId(u32::try_from(index).expect("state index too large"))
+        StateId(crate::id_u32(index, "DFA states"))
     }
 
     /// The state's index.
@@ -101,7 +101,7 @@ impl Dfa {
 
     /// Adds a fresh state with the given acceptance.
     pub fn add_state(&mut self, accepting: bool) -> StateId {
-        let id = StateId(u32::try_from(self.accepting.len()).expect("too many DFA states"));
+        let id = StateId(crate::id_u32(self.accepting.len(), "DFA states"));
         self.accepting.push(accepting);
         self.trans
             .extend(std::iter::repeat_n(NO_STATE, self.alphabet_len));
@@ -291,9 +291,10 @@ impl Dfa {
         #[allow(clippy::needless_range_loop)] // sym_idx is a symbol id
         for (i, &orig) in dense.iter().enumerate() {
             for sym_idx in 0..self.alphabet_len {
-                let t = complete
-                    .delta(StateId(orig as u32), SymbolId(sym_idx as u32))
-                    .expect("complete DFA");
+                let t = crate::invariant(
+                    complete.delta(StateId(orig as u32), SymbolId(sym_idx as u32)),
+                    "complete DFA defines every transition",
+                );
                 if let Some(td) = dense_of[t.index()] {
                     rev[sym_idx][td].push(i);
                 }
@@ -369,20 +370,26 @@ impl Dfa {
             }
         }
         for i in 0..n {
-            let from = block_state[block[i]].expect("assigned above");
+            let from = crate::invariant(block_state[block[i]], "every block got a state above");
             for sym_idx in 0..self.alphabet_len {
-                let t = complete
-                    .delta(StateId(dense[i] as u32), SymbolId(sym_idx as u32))
-                    .expect("complete DFA");
+                let t = crate::invariant(
+                    complete.delta(StateId(dense[i] as u32), SymbolId(sym_idx as u32)),
+                    "complete DFA defines every transition",
+                );
                 if let Some(td) = dense_of[t.index()] {
-                    let to = block_state[block[td]].expect("assigned above");
+                    let to =
+                        crate::invariant(block_state[block[td]], "every block got a state above");
                     dfa.set_transition(from, SymbolId(sym_idx as u32), to);
                 }
             }
         }
-        let start_orig = complete.start.expect("reachable nonempty implies start");
-        let start_dense = dense_of[start_orig.index()].expect("start is reachable");
-        dfa.set_start(block_state[block[start_dense]].expect("assigned above"));
+        let start_orig = crate::invariant(complete.start, "nonempty reachable set implies a start");
+        let start_dense =
+            crate::invariant(dense_of[start_orig.index()], "the start state is reachable");
+        dfa.set_start(crate::invariant(
+            block_state[block[start_dense]],
+            "every block got a state above",
+        ));
         dfa
     }
 
@@ -434,8 +441,10 @@ impl Dfa {
             let from = ids[&(pa, pb)];
             for sym_idx in 0..self.alphabet_len {
                 let sym = SymbolId(sym_idx as u32);
-                let ta = a.delta(pa, sym).expect("complete");
-                let tb = b.delta(pb, sym).expect("complete");
+                let ta =
+                    crate::invariant(a.delta(pa, sym), "complete DFA defines every transition");
+                let tb =
+                    crate::invariant(b.delta(pb, sym), "complete DFA defines every transition");
                 let to = *ids.entry((ta, tb)).or_insert_with(|| {
                     worklist.push((ta, tb));
                     dfa.add_state(accept(a.is_accepting(ta), b.is_accepting(tb)))
@@ -507,13 +516,12 @@ impl Dfa {
         );
         let a = self.complete();
         let b = other.complete();
-        match (a.start, b.start) {
+        let (sa, sb) = match (a.start, b.start) {
             (None, None) => return true,
             (None, Some(s)) => return !b.coreachable_from(s),
             (Some(s), None) => return !a.coreachable_from(s),
-            _ => {}
-        }
-        let (sa, sb) = (a.start.unwrap(), b.start.unwrap());
+            (Some(sa), Some(sb)) => (sa, sb),
+        };
         let mut seen: HashMap<(StateId, StateId), ()> = HashMap::new();
         let mut queue = VecDeque::from([(sa, sb)]);
         seen.insert((sa, sb), ());
@@ -523,8 +531,10 @@ impl Dfa {
             }
             for sym_idx in 0..self.alphabet_len {
                 let sym = SymbolId(sym_idx as u32);
-                let ta = a.delta(pa, sym).expect("complete");
-                let tb = b.delta(pb, sym).expect("complete");
+                let ta =
+                    crate::invariant(a.delta(pa, sym), "complete DFA defines every transition");
+                let tb =
+                    crate::invariant(b.delta(pb, sym), "complete DFA defines every transition");
                 if seen.insert((ta, tb), ()).is_none() {
                     queue.push_back((ta, tb));
                 }

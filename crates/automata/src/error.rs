@@ -37,6 +37,11 @@ pub enum AutomataError {
     },
     /// The specification has no start state.
     MissingStartState,
+    /// A regex nests parenthesised groups deeper than the supported limit.
+    DepthExceeded {
+        /// The configured nesting limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for AutomataError {
@@ -55,6 +60,12 @@ impl fmt::Display for AutomataError {
                 "state `{state}` has two transitions on `{symbol}` with different targets"
             ),
             AutomataError::MissingStartState => write!(f, "specification has no start state"),
+            AutomataError::DepthExceeded { limit } => {
+                write!(
+                    f,
+                    "groups nest deeper than the supported limit of {limit} levels"
+                )
+            }
         }
     }
 }

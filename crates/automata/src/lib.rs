@@ -43,6 +43,26 @@ pub mod regex;
 pub mod spec;
 
 pub use alphabet::{Alphabet, SymbolId};
+
+/// Converts an index to `u32`, panicking with a capacity message on
+/// overflow. Centralizes the documented "fewer than 2^32 ids" invariant;
+/// library code is otherwise free of `unwrap`/`expect` (enforced by the
+/// `disallowed-methods` clippy gate in CI).
+pub(crate) fn id_u32(n: usize, what: &str) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => panic!("capacity overflow: too many {what} (limit 2^32)"),
+    }
+}
+
+/// Unwraps an `Option` that a documented invariant guarantees is `Some`,
+/// panicking with the invariant's description otherwise.
+pub(crate) fn invariant<T>(v: Option<T>, what: &str) -> T {
+    match v {
+        Some(t) => t,
+        None => panic!("internal invariant violated: {what}"),
+    }
+}
 pub use dfa::{Dfa, StateId};
 pub use error::{AutomataError, Result};
 pub use monoid::{adversarial_machine, FnId, Monoid, ReprFn};

@@ -25,7 +25,7 @@ impl FnId {
     /// Builds a function id from a raw index. The caller must ensure the
     /// index is valid for the monoid it will be used with.
     pub fn from_index(index: usize) -> FnId {
-        FnId(u32::try_from(index).expect("function index too large"))
+        FnId(crate::id_u32(index, "monoid functions"))
     }
 
     /// The function's index within its monoid.
@@ -126,10 +126,11 @@ impl Monoid {
         for sym_idx in 0..complete.alphabet_len() {
             let images = (0..n)
                 .map(|i| {
-                    complete
-                        .delta(StateId(i as u32), SymbolId(sym_idx as u32))
-                        .expect("complete DFA")
-                        .0
+                    crate::invariant(
+                        complete.delta(StateId(i as u32), SymbolId(sym_idx as u32)),
+                        "complete DFA defines every transition",
+                    )
+                    .0
                 })
                 .collect();
             let f = monoid.intern(ReprFn(images));
@@ -175,7 +176,7 @@ impl Monoid {
         if let Some(&id) = self.by_fn.get(&f) {
             return id;
         }
-        let id = FnId(u32::try_from(self.fns.len()).expect("monoid too large"));
+        let id = FnId(crate::id_u32(self.fns.len(), "monoid functions"));
         self.by_fn.insert(f.clone(), id);
         self.fns.push(f);
         id

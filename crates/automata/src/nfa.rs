@@ -71,7 +71,7 @@ impl Nfa {
 
     /// Adds a fresh, non-accepting state.
     pub fn add_state(&mut self) -> NfaStateId {
-        let id = NfaStateId(u32::try_from(self.states.len()).expect("too many NFA states"));
+        let id = NfaStateId(crate::id_u32(self.states.len(), "NFA states"));
         self.states.push(NfaState::default());
         id
     }

@@ -37,6 +37,11 @@ use crate::dfa::Dfa;
 use crate::error::{AutomataError, Result};
 use crate::nfa::{Nfa, NfaStateId};
 
+/// Maximum nesting depth of parenthesised groups accepted by
+/// [`Regex::parse`]. Deeper inputs yield [`AutomataError::DepthExceeded`]
+/// instead of overflowing the parser's stack.
+pub const MAX_DEPTH: usize = 256;
+
 /// An abstract-syntax regular expression over an interned alphabet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Regex {
@@ -63,14 +68,16 @@ impl Regex {
     ///
     /// # Errors
     ///
-    /// Returns [`AutomataError::ParseRegex`] on malformed syntax and
+    /// Returns [`AutomataError::ParseRegex`] on malformed syntax,
     /// [`AutomataError::UnknownSymbol`] if an identifier is not in the
-    /// alphabet.
+    /// alphabet, and [`AutomataError::DepthExceeded`] if groups nest
+    /// deeper than [`MAX_DEPTH`].
     pub fn parse(input: &str, alphabet: &Alphabet) -> Result<Regex> {
         let tokens = tokenize(input)?;
         let mut parser = Parser {
             tokens,
             pos: 0,
+            depth: 0,
             alphabet,
         };
         let re = parser.alt()?;
@@ -237,9 +244,38 @@ fn tokenize(input: &str) -> Result<Vec<(Token, usize)>> {
     Ok(tokens)
 }
 
+/// Folds `parts` into a balanced tree, so a chain of 100k
+/// concatenations or alternations stays `O(log n)` deep. Recursive
+/// consumers (Thompson construction, drop glue) would overflow the stack
+/// on the left-deep chain a naive fold builds.
+fn fold_balanced(mut parts: Vec<Regex>, join: fn(Box<Regex>, Box<Regex>) -> Regex) -> Regex {
+    while parts.len() > 1 {
+        let mut next = Vec::with_capacity(parts.len().div_ceil(2));
+        let mut iter = parts.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => next.push(join(Box::new(a), Box::new(b))),
+                None => next.push(a),
+            }
+        }
+        parts = next;
+    }
+    parts.pop().unwrap_or(Regex::Epsilon)
+}
+
+/// The net effect of a chain of postfix repetition operators.
+#[derive(Clone, Copy)]
+enum RepMod {
+    None,
+    Star,
+    Plus,
+    Opt,
+}
+
 struct Parser<'a> {
     tokens: Vec<(Token, usize)>,
     pos: usize,
+    depth: usize,
     alphabet: &'a Alphabet,
 }
 
@@ -249,46 +285,54 @@ impl Parser<'_> {
     }
 
     fn alt(&mut self) -> Result<Regex> {
-        let mut lhs = self.cat()?;
+        let mut arms = vec![self.cat()?];
         while self.peek() == Some(&Token::Pipe) {
             self.pos += 1;
-            let rhs = self.cat()?;
-            lhs = Regex::Alt(Box::new(lhs), Box::new(rhs));
+            arms.push(self.cat()?);
         }
-        Ok(lhs)
+        Ok(fold_balanced(arms, Regex::Alt))
     }
 
     fn cat(&mut self) -> Result<Regex> {
-        let mut lhs = self.rep()?;
+        let mut parts = vec![self.rep()?];
         while matches!(
             self.peek(),
             Some(Token::Ident(_) | Token::LParen | Token::Dot)
         ) {
-            let rhs = self.rep()?;
-            lhs = Regex::Concat(Box::new(lhs), Box::new(rhs));
+            parts.push(self.rep()?);
         }
-        Ok(lhs)
+        Ok(fold_balanced(parts, Regex::Concat))
     }
 
     fn rep(&mut self) -> Result<Regex> {
-        let mut inner = self.atom()?;
+        let base = self.atom()?;
+        let mut m = RepMod::None;
         loop {
-            match self.peek() {
-                Some(Token::Star) => {
-                    self.pos += 1;
-                    inner = Regex::Star(Box::new(inner));
-                }
-                Some(Token::Plus) => {
-                    self.pos += 1;
-                    inner = Regex::Plus(Box::new(inner));
-                }
-                Some(Token::Question) => {
-                    self.pos += 1;
-                    inner = Regex::Opt(Box::new(inner));
-                }
-                _ => return Ok(inner),
-            }
+            let op = match self.peek() {
+                Some(Token::Star) => RepMod::Star,
+                Some(Token::Plus) => RepMod::Plus,
+                Some(Token::Question) => RepMod::Opt,
+                _ => break,
+            };
+            self.pos += 1;
+            // Stacked repetition operators collapse to a single one
+            // ((a*)* = a*, (a+)? = (a?)+ = a*, …), so a pathological
+            // `a***…` chain never nests the AST.
+            m = match (m, op) {
+                (RepMod::None, op) => op,
+                (m, RepMod::None) => m, // `op` is never None
+                (RepMod::Star, _) | (_, RepMod::Star) => RepMod::Star,
+                (RepMod::Plus, RepMod::Plus) => RepMod::Plus,
+                (RepMod::Opt, RepMod::Opt) => RepMod::Opt,
+                (RepMod::Plus, RepMod::Opt) | (RepMod::Opt, RepMod::Plus) => RepMod::Star,
+            };
         }
+        Ok(match m {
+            RepMod::None => base,
+            RepMod::Star => Regex::Star(Box::new(base)),
+            RepMod::Plus => Regex::Plus(Box::new(base)),
+            RepMod::Opt => Regex::Opt(Box::new(base)),
+        })
     }
 
     fn atom(&mut self) -> Result<Regex> {
@@ -311,7 +355,12 @@ impl Parser<'_> {
             }
             Some(Token::LParen) => {
                 self.pos += 1;
+                if self.depth >= MAX_DEPTH {
+                    return Err(AutomataError::DepthExceeded { limit: MAX_DEPTH });
+                }
+                self.depth += 1;
                 let inner = self.alt()?;
+                self.depth -= 1;
                 if self.peek() != Some(&Token::RParen) {
                     return Err(AutomataError::ParseRegex {
                         message: "expected `)`".to_owned(),
@@ -397,6 +446,43 @@ mod tests {
         assert!(Regex::parse("a )", &alpha).is_err());
         assert!(Regex::parse("*", &alpha).is_err());
         assert!(Regex::parse("a %", &alpha).is_err());
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_a_typed_error_not_an_overflow() {
+        let alpha = sigma();
+        let src = format!("{}a{}", "(".repeat(100_000), ")".repeat(100_000));
+        assert_eq!(
+            Regex::parse(&src, &alpha),
+            Err(AutomataError::DepthExceeded { limit: MAX_DEPTH })
+        );
+        let src = format!("{}a{}", "(".repeat(MAX_DEPTH), ")".repeat(MAX_DEPTH));
+        assert!(Regex::parse(&src, &alpha).is_ok());
+    }
+
+    #[test]
+    fn hundred_k_postfix_chain_collapses() {
+        let alpha = sigma();
+        let a = sym(&alpha, "a");
+        let re = Regex::parse(&format!("a{}", "*".repeat(100_000)), &alpha).unwrap();
+        assert_eq!(re, Regex::Star(Box::new(Regex::Symbol(a))));
+        // `a+++…?` = zero or more `a`s; the collapsed form must keep that
+        // meaning, not just survive parsing.
+        let re = Regex::parse(&format!("a{}?", "+".repeat(100_000)), &alpha).unwrap();
+        let dfa = re.compile(&alpha);
+        assert!(dfa.accepts(&[]));
+        assert!(dfa.accepts(&[a, a, a]));
+    }
+
+    #[test]
+    fn hundred_k_concat_and_alt_chains_stay_shallow() {
+        let alpha = sigma();
+        // Balanced folding keeps these O(log n) deep; a left-deep chain
+        // would overflow the stack in Thompson construction or drop glue.
+        let re = Regex::parse(&"a ".repeat(100_000), &alpha).unwrap();
+        let _ = re.to_nfa(&alpha);
+        let re = Regex::parse(&format!("a{}", " | a".repeat(100_000)), &alpha).unwrap();
+        let _ = re.to_nfa(&alpha);
     }
 
     #[test]

@@ -142,15 +142,23 @@ impl PropertySpec {
         for arm in &self.arms {
             sigma.intern(&arm.symbol.name);
         }
-        let dfa = self.compile_over(&sigma);
+        let dfa = match self.compile_over(&sigma) {
+            Ok(dfa) => dfa,
+            Err(_) => unreachable!("every spec symbol was interned just above"),
+        };
         (sigma, dfa)
     }
 
-    /// Compiles the spec over a *larger* alphabet (interning this spec's
-    /// symbols into it). Symbols foreign to the spec self-loop everywhere,
-    /// so several properties can share an alphabet and be combined with
-    /// [`Dfa::product_by`] — the §2.2 product of all regular properties.
-    pub fn compile_over(&self, sigma: &Alphabet) -> Dfa {
+    /// Compiles the spec over a *larger* alphabet. Symbols foreign to the
+    /// spec self-loop everywhere, so several properties can share an
+    /// alphabet and be combined with [`Dfa::product_by`] — the §2.2
+    /// product of all regular properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AutomataError::UnknownSymbol`] if one of this spec's
+    /// symbols has not been interned into `sigma`.
+    pub fn compile_over(&self, sigma: &Alphabet) -> Result<Dfa> {
         let mut dfa = Dfa::new(sigma.len());
         let ids: Vec<StateId> = self
             .accepting
@@ -167,14 +175,15 @@ impl PropertySpec {
         }
         // Declared arms overwrite the defaults.
         for arm in &self.arms {
-            let from = self.state_index(&arm.from).expect("validated at parse");
-            let to = self.state_index(&arm.to).expect("validated at parse");
+            let from =
+                crate::invariant(self.state_index(&arm.from), "arm states validated at parse");
+            let to = crate::invariant(self.state_index(&arm.to), "arm states validated at parse");
             let sym = sigma
                 .lookup(&arm.symbol.name)
-                .expect("spec symbols must be interned in the alphabet");
+                .ok_or_else(|| AutomataError::UnknownSymbol(arm.symbol.name.clone()))?;
             dfa.set_transition(ids[from], sym, ids[to]);
         }
-        dfa
+        Ok(dfa)
     }
 
     fn state_index(&self, name: &str) -> Option<usize> {

@@ -13,7 +13,7 @@ impl NodeId {
     /// Builds a node id from a raw index. The caller must ensure the index
     /// is valid for the CFG it will be used with.
     pub fn from_index(index: usize) -> NodeId {
-        NodeId(u32::try_from(index).expect("node index too large"))
+        NodeId(crate::id_u32(index, "CFG nodes"))
     }
 
     /// The node's index.
@@ -269,7 +269,7 @@ struct Builder<'a> {
 
 impl Builder<'_> {
     fn node(&mut self, f: FuncId) -> NodeId {
-        let id = NodeId(u32::try_from(self.cfg.node_func.len()).expect("too many nodes"));
+        let id = NodeId(crate::id_u32(self.cfg.node_func.len(), "CFG nodes"));
         self.cfg.node_func.push(f);
         id
     }
@@ -318,8 +318,7 @@ impl Builder<'_> {
                     .get(name.as_str())
                     .ok_or_else(|| CfgError::UnknownFunction(name.clone()))?;
                 let next = self.node(fid);
-                let id =
-                    CallSiteId(u32::try_from(self.cfg.call_sites.len()).expect("too many calls"));
+                let id = CallSiteId(crate::id_u32(self.cfg.call_sites.len(), "call sites"));
                 self.cfg.call_sites.push(CallSite {
                     id,
                     caller: fid,

@@ -23,6 +23,11 @@ pub enum CfgError {
     DuplicateLabel(String),
     /// The program has no `main` (or configured entry) function.
     MissingEntry(String),
+    /// Blocks nest deeper than the supported limit.
+    DepthExceeded {
+        /// The configured nesting limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for CfgError {
@@ -33,6 +38,12 @@ impl fmt::Display for CfgError {
             CfgError::DuplicateFunction(name) => write!(f, "function `{name}` defined twice"),
             CfgError::DuplicateLabel(name) => write!(f, "label `{name}` used twice"),
             CfgError::MissingEntry(name) => write!(f, "program has no entry function `{name}`"),
+            CfgError::DepthExceeded { limit } => {
+                write!(
+                    f,
+                    "blocks nest deeper than the supported limit of {limit} levels"
+                )
+            }
         }
     }
 }

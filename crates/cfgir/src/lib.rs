@@ -49,5 +49,16 @@ mod parser;
 mod pretty;
 
 pub use ast::{Block, FunDef, Program, Stmt};
+
+/// Converts an index to `u32`, panicking with a capacity message on
+/// overflow. Centralizes the documented "fewer than 2^32 ids" invariant;
+/// library code is otherwise free of `unwrap`/`expect` (enforced by the
+/// `disallowed-methods` clippy gate in CI).
+pub(crate) fn id_u32(n: usize, what: &str) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => panic!("capacity overflow: too many {what} (limit 2^32)"),
+    }
+}
 pub use cfg::{CallSite, CallSiteId, Cfg, EdgeLabel, FuncCfg, FuncId, NodeId};
 pub use error::{CfgError, Result};

@@ -17,9 +17,17 @@ use crate::ast::{Block, FunDef, Labeled, Program, Stmt};
 use crate::error::{CfgError, Result};
 use crate::lexer::{lex, Tok};
 
+/// Maximum nesting depth of blocks. Deeper inputs yield
+/// [`CfgError::DepthExceeded`] instead of overflowing the parser's stack.
+pub(crate) const MAX_DEPTH: usize = 256;
+
 pub(crate) fn parse(src: &str) -> Result<Program> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut program = Program::new();
     while p.peek().is_some() {
         program.funs.push(p.fundef()?);
@@ -30,6 +38,7 @@ pub(crate) fn parse(src: &str) -> Result<Program> {
 struct Parser {
     tokens: Vec<(Tok, usize)>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -99,6 +108,10 @@ impl Parser {
 
     fn block(&mut self) -> Result<Block> {
         self.expect(&Tok::LBrace, "`{`")?;
+        if self.depth >= MAX_DEPTH {
+            return Err(CfgError::DepthExceeded { limit: MAX_DEPTH });
+        }
+        self.depth += 1;
         let mut block = Block::new();
         while self.peek() != Some(&Tok::RBrace) {
             if self.peek().is_none() {
@@ -107,6 +120,7 @@ impl Parser {
             block.stmts.push(self.labeled()?);
         }
         self.pos += 1; // consume `}`
+        self.depth -= 1;
         Ok(block)
     }
 
@@ -252,6 +266,27 @@ mod tests {
     fn errors_carry_line_numbers() {
         let err = parse("fn main() {\n  if ( ) {}\n}").unwrap_err();
         assert!(matches!(err, CfgError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn deep_block_nesting_is_a_typed_error_not_an_overflow() {
+        let mut src = String::from("fn main() { ");
+        for _ in 0..100_000 {
+            src.push_str("while (*) { ");
+        }
+        // The limit trips long before the missing closers matter.
+        assert!(matches!(
+            parse(&src),
+            Err(CfgError::DepthExceeded { limit: MAX_DEPTH })
+        ));
+        // Just inside the limit parses fine (function body is depth 1).
+        let n = MAX_DEPTH - 1;
+        let src = format!(
+            "fn main() {{ {}skip;{} }}",
+            "if (*) { ".repeat(n),
+            " }".repeat(n)
+        );
+        assert!(parse(&src).is_ok());
     }
 
     #[test]

@@ -98,7 +98,7 @@ impl GenKillAlgebra {
         if let Some(&id) = self.by_ann.get(&(gen, kill)) {
             return id;
         }
-        let id = AnnId(u32::try_from(self.anns.len()).expect("too many annotations"));
+        let id = AnnId(crate::id_u32(self.anns.len(), "annotations"));
         self.anns.push((gen, kill));
         self.by_ann.insert((gen, kill), id);
         id

@@ -232,7 +232,7 @@ impl SubstAlgebra {
         if let Some(&id) = self.by_env.get(&env) {
             return id;
         }
-        let id = AnnId(u32::try_from(self.envs.len()).expect("too many annotations"));
+        let id = AnnId(crate::id_u32(self.envs.len(), "annotations"));
         self.by_env.insert(env.clone(), id);
         self.envs.push(env);
         id

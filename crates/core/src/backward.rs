@@ -111,7 +111,7 @@ impl BackwardSystem {
 
     /// Creates a fresh set variable.
     pub fn var(&mut self, name: &str) -> VarId {
-        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        let id = VarId(crate::id_u32(self.vars.len(), "variables"));
         self.vars.push(VarData {
             name: name.to_owned(),
             ..VarData::default()
@@ -144,7 +144,7 @@ impl BackwardSystem {
     ///
     /// The initial class is the machine's accepting-state set.
     pub fn probe(&mut self, x: VarId, name: &str) -> ProbeId {
-        let id = ProbeId(u32::try_from(self.probes.len()).expect("too many probes"));
+        let id = ProbeId(crate::id_u32(self.probes.len(), "probes"));
         self.probes.push((x, name.to_owned()));
         let mut mask = 0u64;
         for s in 0..self.algebra.monoid().n_states() {

@@ -1,0 +1,357 @@
+//! Resource governance for bounded solving.
+//!
+//! A [`Budget`] caps a worklist drain along four independent axes — fuel
+//! (worklist steps), wall-clock time (through an injectable [`Clock`], so
+//! deadlines are deterministic under test), solved-form memory (term and
+//! entry counts), and cooperative cancellation ([`CancelToken`]). The
+//! solver checks the budget *before* popping each fact, so an interrupted
+//! solve leaves the pending worklist intact: the caller can resume under a
+//! fresh budget (converging to the same fixpoint — closure is monotone) or
+//! roll back with [`crate::System::pop_epoch`] to the last consistent
+//! snapshot.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A millisecond time source for deadline budgets.
+///
+/// Injectable so tests (and the devtools fault harness) can drive
+/// deadlines deterministically; production callers use [`MonotonicClock`].
+/// The solver consults the clock once per worklist step while a deadline
+/// is set.
+pub trait Clock: fmt::Debug + Send + Sync {
+    /// Milliseconds elapsed since an arbitrary fixed origin.
+    fn now_millis(&self) -> u64;
+}
+
+/// The default [`Clock`]: milliseconds since the clock's creation, backed
+/// by [`std::time::Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_millis(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A cooperative cancellation handle.
+///
+/// Clones share one flag; any clone may [`CancelToken::cancel`] (e.g. from
+/// another thread handling a client disconnect) and the solver observes it
+/// at the next worklist step.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a bounded solve stopped before reaching the fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterruptReason {
+    /// The step (fuel) budget ran out.
+    Steps,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The solved form outgrew the term or entry cap.
+    Memory,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+impl InterruptReason {
+    /// A stable machine-readable code (used by the batch protocol).
+    pub fn code(self) -> &'static str {
+        match self {
+            InterruptReason::Steps => "steps",
+            InterruptReason::Deadline => "deadline",
+            InterruptReason::Memory => "memory",
+            InterruptReason::Cancelled => "cancelled",
+        }
+    }
+}
+
+impl fmt::Display for InterruptReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            InterruptReason::Steps => "step budget exhausted",
+            InterruptReason::Deadline => "deadline exceeded",
+            InterruptReason::Memory => "memory cap exceeded",
+            InterruptReason::Cancelled => "cancelled",
+        };
+        f.write_str(msg)
+    }
+}
+
+/// The result of a bounded solve ([`crate::System::solve_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The worklist drained to the fixpoint.
+    Complete,
+    /// The budget ran out first; the pending worklist is intact.
+    Interrupted(InterruptReason),
+}
+
+impl Outcome {
+    /// Whether the solve reached the fixpoint.
+    pub fn is_complete(self) -> bool {
+        matches!(self, Outcome::Complete)
+    }
+}
+
+/// Resource limits for one bounded solve. All axes default to unlimited;
+/// builder methods tighten them independently.
+///
+/// ```
+/// use rasc_core::{Budget, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let budget = Budget::unlimited()
+///     .with_steps(10_000)
+///     .with_deadline_millis(50)
+///     .with_max_entries(1_000_000)
+///     .with_cancel(token.clone());
+/// assert!(!budget.is_unlimited());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    max_steps: Option<u64>,
+    max_millis: Option<u64>,
+    max_terms: Option<usize>,
+    max_entries: Option<usize>,
+    clock: Option<Arc<dyn Clock>>,
+    cancel: Option<CancelToken>,
+}
+
+impl Budget {
+    /// A budget with no limits: `solve_bounded` behaves like `solve`.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Caps the number of worklist steps (fuel).
+    pub fn with_steps(mut self, max_steps: u64) -> Budget {
+        self.max_steps = Some(max_steps);
+        self
+    }
+
+    /// Sets a wall-clock deadline, measured from the start of each bounded
+    /// solve (a resumed solve gets a fresh window).
+    pub fn with_deadline_millis(mut self, max_millis: u64) -> Budget {
+        self.max_millis = Some(max_millis);
+        self
+    }
+
+    /// Caps the number of interned terms (variables + sources + sinks).
+    pub fn with_max_terms(mut self, max_terms: usize) -> Budget {
+        self.max_terms = Some(max_terms);
+        self
+    }
+
+    /// Caps the number of solved-form entries (annotated edges plus lower
+    /// and upper bounds) — the solver's dominant memory dimension.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Budget {
+        self.max_entries = Some(max_entries);
+        self
+    }
+
+    /// Replaces the deadline time source (defaults to [`MonotonicClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Budget {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Budget {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether no axis is limited (the clock alone does not count: it is
+    /// only consulted when a deadline is set).
+    pub fn is_unlimited(&self) -> bool {
+        self.max_steps.is_none()
+            && self.max_millis.is_none()
+            && self.max_terms.is_none()
+            && self.max_entries.is_none()
+            && self.cancel.is_none()
+    }
+
+    /// The step cap, if any.
+    pub fn max_steps(&self) -> Option<u64> {
+        self.max_steps
+    }
+
+    /// The deadline in milliseconds, if any.
+    pub fn max_millis(&self) -> Option<u64> {
+        self.max_millis
+    }
+
+    /// The term cap, if any.
+    pub fn max_terms(&self) -> Option<usize> {
+        self.max_terms
+    }
+
+    /// The solved-form entry cap, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
+    }
+
+    /// Starts metering one bounded solve: snapshots the deadline and
+    /// resets the step count.
+    pub(crate) fn start(&self) -> BudgetMeter<'_> {
+        let deadline = self.max_millis.map(|ms| {
+            let clock: Arc<dyn Clock> = match &self.clock {
+                Some(c) => Arc::clone(c),
+                None => Arc::new(MonotonicClock::new()),
+            };
+            let at = clock.now_millis().saturating_add(ms);
+            (clock, at)
+        });
+        BudgetMeter {
+            budget: self,
+            deadline,
+            steps: 0,
+        }
+    }
+}
+
+/// Per-solve metering state for a [`Budget`].
+pub(crate) struct BudgetMeter<'a> {
+    budget: &'a Budget,
+    /// `(clock, absolute deadline)` — present only when a deadline is set.
+    deadline: Option<(Arc<dyn Clock>, u64)>,
+    steps: u64,
+}
+
+impl BudgetMeter<'_> {
+    /// Checks every axis against the current solver dimensions. Called
+    /// before each worklist pop; `None` means "keep going".
+    pub(crate) fn check(&self, terms: usize, entries: usize) -> Option<InterruptReason> {
+        if let Some(cancel) = &self.budget.cancel {
+            if cancel.is_cancelled() {
+                return Some(InterruptReason::Cancelled);
+            }
+        }
+        if let Some(max) = self.budget.max_steps {
+            if self.steps >= max {
+                return Some(InterruptReason::Steps);
+            }
+        }
+        if let Some((clock, at)) = &self.deadline {
+            if clock.now_millis() >= *at {
+                return Some(InterruptReason::Deadline);
+            }
+        }
+        if let Some(max) = self.budget.max_terms {
+            if terms > max {
+                return Some(InterruptReason::Memory);
+            }
+        }
+        if let Some(max) = self.budget.max_entries {
+            if entries > max {
+                return Some(InterruptReason::Memory);
+            }
+        }
+        None
+    }
+
+    /// Records one worklist step.
+    pub(crate) fn step(&mut self) {
+        self.steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct FixedClock(u64);
+    impl Clock for FixedClock {
+        fn now_millis(&self) -> u64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let budget = Budget::unlimited();
+        let meter = budget.start();
+        assert_eq!(meter.check(usize::MAX, usize::MAX), None);
+        assert!(budget.is_unlimited());
+    }
+
+    #[test]
+    fn each_axis_trips_with_its_reason() {
+        let b = Budget::unlimited().with_steps(2);
+        let mut m = b.start();
+        assert_eq!(m.check(0, 0), None);
+        m.step();
+        m.step();
+        assert_eq!(m.check(0, 0), Some(InterruptReason::Steps));
+
+        let b = Budget::unlimited()
+            .with_deadline_millis(0)
+            .with_clock(Arc::new(FixedClock(7)));
+        assert_eq!(b.start().check(0, 0), Some(InterruptReason::Deadline));
+
+        let b = Budget::unlimited().with_max_terms(10);
+        assert_eq!(b.start().check(11, 0), Some(InterruptReason::Memory));
+        assert_eq!(b.start().check(10, 0), None);
+
+        let b = Budget::unlimited().with_max_entries(5);
+        assert_eq!(b.start().check(0, 6), Some(InterruptReason::Memory));
+
+        let token = CancelToken::new();
+        let b = Budget::unlimited().with_cancel(token.clone());
+        assert_eq!(b.start().check(0, 0), None);
+        token.cancel();
+        assert_eq!(b.start().check(0, 0), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn reason_codes_are_stable() {
+        assert_eq!(InterruptReason::Steps.code(), "steps");
+        assert_eq!(InterruptReason::Deadline.code(), "deadline");
+        assert_eq!(InterruptReason::Memory.code(), "memory");
+        assert_eq!(InterruptReason::Cancelled.code(), "cancelled");
+        assert!(Outcome::Complete.is_complete());
+        assert!(!Outcome::Interrupted(InterruptReason::Steps).is_complete());
+    }
+}

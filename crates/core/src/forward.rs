@@ -131,7 +131,7 @@ impl ForwardSystem {
 
     /// Creates a fresh set variable.
     pub fn var(&mut self, name: &str) -> VarId {
-        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        let id = VarId(crate::id_u32(self.vars.len(), "variables"));
         self.vars.push(VarData {
             name: name.to_owned(),
             ..VarData::default()
@@ -160,7 +160,7 @@ impl ForwardSystem {
             signature.iter().all(|v| *v == Variance::Covariant),
             "the forward solver supports covariant constructors only"
         );
-        let id = ConsId(u32::try_from(self.constructors.len()).expect("too many constructors"));
+        let id = ConsId(crate::id_u32(self.constructors.len(), "constructors"));
         self.constructors.push(Constructor {
             name: name.to_owned(),
             signature: signature.to_vec(),
@@ -268,7 +268,7 @@ impl ForwardSystem {
         if let Some(&id) = self.pattern_ids.get(&p) {
             return id;
         }
-        let id = u32::try_from(self.patterns.len()).expect("too many patterns");
+        let id = crate::id_u32(self.patterns.len(), "patterns");
         self.pattern_ids.insert(p.clone(), id);
         self.patterns.push(p);
         id

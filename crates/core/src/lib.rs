@@ -66,6 +66,7 @@
 
 pub mod algebra;
 pub mod backward;
+mod budget;
 mod constraint;
 mod error;
 pub mod forward;
@@ -74,9 +75,22 @@ mod query;
 mod solver;
 mod term;
 
+pub use budget::{Budget, CancelToken, Clock, InterruptReason, MonotonicClock, Outcome};
 pub use constraint::{Constraint, SetExpr};
 pub use error::{CoreError, Result};
 pub use pattern::{AnnPred, TermPattern};
 pub use query::OccurrenceWitness;
 pub use solver::{Clash, SolverConfig, SolverStats, System, VarId};
 pub use term::{ConsId, Constructor, GroundTerm, Variance};
+
+/// Converts an interning index to a `u32` id.
+///
+/// Overflow here is a *capacity invariant*, not a fallible path: a system
+/// with 2³² interned items exhausts memory long before this trips, so the
+/// failure mode is a documented panic rather than a threaded error.
+pub(crate) fn id_u32(n: usize, what: &str) -> u32 {
+    match u32::try_from(n) {
+        Ok(v) => v,
+        Err(_) => panic!("capacity overflow: too many {what} (limit 2^32)"),
+    }
+}

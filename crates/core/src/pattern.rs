@@ -162,7 +162,12 @@ impl<A: Algebra> System<A> {
                         if cons != *want || !ann.holds(self.algebra(), total) {
                             continue;
                         }
-                        debug_assert_eq!(arg_pats.len(), args.len(), "pattern arity");
+                        // A pattern whose arity disagrees with the
+                        // constructor's cannot describe any of its terms:
+                        // no match (rather than a debug panic).
+                        if arg_pats.len() != args.len() {
+                            continue;
+                        }
                         let all = args
                             .clone()
                             .into_iter()

@@ -21,8 +21,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use crate::algebra::{Algebra, AnnId};
+use crate::budget::{Budget, Outcome};
 use crate::constraint::{Constraint, SetExpr};
 use crate::error::{CoreError, Result};
+use crate::id_u32;
 use crate::term::{ConsId, Constructor, Variance};
 
 /// An interned set variable.
@@ -33,7 +35,7 @@ impl VarId {
     /// Builds a variable id from a raw index. The caller must ensure the
     /// index is valid for the system it will be used with.
     pub fn from_index(index: usize) -> VarId {
-        VarId(u32::try_from(index).expect("variable index too large"))
+        VarId(id_u32(index, "variable index"))
     }
 
     /// The variable's index within its system.
@@ -253,6 +255,9 @@ pub struct System<A: Algebra> {
     /// Monotone mutation counter (never decreases, not even on rollback,
     /// so stale cache stamps can never be revalidated by accident).
     mutation_counter: u64,
+    /// Live solved-form entry count (annotated edges + lower bounds +
+    /// upper bounds), maintained incrementally so budget checks are O(1).
+    live_entries: usize,
     /// Present while at least one epoch is open.
     journal: Option<Journal>,
 }
@@ -286,6 +291,7 @@ impl<A: Algebra> System<A> {
             cycles_collapsed: 0,
             versions: Vec::new(),
             mutation_counter: 0,
+            live_entries: 0,
             journal: None,
         }
     }
@@ -364,6 +370,9 @@ impl<A: Algebra> System<A> {
         self.cycles_collapsed += 1;
         let data = std::mem::take(&mut self.vars[loser.index()]);
         self.vars[loser.index()].name = data.name.clone();
+        // The loser's entries leave the solved form here; the re-enqueued
+        // facts below re-count whichever of them the winner actually keeps.
+        self.live_entries -= entry_count(&data);
         for (&y, anns) in &data.succs {
             for &ann in anns {
                 self.worklist.push_back(Fact::Edge(winner, y, ann));
@@ -459,7 +468,7 @@ impl<A: Algebra> System<A> {
     /// Creates a fresh set variable. The name is for diagnostics only and
     /// need not be unique.
     pub fn var(&mut self, name: &str) -> VarId {
-        let id = VarId(u32::try_from(self.vars.len()).expect("too many variables"));
+        let id = VarId(id_u32(self.vars.len(), "variables"));
         self.parent.push(id.0);
         self.versions.push(0);
         self.vars.push(VarData {
@@ -482,7 +491,7 @@ impl<A: Algebra> System<A> {
     /// Declares a constructor with the given argument variances (the arity
     /// is `signature.len()`; an empty signature declares a constant).
     pub fn constructor(&mut self, name: &str, signature: &[Variance]) -> ConsId {
-        let id = ConsId(u32::try_from(self.constructors.len()).expect("too many constructors"));
+        let id = ConsId(id_u32(self.constructors.len(), "constructors"));
         self.constructors.push(Constructor {
             name: name.to_owned(),
             signature: signature.to_vec(),
@@ -651,7 +660,7 @@ impl<A: Algebra> System<A> {
         if let Some(&id) = self.source_ids.get(&s) {
             return id;
         }
-        let id = SrcId(u32::try_from(self.sources.len()).expect("too many sources"));
+        let id = SrcId(id_u32(self.sources.len(), "sources"));
         self.source_ids.insert(s.clone(), id);
         self.sources.push(s);
         id
@@ -661,7 +670,7 @@ impl<A: Algebra> System<A> {
         if let Some(&id) = self.sink_ids.get(&s) {
             return id;
         }
-        let id = SnkId(u32::try_from(self.sinks.len()).expect("too many sinks"));
+        let id = SnkId(id_u32(self.sinks.len(), "sinks"));
         self.sink_ids.insert(s.clone(), id);
         self.sinks.push(s);
         id
@@ -731,94 +740,133 @@ impl<A: Algebra> System<A> {
     /// Runs resolution to a fixpoint (Lemma 3.1 guarantees termination for
     /// finite algebras).
     pub fn solve(&mut self) {
-        while let Some(fact) = self.worklist.pop_front() {
+        let _ = self.solve_bounded(&Budget::unlimited());
+    }
+
+    /// Runs resolution until the fixpoint is reached *or* the budget runs
+    /// out, whichever comes first.
+    ///
+    /// The budget is checked before each fact is popped, so an
+    /// [`Outcome::Interrupted`] solve leaves the pending worklist intact.
+    /// The caller then has two sound options:
+    ///
+    /// * **resume** — call `solve_bounded` again (with a fresh budget);
+    ///   closure is monotone, so the drain converges to exactly the
+    ///   fixpoint an uninterrupted solve would have reached;
+    /// * **roll back** — if an epoch is open, [`System::pop_epoch`]
+    ///   discards the partial work (and the pending worklist) and restores
+    ///   the last consistent snapshot.
+    ///
+    /// Deadlines are measured from the call (each resume gets a fresh
+    /// window); the clock is only consulted when a deadline is set, so
+    /// solves under purely step/memory budgets are fully deterministic.
+    pub fn solve_bounded(&mut self, budget: &Budget) -> Outcome {
+        let mut meter = budget.start();
+        while !self.worklist.is_empty() {
+            let terms = self.vars.len() + self.sources.len() + self.sinks.len();
+            if let Some(reason) = meter.check(terms, self.live_entries) {
+                return Outcome::Interrupted(reason);
+            }
+            meter.step();
+            let Some(fact) = self.worklist.pop_front() else {
+                break;
+            };
             self.facts_processed += 1;
-            match fact {
-                Fact::Edge(x, y, f) => {
-                    let x = self.find_mut(x);
-                    let y = self.find_mut(y);
-                    if x == y && f == self.algebra.identity() {
-                        continue;
-                    }
-                    if !self.algebra.is_useful(f) {
-                        continue;
-                    }
-                    if !insert_ann(self.vars[x.index()].succs.entry(y).or_default(), f) {
-                        continue;
-                    }
-                    insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
-                    if let Some(j) = self.journal.as_mut() {
-                        j.ops.push(UndoOp::Succ(x, y, f));
-                        j.ops.push(UndoOp::Pred(x, y, f));
-                    }
-                    self.touch(x);
-                    self.touch(y);
-                    if self.config.cycle_elimination
-                        && f == self.algebra.identity()
-                        && self.try_collapse_cycle(y, x)
-                    {
-                        // x → y closed an ε-cycle; the collapse re-enqueued
-                        // all merged facts, so nothing more to do here.
-                        continue;
-                    }
-                    // Push x's lower bounds across the new edge.
-                    let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
-                    for (src, g) in lbs {
-                        let h = self.algebra.compose(f, g);
-                        self.worklist.push_back(Fact::Lb(y, src, h));
-                    }
-                    // Pull y's upper bounds across the new edge.
-                    let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[y.index()].ubs);
-                    for (snk, g) in ubs {
-                        let h = self.algebra.compose(g, f);
-                        self.worklist.push_back(Fact::Ub(x, snk, h));
-                    }
+            self.process_fact(fact);
+        }
+        Outcome::Complete
+    }
+
+    /// Applies one worklist fact (one "step" of the drain).
+    fn process_fact(&mut self, fact: Fact) {
+        match fact {
+            Fact::Edge(x, y, f) => {
+                let x = self.find_mut(x);
+                let y = self.find_mut(y);
+                if x == y && f == self.algebra.identity() {
+                    return;
                 }
-                Fact::Lb(x, src, g) => {
-                    let x = self.find_mut(x);
-                    if !self.algebra.is_useful(g) {
-                        continue;
-                    }
-                    if !insert_ann(self.vars[x.index()].lbs.entry(src).or_default(), g) {
-                        continue;
-                    }
-                    if let Some(j) = self.journal.as_mut() {
-                        j.ops.push(UndoOp::Lb(x, src, g));
-                    }
-                    self.touch(x);
-                    let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
-                    for (y, f) in succs {
-                        let h = self.algebra.compose(f, g);
-                        self.worklist.push_back(Fact::Lb(y, src, h));
-                    }
-                    let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[x.index()].ubs);
-                    for (snk, h) in ubs {
-                        let composed = self.algebra.compose(h, g);
-                        self.resolve(src, composed, snk);
-                    }
+                if !self.algebra.is_useful(f) {
+                    return;
                 }
-                Fact::Ub(x, snk, h) => {
-                    let x = self.find_mut(x);
-                    if !self.algebra.is_useful(h) {
-                        continue;
-                    }
-                    if !insert_ann(self.vars[x.index()].ubs.entry(snk).or_default(), h) {
-                        continue;
-                    }
-                    if let Some(j) = self.journal.as_mut() {
-                        j.ops.push(UndoOp::Ub(x, snk, h));
-                    }
-                    self.touch(x);
-                    let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
-                    for (w, f) in preds {
-                        let composed = self.algebra.compose(h, f);
-                        self.worklist.push_back(Fact::Ub(w, snk, composed));
-                    }
-                    let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
-                    for (src, g) in lbs {
-                        let composed = self.algebra.compose(h, g);
-                        self.resolve(src, composed, snk);
-                    }
+                if !insert_ann(self.vars[x.index()].succs.entry(y).or_default(), f) {
+                    return;
+                }
+                self.live_entries += 1;
+                insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Succ(x, y, f));
+                    j.ops.push(UndoOp::Pred(x, y, f));
+                }
+                self.touch(x);
+                self.touch(y);
+                if self.config.cycle_elimination
+                    && f == self.algebra.identity()
+                    && self.try_collapse_cycle(y, x)
+                {
+                    // x → y closed an ε-cycle; the collapse re-enqueued
+                    // all merged facts, so nothing more to do here.
+                    return;
+                }
+                // Push x's lower bounds across the new edge.
+                let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
+                for (src, g) in lbs {
+                    let h = self.algebra.compose(f, g);
+                    self.worklist.push_back(Fact::Lb(y, src, h));
+                }
+                // Pull y's upper bounds across the new edge.
+                let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[y.index()].ubs);
+                for (snk, g) in ubs {
+                    let h = self.algebra.compose(g, f);
+                    self.worklist.push_back(Fact::Ub(x, snk, h));
+                }
+            }
+            Fact::Lb(x, src, g) => {
+                let x = self.find_mut(x);
+                if !self.algebra.is_useful(g) {
+                    return;
+                }
+                if !insert_ann(self.vars[x.index()].lbs.entry(src).or_default(), g) {
+                    return;
+                }
+                self.live_entries += 1;
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Lb(x, src, g));
+                }
+                self.touch(x);
+                let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
+                for (y, f) in succs {
+                    let h = self.algebra.compose(f, g);
+                    self.worklist.push_back(Fact::Lb(y, src, h));
+                }
+                let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[x.index()].ubs);
+                for (snk, h) in ubs {
+                    let composed = self.algebra.compose(h, g);
+                    self.resolve(src, composed, snk);
+                }
+            }
+            Fact::Ub(x, snk, h) => {
+                let x = self.find_mut(x);
+                if !self.algebra.is_useful(h) {
+                    return;
+                }
+                if !insert_ann(self.vars[x.index()].ubs.entry(snk).or_default(), h) {
+                    return;
+                }
+                self.live_entries += 1;
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Ub(x, snk, h));
+                }
+                self.touch(x);
+                let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
+                for (w, f) in preds {
+                    let composed = self.algebra.compose(h, f);
+                    self.worklist.push_back(Fact::Ub(w, snk, composed));
+                }
+                let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
+                for (src, g) in lbs {
+                    let composed = self.algebra.compose(h, g);
+                    self.resolve(src, composed, snk);
                 }
             }
         }
@@ -887,7 +935,9 @@ impl<A: Algebra> System<A> {
         for op in ops.into_iter().rev() {
             match op {
                 UndoOp::Succ(x, y, a) => {
-                    remove_ann(&mut self.vars[x.index()].succs, y, a);
+                    if remove_ann(&mut self.vars[x.index()].succs, y, a) {
+                        self.live_entries -= 1;
+                    }
                     touched.insert(x.0);
                     touched.insert(y.0);
                 }
@@ -895,11 +945,15 @@ impl<A: Algebra> System<A> {
                     remove_ann(&mut self.vars[y.index()].preds, x, a);
                 }
                 UndoOp::Lb(x, src, a) => {
-                    remove_ann(&mut self.vars[x.index()].lbs, src, a);
+                    if remove_ann(&mut self.vars[x.index()].lbs, src, a) {
+                        self.live_entries -= 1;
+                    }
                     touched.insert(x.0);
                 }
                 UndoOp::Ub(x, snk, a) => {
-                    remove_ann(&mut self.vars[x.index()].ubs, snk, a);
+                    if remove_ann(&mut self.vars[x.index()].ubs, snk, a) {
+                        self.live_entries -= 1;
+                    }
                     touched.insert(x.0);
                 }
                 UndoOp::Parent { idx, old } => {
@@ -907,6 +961,11 @@ impl<A: Algebra> System<A> {
                     touched.insert(idx);
                 }
                 UndoOp::VarData { idx, data } => {
+                    // The collapsed loser only ever holds its name after
+                    // the union (inserts go to the class root), so the
+                    // restore adds exactly the journaled entries back.
+                    debug_assert_eq!(entry_count(&self.vars[idx as usize]), 0);
+                    self.live_entries += entry_count(&data);
                     self.vars[idx as usize] = *data;
                     touched.insert(idx);
                 }
@@ -940,6 +999,48 @@ impl<A: Algebra> System<A> {
         }
         self.mutation_counter += 1;
         true
+    }
+
+    /// Closes the innermost open epoch *keeping* its work: the epoch mark
+    /// is discarded without undoing anything, so the mutations made since
+    /// the matching [`System::push_epoch`] become part of the enclosing
+    /// epoch (or permanent, if none). Returns `false` when no epoch is
+    /// open.
+    ///
+    /// Together with [`System::pop_epoch`] this makes a
+    /// push/mutate/commit-or-pop sequence transactional.
+    pub fn commit_epoch(&mut self) -> bool {
+        let Some(journal) = self.journal.as_mut() else {
+            return false;
+        };
+        if journal.marks.pop().is_none() {
+            return false;
+        }
+        if journal.marks.is_empty() {
+            self.journal = None;
+        }
+        true
+    }
+
+    /// Number of facts waiting on the worklist (nonzero after an
+    /// interrupted [`System::solve_bounded`]).
+    pub fn pending_facts(&self) -> usize {
+        self.worklist.len()
+    }
+
+    /// The live solved-form entry count (annotated edges + lower bounds +
+    /// upper bounds) — the quantity capped by
+    /// [`Budget::with_max_entries`](crate::Budget::with_max_entries).
+    /// Maintained incrementally; O(1).
+    pub fn solved_entries(&self) -> usize {
+        self.live_entries
+    }
+
+    /// The interned term count (variables + sources + sinks) — the
+    /// quantity capped by
+    /// [`Budget::with_max_terms`](crate::Budget::with_max_terms).
+    pub fn term_count(&self) -> usize {
+        self.vars.len() + self.sources.len() + self.sinks.len()
     }
 
     /// The surface constraints added so far, in order.
@@ -1193,16 +1294,27 @@ fn insert_ann(set: &mut Vec<AnnId>, a: AnnId) -> bool {
 
 /// Removes one annotation from a keyed annotation-set map, dropping the
 /// key when its set empties (so rolled-back state is structurally equal
-/// to the pre-epoch state).
-fn remove_ann<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<AnnId>>, key: K, a: AnnId) {
+/// to the pre-epoch state). Returns whether an annotation was removed.
+fn remove_ann<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<AnnId>>, key: K, a: AnnId) -> bool {
+    let mut removed = false;
     if let Some(anns) = map.get_mut(&key) {
         if let Ok(pos) = anns.binary_search(&a) {
             anns.remove(pos);
+            removed = true;
         }
         if anns.is_empty() {
             map.remove(&key);
         }
     }
+    removed
+}
+
+/// Counts a variable's solved-form entries the same way [`SolverStats`]
+/// does (succs + lbs + ubs; preds mirror succs and are not counted).
+fn entry_count(data: &VarData) -> usize {
+    data.succs.values().map(Vec::len).sum::<usize>()
+        + data.lbs.values().map(Vec::len).sum::<usize>()
+        + data.ubs.values().map(Vec::len).sum::<usize>()
 }
 
 fn flatten<K: Copy>(map: &HashMap<K, Vec<AnnId>>) -> Vec<(K, AnnId)> {

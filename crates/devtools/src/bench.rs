@@ -133,7 +133,10 @@ impl Bencher {
             stats.iters
         );
         self.results.push(stats);
-        self.results.last().expect("just pushed")
+        match self.results.last() {
+            Some(s) => s,
+            None => unreachable!("just pushed"),
+        }
     }
 
     /// All results recorded so far.

@@ -8,15 +8,19 @@
 //! * [`forall`] / [`Config`] — a minimal property-test harness with
 //!   counterexample shrinking for `Vec`-shaped inputs;
 //! * [`fn@bench`] — wall-clock benchmark timing with warmup and
-//!   median/mean reporting.
+//!   median/mean reporting;
+//! * [`FaultPlan`] — deterministic fault injection for the solver's
+//!   resource governor (trips a budget axis at the N-th solver step).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bench;
+mod fault;
 mod prop;
 mod rng;
 
 pub use bench::{bench, bench_secs, BenchStats, Bencher};
+pub use fault::{FaultKind, FaultPlan, SteppedClock};
 pub use prop::{forall, Config, Shrink, Unshrunk};
 pub use rng::Rng;

@@ -3,10 +3,16 @@
 //!
 //! Each input line is one JSON object; each produces exactly one JSON
 //! response line. Blank lines and `#` comments are skipped. Errors are
-//! reported in-band (`{"error": …}`) and do not abort the stream.
+//! reported in-band as structured objects —
+//! `{"error":{"code":…,"message":…}}` — and **no input line, malformed,
+//! hostile, or resource-exhausting, ever kills the stream**: the JSON
+//! reader bounds its recursion depth, commands under a budget roll back
+//! transactionally, and a `catch_unwind` backstop turns any residual
+//! panic into an `internal` error response.
 //!
 //! ```text
 //! {"cmd":"declare","cons":"pair","signature":"++"}
+//! {"cmd":"limits","max_steps":10000}
 //! {"cmd":"add","lhs":"pair(X,Y)","rhs":"Z","ann":["g"]}
 //! {"cmd":"push"}
 //! {"cmd":"query","kind":"occurs","var":"Z","cons":"c"}
@@ -17,6 +23,14 @@
 //! * `declare` — declare constructor `cons` with one `+` (covariant) or
 //!   `-` (contravariant) per argument; omitted `signature` declares a
 //!   constant.
+//! * `limits` — set the per-`add` resource budget: `max_steps` (worklist
+//!   fuel), `max_millis` (wall-clock deadline), `max_terms`, and
+//!   `max_entries` (solved-form memory caps). Omitted fields are
+//!   unlimited; `{"cmd":"limits"}` clears every limit. While any limit is
+//!   set, each `add` is **transactional**: it either fully solves, or the
+//!   session is rolled back to exactly its prior state and the response
+//!   is `{"error":{"code":"budget_exhausted","reason":…,
+//!   "rolled_back":true,…}}`.
 //! * `add` — add `lhs ⊆ rhs` and re-solve incrementally. Expressions are
 //!   `X`, `c(X,Y)`, or `c^-1(X)` (1-based projection); variables are
 //!   created on first use, constructors must be declared. `ann` is a word
@@ -26,15 +40,79 @@
 //!   (occurrence annotation classes), `pn` (partially matched
 //!   reachability), or `nonempty`.
 //! * `stats` — solver statistics plus cache counters.
+//!
+//! Error codes: `malformed_json`, `bad_request`, `unknown_command`,
+//! `unknown_symbol`, `unknown_constructor`, `unknown_variable`,
+//! `already_declared`, `no_open_epoch`, `constraint_rejected`,
+//! `budget_exhausted`, `internal`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use rasc_automata::{Alphabet, Dfa};
 use rasc_core::algebra::{Algebra, MonoidAlgebra};
-use rasc_core::{ConsId, SetExpr, SolverConfig, VarId, Variance};
+use rasc_core::{Budget, Clock, ConsId, Outcome, SetExpr, SolverConfig, VarId, Variance};
 
 use crate::json::{obj, Json};
 use crate::session::Session;
+
+/// A structured in-band protocol error: a stable machine-readable code,
+/// a human-readable message, and optional extra fields.
+#[derive(Debug, Clone)]
+struct BatchError {
+    code: &'static str,
+    message: String,
+    extra: Vec<(&'static str, Json)>,
+}
+
+impl BatchError {
+    fn new(code: &'static str, message: impl Into<String>) -> BatchError {
+        BatchError {
+            code,
+            message: message.into(),
+            extra: Vec::new(),
+        }
+    }
+
+    fn with(mut self, key: &'static str, value: Json) -> BatchError {
+        self.extra.push((key, value));
+        self
+    }
+
+    /// Renders as `{"error":{"code":…,"message":…,…}}`.
+    fn render(self) -> Json {
+        let mut fields = vec![
+            ("code".to_owned(), Json::Str(self.code.to_owned())),
+            ("message".to_owned(), Json::Str(self.message)),
+        ];
+        for (k, v) in self.extra {
+            fields.push((k.to_owned(), v));
+        }
+        Json::Obj(vec![("error".to_owned(), Json::Obj(fields))])
+    }
+}
+
+fn bad_request(message: impl Into<String>) -> BatchError {
+    BatchError::new("bad_request", message)
+}
+
+/// The per-`add` resource limits configured by `{"cmd":"limits"}`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Limits {
+    max_steps: Option<u64>,
+    max_millis: Option<u64>,
+    max_terms: Option<usize>,
+    max_entries: Option<usize>,
+}
+
+impl Limits {
+    fn is_unset(&self) -> bool {
+        self.max_steps.is_none()
+            && self.max_millis.is_none()
+            && self.max_terms.is_none()
+            && self.max_entries.is_none()
+    }
+}
 
 /// A stateful batch-protocol interpreter over one [`Session`].
 #[derive(Debug)]
@@ -43,6 +121,10 @@ pub struct BatchEngine {
     sigma: Alphabet,
     cons: HashMap<String, ConsId>,
     vars: HashMap<String, VarId>,
+    limits: Limits,
+    /// Deadline time source for budgets (injectable for deterministic
+    /// tests; `None` = the real monotonic clock).
+    clock: Option<Arc<dyn Clock>>,
 }
 
 impl BatchEngine {
@@ -59,6 +141,8 @@ impl BatchEngine {
             sigma,
             cons: HashMap::new(),
             vars: HashMap::new(),
+            limits: Limits::default(),
+            clock: None,
         }
     }
 
@@ -67,32 +151,53 @@ impl BatchEngine {
         &self.session
     }
 
+    /// Injects the time source used for `max_millis` budgets (tests and
+    /// the fault-injection harness drive deadlines deterministically).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = Some(clock);
+    }
+
     /// Handles one input line; `None` for blank/comment lines, otherwise
-    /// exactly one JSON response line.
+    /// exactly one JSON response line. Never panics and never aborts the
+    /// stream, whatever the input.
     pub fn handle_line(&mut self, line: &str) -> Option<String> {
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return None;
         }
         let response = match Json::parse(trimmed) {
-            Ok(cmd) => self
-                .dispatch(&cmd)
-                .unwrap_or_else(|msg| obj([("error", Json::from(msg.as_str()))])),
-            Err(msg) => obj([(
-                "error",
-                Json::from(format!("malformed JSON: {msg}").as_str()),
-            )]),
+            Ok(cmd) => {
+                // Defense in depth: the library crates are swept for
+                // panics and gated by clippy, but a serving loop must
+                // not die even if one slips through. (A stack overflow
+                // is not catchable — hence the parsers' depth limits.)
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.dispatch(&cmd)));
+                match result {
+                    Ok(Ok(ok)) => ok,
+                    Ok(Err(err)) => err.render(),
+                    Err(_) => BatchError::new(
+                        "internal",
+                        "internal error (caught panic); session state may be inconsistent",
+                    )
+                    .render(),
+                }
+            }
+            Err(msg) => {
+                BatchError::new("malformed_json", format!("malformed JSON: {msg}")).render()
+            }
         };
         Some(response.render())
     }
 
-    fn dispatch(&mut self, cmd: &Json) -> Result<Json, String> {
+    fn dispatch(&mut self, cmd: &Json) -> Result<Json, BatchError> {
         let name = cmd
             .get("cmd")
             .and_then(Json::as_str)
-            .ok_or("missing `cmd` field")?;
+            .ok_or_else(|| bad_request("missing `cmd` field"))?;
         match name {
             "declare" => self.declare(cmd),
+            "limits" => self.set_limits(cmd),
             "add" => self.add(cmd),
             "push" => {
                 self.session.push_epoch();
@@ -103,12 +208,9 @@ impl BatchEngine {
             }
             "pop" => {
                 if !self.session.pop_epoch() {
-                    return Err("no open epoch".to_owned());
+                    return Err(BatchError::new("no_open_epoch", "no open epoch"));
                 }
-                // Names bound mid-epoch now refer to rolled-away ids.
-                let stats = self.session.stats();
-                self.vars.retain(|_, v| v.index() < stats.vars);
-                self.cons.retain(|_, c| c.index() < stats.constructors);
+                self.prune_names();
                 Ok(obj([
                     ("ok", Json::from("pop")),
                     ("depth", Json::from(self.session.epoch_depth())),
@@ -116,20 +218,37 @@ impl BatchEngine {
             }
             "query" => self.query(cmd),
             "stats" => Ok(self.stats()),
-            other => Err(format!("unknown command `{other}`")),
+            other => Err(BatchError::new(
+                "unknown_command",
+                format!("unknown command `{other}`"),
+            )),
         }
     }
 
-    fn declare(&mut self, cmd: &Json) -> Result<Json, String> {
+    /// Drops name bindings that refer to rolled-away ids (after any
+    /// `pop_epoch`).
+    fn prune_names(&mut self) {
+        let stats = self.session.stats();
+        self.vars.retain(|_, v| v.index() < stats.vars);
+        self.cons.retain(|_, c| c.index() < stats.constructors);
+    }
+
+    fn declare(&mut self, cmd: &Json) -> Result<Json, BatchError> {
         let name = cmd
             .get("cons")
             .and_then(Json::as_str)
-            .ok_or("declare: missing `cons`")?;
+            .ok_or_else(|| bad_request("declare: missing `cons`"))?;
         if self.cons.contains_key(name) {
-            return Err(format!("constructor `{name}` already declared"));
+            return Err(BatchError::new(
+                "already_declared",
+                format!("constructor `{name}` already declared"),
+            ));
         }
         if self.vars.contains_key(name) {
-            return Err(format!("`{name}` is already a variable"));
+            return Err(BatchError::new(
+                "already_declared",
+                format!("`{name}` is already a variable"),
+            ));
         }
         let signature: Vec<Variance> = match cmd.get("signature").and_then(Json::as_str) {
             None => Vec::new(),
@@ -138,7 +257,9 @@ impl BatchEngine {
                 .map(|c| match c {
                     '+' => Ok(Variance::Covariant),
                     '-' => Ok(Variance::Contravariant),
-                    other => Err(format!("declare: bad variance `{other}` (want + or -)")),
+                    other => Err(bad_request(format!(
+                        "declare: bad variance `{other}` (want + or -)"
+                    ))),
                 })
                 .collect::<Result<_, _>>()?,
         };
@@ -151,40 +272,145 @@ impl BatchEngine {
         ]))
     }
 
-    fn add(&mut self, cmd: &Json) -> Result<Json, String> {
+    fn set_limits(&mut self, cmd: &Json) -> Result<Json, BatchError> {
+        fn field(cmd: &Json, key: &str) -> Result<Option<u64>, BatchError> {
+            match cmd.get(key) {
+                None | Some(Json::Null) => Ok(None),
+                Some(v) => match v.as_u64() {
+                    Some(n) => Ok(Some(n)),
+                    None => Err(bad_request(format!(
+                        "limits: `{key}` must be a non-negative integer"
+                    ))),
+                },
+            }
+        }
+        let to_usize = |n: u64| usize::try_from(n).unwrap_or(usize::MAX);
+        self.limits = Limits {
+            max_steps: field(cmd, "max_steps")?,
+            max_millis: field(cmd, "max_millis")?,
+            max_terms: field(cmd, "max_terms")?.map(to_usize),
+            max_entries: field(cmd, "max_entries")?.map(to_usize),
+        };
+        let report = |v: Option<u64>| v.map_or(Json::Null, Json::from);
+        Ok(obj([
+            ("ok", Json::from("limits")),
+            ("max_steps", report(self.limits.max_steps)),
+            ("max_millis", report(self.limits.max_millis)),
+            ("max_terms", report(self.limits.max_terms.map(|n| n as u64))),
+            (
+                "max_entries",
+                report(self.limits.max_entries.map(|n| n as u64)),
+            ),
+            ("transactional", Json::from(!self.limits.is_unset())),
+        ]))
+    }
+
+    /// The budget for the next `add`, or `None` when no limit is set.
+    fn current_budget(&self) -> Option<Budget> {
+        if self.limits.is_unset() {
+            return None;
+        }
+        let mut b = Budget::unlimited();
+        if let Some(n) = self.limits.max_steps {
+            b = b.with_steps(n);
+        }
+        if let Some(ms) = self.limits.max_millis {
+            b = b.with_deadline_millis(ms);
+        }
+        if let Some(n) = self.limits.max_terms {
+            b = b.with_max_terms(n);
+        }
+        if let Some(n) = self.limits.max_entries {
+            b = b.with_max_entries(n);
+        }
+        if let Some(clock) = &self.clock {
+            b = b.with_clock(Arc::clone(clock));
+        }
+        Some(b)
+    }
+
+    fn add(&mut self, cmd: &Json) -> Result<Json, BatchError> {
         let lhs_text = cmd
             .get("lhs")
             .and_then(Json::as_str)
-            .ok_or("add: missing `lhs`")?
+            .ok_or_else(|| bad_request("add: missing `lhs`"))?
             .to_owned();
         let rhs_text = cmd
             .get("rhs")
             .and_then(Json::as_str)
-            .ok_or("add: missing `rhs`")?
+            .ok_or_else(|| bad_request("add: missing `rhs`"))?
             .to_owned();
         let ann = match cmd.get("ann") {
             None => None,
             Some(word) => {
-                let names = word.as_arr().ok_or("add: `ann` must be an array")?;
+                let names = word
+                    .as_arr()
+                    .ok_or_else(|| bad_request("add: `ann` must be an array"))?;
                 let mut symbols = Vec::with_capacity(names.len());
                 for n in names {
-                    let n = n.as_str().ok_or("add: `ann` entries must be strings")?;
-                    let sym = self
-                        .sigma
-                        .lookup(n)
-                        .ok_or_else(|| format!("unknown symbol `{n}`"))?;
+                    let n = n
+                        .as_str()
+                        .ok_or_else(|| bad_request("add: `ann` entries must be strings"))?;
+                    let sym = self.sigma.lookup(n).ok_or_else(|| {
+                        BatchError::new("unknown_symbol", format!("unknown symbol `{n}`"))
+                    })?;
                     symbols.push(sym);
                 }
                 Some(self.session.system_mut().algebra_mut().word(&symbols))
             }
         };
-        let lhs = self.parse_expr(&lhs_text)?;
-        let rhs = self.parse_expr(&rhs_text)?;
-        let result = match ann {
-            Some(a) => self.session.add_ann(lhs, rhs, a),
-            None => self.session.add(lhs, rhs),
-        };
-        result.map_err(|e| format!("add: {e}"))?;
+        match self.current_budget() {
+            None => {
+                let lhs = self.parse_expr(&lhs_text)?;
+                let rhs = self.parse_expr(&rhs_text)?;
+                let result = match ann {
+                    Some(a) => self.session.add_ann(lhs, rhs, a),
+                    None => self.session.add(lhs, rhs),
+                };
+                result.map_err(|e| BatchError::new("constraint_rejected", format!("add: {e}")))?;
+            }
+            Some(budget) => {
+                // Transactional: the epoch opens before expression parsing
+                // so even variables created on first use roll away, and the
+                // session is byte-for-byte as before on any failure.
+                self.session.push_epoch();
+                let parsed = self
+                    .parse_expr(&lhs_text)
+                    .and_then(|lhs| Ok((lhs, self.parse_expr(&rhs_text)?)));
+                let (lhs, rhs) = match parsed {
+                    Ok(pair) => pair,
+                    Err(err) => {
+                        self.session.pop_epoch();
+                        self.prune_names();
+                        return Err(err);
+                    }
+                };
+                let outcome = match ann {
+                    Some(a) => self.session.add_ann_bounded(lhs, rhs, a, &budget),
+                    None => self.session.add_bounded(lhs, rhs, &budget),
+                };
+                match outcome {
+                    Err(e) => {
+                        self.session.pop_epoch();
+                        self.prune_names();
+                        return Err(BatchError::new("constraint_rejected", format!("add: {e}")));
+                    }
+                    Ok(Outcome::Complete) => {
+                        self.session.commit_epoch();
+                    }
+                    Ok(Outcome::Interrupted(reason)) => {
+                        self.session.pop_epoch();
+                        self.prune_names();
+                        return Err(BatchError::new(
+                            "budget_exhausted",
+                            format!("add interrupted: {reason}; rolled back"),
+                        )
+                        .with("reason", Json::from(reason.code()))
+                        .with("rolled_back", Json::from(true)));
+                    }
+                }
+            }
+        }
         Ok(obj([
             ("ok", Json::from("add")),
             (
@@ -195,29 +421,30 @@ impl BatchEngine {
         ]))
     }
 
-    fn query(&mut self, cmd: &Json) -> Result<Json, String> {
+    fn query(&mut self, cmd: &Json) -> Result<Json, BatchError> {
         let kind = cmd
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or("query: missing `kind`")?
+            .ok_or_else(|| bad_request("query: missing `kind`"))?
             .to_owned();
         let var_name = cmd
             .get("var")
             .and_then(Json::as_str)
-            .ok_or("query: missing `var`")?;
-        let &x = self
-            .vars
-            .get(var_name)
-            .ok_or_else(|| format!("unknown variable `{var_name}`"))?;
-        let target = || -> Result<ConsId, String> {
+            .ok_or_else(|| bad_request("query: missing `var`"))?;
+        let &x = self.vars.get(var_name).ok_or_else(|| {
+            BatchError::new("unknown_variable", format!("unknown variable `{var_name}`"))
+        })?;
+        let target = || -> Result<ConsId, BatchError> {
             let name = cmd
                 .get("cons")
                 .and_then(Json::as_str)
-                .ok_or("query: missing `cons`")?;
-            self.cons
-                .get(name)
-                .copied()
-                .ok_or_else(|| format!("unknown constructor `{name}`"))
+                .ok_or_else(|| bad_request("query: missing `cons`"))?;
+            self.cons.get(name).copied().ok_or_else(|| {
+                BatchError::new(
+                    "unknown_constructor",
+                    format!("unknown constructor `{name}`"),
+                )
+            })
         };
         let result = match kind.as_str() {
             "occurs" => Json::from(self.session.occurs_accepting(x, target()?)),
@@ -230,7 +457,7 @@ impl BatchEngine {
                 let anns = self.session.pn_occurrence_annotations(x, target()?);
                 self.describe_all(&anns)
             }
-            other => return Err(format!("unknown query kind `{other}`")),
+            other => return Err(bad_request(format!("unknown query kind `{other}`"))),
         };
         Ok(obj([
             ("ok", Json::from("query")),
@@ -274,7 +501,7 @@ impl BatchEngine {
 
     /// Parses `X`, `c(X,Y)`, or `c^-1(X)`; variables are created on first
     /// use, constructors must be declared.
-    fn parse_expr(&mut self, text: &str) -> Result<SetExpr, String> {
+    fn parse_expr(&mut self, text: &str) -> Result<SetExpr, BatchError> {
         let text = text.trim();
         let Some((head, rest)) = text.split_once('(') else {
             // Bare identifier: a declared constant, or a variable.
@@ -285,37 +512,43 @@ impl BatchEngine {
             return Ok(SetExpr::var(self.var_of(name)));
         };
         let Some(args_text) = rest.strip_suffix(')') else {
-            return Err(format!("expected `)` at end of `{text}`"));
+            return Err(bad_request(format!("expected `)` at end of `{text}`")));
         };
         if let Some((cons_name, index_text)) = head.split_once("^-") {
             // Projection `c^-i(X)`, 1-based index.
             let cons_name = validate_ident(cons_name.trim())?;
-            let &c = self
-                .cons
-                .get(cons_name)
-                .ok_or_else(|| format!("unknown constructor `{cons_name}`"))?;
+            let &c = self.cons.get(cons_name).ok_or_else(|| {
+                BatchError::new(
+                    "unknown_constructor",
+                    format!("unknown constructor `{cons_name}`"),
+                )
+            })?;
             let index: usize = index_text
                 .trim()
                 .parse()
-                .map_err(|_| format!("bad projection index in `{text}`"))?;
+                .map_err(|_| bad_request(format!("bad projection index in `{text}`")))?;
             if index == 0 {
-                return Err("projection indices are 1-based".to_owned());
+                return Err(bad_request("projection indices are 1-based"));
             }
             let subject = validate_ident(args_text.trim())?;
             let v = self.var_of(subject);
             return Ok(SetExpr::proj(c, index - 1, v));
         }
         let cons_name = validate_ident(head.trim())?;
-        let &c = self
-            .cons
-            .get(cons_name)
-            .ok_or_else(|| format!("unknown constructor `{cons_name}`"))?;
+        let &c = self.cons.get(cons_name).ok_or_else(|| {
+            BatchError::new(
+                "unknown_constructor",
+                format!("unknown constructor `{cons_name}`"),
+            )
+        })?;
         let mut args = Vec::new();
         if !args_text.trim().is_empty() {
             for part in args_text.split(',') {
                 let name = validate_ident(part.trim())?;
                 if self.cons.contains_key(name) {
-                    return Err(format!("constructor argument `{name}` must be a variable"));
+                    return Err(bad_request(format!(
+                        "constructor argument `{name}` must be a variable"
+                    )));
                 }
                 args.push(self.var_of(name));
             }
@@ -333,7 +566,7 @@ impl BatchEngine {
     }
 }
 
-fn validate_ident(text: &str) -> Result<&str, String> {
+fn validate_ident(text: &str) -> Result<&str, BatchError> {
     let ok = !text.is_empty()
         && text
             .chars()
@@ -341,7 +574,7 @@ fn validate_ident(text: &str) -> Result<&str, String> {
     if ok {
         Ok(text)
     } else {
-        Err(format!("bad identifier `{text}`"))
+        Err(bad_request(format!("bad identifier `{text}`")))
     }
 }
 
@@ -359,6 +592,10 @@ mod tests {
 
     fn run(e: &mut BatchEngine, line: &str) -> Json {
         Json::parse(&e.handle_line(line).expect("a response")).expect("valid JSON response")
+    }
+
+    fn error_code(r: &Json) -> Option<&str> {
+        r.get("error")?.get("code")?.as_str()
     }
 
     #[test]
@@ -413,22 +650,117 @@ mod tests {
             &mut e,
             r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
         );
-        assert!(r.get("error").is_some());
+        assert_eq!(error_code(&r), Some("unknown_variable"));
         let r = run(&mut e, r#"{"cmd":"pop"}"#);
-        assert!(r.get("error").is_some());
+        assert_eq!(error_code(&r), Some("no_open_epoch"));
     }
 
     #[test]
-    fn errors_are_in_band_and_nonfatal() {
+    fn errors_are_structured_in_band_and_nonfatal() {
         let mut e = engine();
         let r = run(&mut e, "not json");
-        assert!(r.get("error").unwrap().as_str().unwrap().contains("JSON"));
+        assert_eq!(error_code(&r), Some("malformed_json"));
+        assert!(r
+            .get("error")
+            .unwrap()
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("JSON"));
         let r = run(&mut e, r#"{"cmd":"add","lhs":"q(X)","rhs":"Y"}"#);
-        assert!(r.get("error").is_some(), "undeclared constructor");
+        assert_eq!(error_code(&r), Some("unknown_constructor"));
         let r = run(&mut e, r#"{"cmd":"frobnicate"}"#);
-        assert!(r.get("error").is_some());
-        // The engine still works after errors.
+        assert_eq!(error_code(&r), Some("unknown_command"));
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"*bad*"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y","ann":["zz"]}"#);
+        assert_eq!(error_code(&r), Some("unknown_symbol"));
         let r = run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
         assert_eq!(r.get("ok").unwrap().as_str(), Some("declare"));
+        let r = run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        assert_eq!(error_code(&r), Some("already_declared"));
+    }
+
+    #[test]
+    fn limits_command_reports_and_clears() {
+        let mut e = engine();
+        let r = run(
+            &mut e,
+            r#"{"cmd":"limits","max_steps":100,"max_entries":50}"#,
+        );
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("limits"));
+        assert_eq!(r.get("max_steps").unwrap().as_u64(), Some(100));
+        assert_eq!(r.get("max_millis"), Some(&Json::Null));
+        assert_eq!(r.get("transactional").unwrap().as_bool(), Some(true));
+        let r = run(&mut e, r#"{"cmd":"limits"}"#);
+        assert_eq!(r.get("transactional").unwrap().as_bool(), Some(false));
+        let r = run(&mut e, r#"{"cmd":"limits","max_steps":-3}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+    }
+
+    #[test]
+    fn budget_exhausted_add_rolls_back_and_stream_survives() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"V0","ann":["g"]}"#);
+        // A chain long enough that zero solver steps cannot finish it.
+        for i in 0..8 {
+            let line = format!(r#"{{"cmd":"add","lhs":"V{i}","rhs":"V{}"}}"#, i + 1);
+            run(&mut e, &line);
+        }
+        let before = run(&mut e, r#"{"cmd":"stats"}"#);
+
+        run(&mut e, r#"{"cmd":"limits","max_steps":1}"#);
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"V8","rhs":"W"}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        let err = r.get("error").unwrap();
+        assert_eq!(err.get("reason").unwrap().as_str(), Some("steps"));
+        assert_eq!(err.get("rolled_back").unwrap().as_bool(), Some(true));
+
+        // Rolled back: stats match, the first-use variable `W` is gone.
+        run(&mut e, r#"{"cmd":"limits"}"#);
+        let after = run(&mut e, r#"{"cmd":"stats"}"#);
+        for key in ["vars", "edges", "lower_bounds", "constraints"] {
+            assert_eq!(after.get(key), before.get(key), "{key} changed");
+        }
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"W","cons":"c"}"#,
+        );
+        assert_eq!(error_code(&r), Some("unknown_variable"));
+
+        // The same add under no limits completes.
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"V8","rhs":"W"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"W","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn generous_budget_commits_transactionally() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"limits","max_steps":100000}"#);
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"X","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        // No epoch leaked by the internal transaction.
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert_eq!(r.get("epoch_depth").unwrap().as_u64(), Some(0));
+        // And explicit user epochs still compose with budgets.
+        run(&mut e, r#"{"cmd":"push"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y"}"#);
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert_eq!(r.get("epoch_depth").unwrap().as_u64(), Some(1));
+        let r = run(&mut e, r#"{"cmd":"pop"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("pop"));
     }
 }

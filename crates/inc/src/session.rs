@@ -18,7 +18,8 @@ use std::collections::HashMap;
 
 use rasc_core::algebra::{Algebra, AnnId};
 use rasc_core::{
-    Clash, ConsId, Result, SetExpr, SolverConfig, SolverStats, System, VarId, Variance,
+    Budget, Clash, ConsId, Outcome, Result, SetExpr, SolverConfig, SolverStats, System, VarId,
+    Variance,
 };
 
 /// Hit/miss counters for the session's query cache.
@@ -139,6 +140,88 @@ impl<A: Algebra> Session<A> {
         Ok(())
     }
 
+    /// Adds `lhs ⊆ rhs` and re-drains the worklist under `budget`.
+    ///
+    /// On [`Outcome::Interrupted`] the pending worklist is kept:
+    /// [`Session::resume`] continues the drain (converging to the same
+    /// fixpoint), or — if an epoch is open — [`Session::pop_epoch`]
+    /// discards the partial work. Query results are only meaningful at a
+    /// fixpoint, so do one or the other before querying.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::add`]; on error the system is unchanged.
+    pub fn add_bounded(&mut self, lhs: SetExpr, rhs: SetExpr, budget: &Budget) -> Result<Outcome> {
+        self.sys.add(lhs, rhs)?;
+        Ok(self.sys.solve_bounded(budget))
+    }
+
+    /// Annotated variant of [`Session::add_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::add_ann`]; on error the system is unchanged.
+    pub fn add_ann_bounded(
+        &mut self,
+        lhs: SetExpr,
+        rhs: SetExpr,
+        ann: AnnId,
+        budget: &Budget,
+    ) -> Result<Outcome> {
+        self.sys.add_ann(lhs, rhs, ann)?;
+        Ok(self.sys.solve_bounded(budget))
+    }
+
+    /// Re-drains a previously interrupted solve under a fresh budget.
+    /// Closure is monotone, so however many times a drain is interrupted
+    /// and resumed, it converges to exactly the fixpoint an uninterrupted
+    /// solve would have reached.
+    pub fn resume(&mut self, budget: &Budget) -> Outcome {
+        self.sys.solve_bounded(budget)
+    }
+
+    /// Number of worklist facts pending after an interrupted solve.
+    pub fn pending_facts(&self) -> usize {
+        self.sys.pending_facts()
+    }
+
+    /// *Transactionally* adds `lhs ⊆^ann rhs` (ε when `ann` is `None`)
+    /// under `budget`: either the constraint is added and fully solved
+    /// (`Ok(Outcome::Complete)`), or the session is rolled back to exactly
+    /// its prior state — on budget exhaustion
+    /// (`Ok(Outcome::Interrupted(_))`) and on rejected constraints
+    /// (`Err(_)`) alike. Implemented as an internal
+    /// push-epoch / solve-bounded / commit-or-pop sequence, so it also
+    /// works with further epochs already open.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::add_ann`]; the epoch that briefly opened is
+    /// popped, leaving no trace.
+    pub fn add_transactional(
+        &mut self,
+        lhs: SetExpr,
+        rhs: SetExpr,
+        ann: Option<AnnId>,
+        budget: &Budget,
+    ) -> Result<Outcome> {
+        self.sys.push_epoch();
+        let added = match ann {
+            Some(a) => self.sys.add_ann(lhs, rhs, a),
+            None => self.sys.add(lhs, rhs),
+        };
+        if let Err(e) = added {
+            self.sys.pop_epoch();
+            return Err(e);
+        }
+        let outcome = self.sys.solve_bounded(budget);
+        match outcome {
+            Outcome::Complete => self.sys.commit_epoch(),
+            Outcome::Interrupted(_) => self.sys.pop_epoch(),
+        };
+        Ok(outcome)
+    }
+
     /// Opens a rollback epoch (see [`System::push_epoch`]).
     pub fn push_epoch(&mut self) {
         self.sys.push_epoch();
@@ -152,6 +235,12 @@ impl<A: Algebra> Session<A> {
     /// `annotations` stat may exceed its pre-epoch value.
     pub fn pop_epoch(&mut self) -> bool {
         self.sys.pop_epoch()
+    }
+
+    /// Closes the innermost epoch keeping its work (see
+    /// [`System::commit_epoch`]). Returns `false` when no epoch is open.
+    pub fn commit_epoch(&mut self) -> bool {
+        self.sys.commit_epoch()
     }
 
     /// Number of open epochs.

@@ -79,8 +79,14 @@ pub fn combine_specs(specs: &[&rasc_automata::PropertySpec]) -> (Alphabet, Dfa) 
             sigma.intern(&arm.symbol.name);
         }
     }
-    let mut machines = specs.iter().map(|s| s.compile_over(&sigma));
-    let first = machines.next().expect("nonempty");
+    let mut machines = specs.iter().map(|s| match s.compile_over(&sigma) {
+        Ok(m) => m,
+        Err(_) => unreachable!("every spec symbol was interned just above"),
+    });
+    let first = match machines.next() {
+        Some(m) => m,
+        None => unreachable!("specs is nonempty"),
+    };
     let combined = machines.fold(first, |acc, m| acc.product_by(&m, |a, b| a || b));
     (sigma, combined)
 }

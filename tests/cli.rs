@@ -204,7 +204,7 @@ fn batch_runs_an_incremental_session() {
     assert!(ok, "{text}");
     let lines: Vec<&str> = text.lines().collect();
     // One response per non-comment line of the script.
-    assert_eq!(lines.len(), 13, "{text}");
+    assert_eq!(lines.len(), 20, "{text}");
     assert!(
         lines[5].contains(r#""result":true"#),
         "pc reaches Exec accepting: {text}"
@@ -219,6 +219,34 @@ fn batch_runs_an_incremental_session() {
         "pre-epoch result restored: {text}"
     );
     assert!(lines[12].contains(r#""ok":"stats""#), "{text}");
+    // Limits / error-recovery tail of the script.
+    assert!(
+        lines[13].contains(r#""ok":"limits""#) && lines[13].contains(r#""max_steps":1"#),
+        "{text}"
+    );
+    assert!(
+        lines[14].contains(r#""code":"budget_exhausted""#)
+            && lines[14].contains(r#""reason":"steps""#)
+            && lines[14].contains(r#""rolled_back":true"#),
+        "budgeted add must fail transactionally: {text}"
+    );
+    assert!(
+        lines[15].contains(r#""ok":"limits""#) && lines[15].contains(r#""max_steps":null"#),
+        "bare limits clears every cap: {text}"
+    );
+    assert!(
+        lines[16].contains(r#""ok":"add""#),
+        "unbudgeted retry succeeds: {text}"
+    );
+    assert!(
+        lines[17].contains(r#""result":true"#),
+        "the retried edge is live: {text}"
+    );
+    assert!(
+        lines[18].contains(r#""code":"unknown_command""#),
+        "errors stay in-band: {text}"
+    );
+    assert!(lines[19].contains(r#""ok":"stats""#), "{text}");
 }
 
 #[test]

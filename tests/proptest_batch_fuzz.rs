@@ -1,0 +1,124 @@
+//! Hostile-input fuzzing of the batch protocol: 10k adversarial lines —
+//! garbage bytes, punctuation soup, deep nesting, truncated and
+//! type-mangled commands — must each produce exactly one well-formed JSON
+//! response (or none, for blank/comment lines), never a panic, and never
+//! kill the stream: the engine must still answer a valid command at the
+//! end.
+
+use rasc::automata::{Alphabet, Regex};
+use rasc::inc::json::Json;
+use rasc::inc::BatchEngine;
+use rasc_devtools::Rng;
+
+const N_LINES: usize = 10_000;
+
+fn engine() -> BatchEngine {
+    let sigma = Alphabet::from_names(["g", "k"]);
+    let dfa = Regex::parse("g (k g)*", &sigma).unwrap().compile(&sigma);
+    BatchEngine::new(sigma, &dfa)
+}
+
+/// Templates that are valid protocol lines before mutation.
+const TEMPLATES: &[&str] = &[
+    r#"{"cmd":"declare","var":"V1"}"#,
+    r#"{"cmd":"declare","con":"c","arity":1}"#,
+    r#"{"cmd":"add","lhs":"c","rhs":"V1","ann":["g"]}"#,
+    r#"{"cmd":"add","lhs":"V1","rhs":"V2"}"#,
+    r#"{"cmd":"query","what":"occurrences","var":"V1","con":"c"}"#,
+    r#"{"cmd":"push"}"#,
+    r#"{"cmd":"pop"}"#,
+    r#"{"cmd":"stats"}"#,
+    r#"{"cmd":"limits","max_steps":3}"#,
+    r#"{"cmd":"limits"}"#,
+];
+
+const GARBAGE_CHARS: &[char] = &[
+    '{', '}', '[', ']', '"', ':', ',', '\\', 'a', 'V', '0', '9', '-', '.', 'e', 'n', 't', 'f', ' ',
+    '\t', 'é', '∆', '\u{7f}', '\'', '/',
+];
+
+fn hostile_line(rng: &mut Rng) -> String {
+    match rng.gen_range(0..8) {
+        // Punctuation/garbage soup.
+        0 | 1 => (0..rng.gen_range(0..60))
+            .map(|_| *rng.choose(GARBAGE_CHARS))
+            .collect(),
+        // Deep nesting (would be a stack overflow without json's depth cap).
+        2 => {
+            let open = *rng.choose(&['[', '{']);
+            let mut s: String = std::iter::repeat_n(open, rng.gen_range(1..600)).collect();
+            if open == '{' {
+                s = s.replace('{', "{\"a\":");
+                s.push('1');
+            }
+            s
+        }
+        // Truncated valid command.
+        3 | 4 => {
+            let t = rng.choose(TEMPLATES);
+            let cut = rng.gen_range(0..t.len());
+            t.chars().take(cut).collect()
+        }
+        // Valid command with one random byte substituted.
+        5 | 6 => {
+            let t: Vec<char> = rng.choose(TEMPLATES).chars().collect();
+            let i = rng.gen_range(0..t.len());
+            let mut s = String::new();
+            for (j, c) in t.iter().enumerate() {
+                s.push(if j == i {
+                    *rng.choose(GARBAGE_CHARS)
+                } else {
+                    *c
+                });
+            }
+            s
+        }
+        // Valid JSON, hostile shape: wrong types, unknown commands.
+        _ => match rng.gen_range(0..5) {
+            0 => r#"{"cmd":5}"#.to_owned(),
+            1 => r#"{"cmd":"add","lhs":{},"rhs":[]}"#.to_owned(),
+            2 => format!(r#"{{"cmd":"{}"}}"#, "x".repeat(rng.gen_range(1..40))),
+            3 => r#"{"cmd":"limits","max_steps":-1}"#.to_owned(),
+            _ => format!(r#"{{"cmd":"declare","var":"{}"}}"#, "\\u0000"),
+        },
+    }
+}
+
+#[test]
+fn ten_thousand_hostile_lines_never_kill_the_stream() {
+    let mut engine = engine();
+    let mut rng = Rng::new(0xFEED_FACE);
+    let mut responses = 0usize;
+    for i in 0..N_LINES {
+        // Mix in blanks and comments, which must produce no response.
+        let line = match i % 97 {
+            0 => "   ".to_owned(),
+            1 => "# comment".to_owned(),
+            _ => hostile_line(&mut rng),
+        };
+        let expected_silent = {
+            let t = line.trim();
+            t.is_empty() || t.starts_with('#')
+        };
+        match engine.handle_line(&line) {
+            None => assert!(expected_silent, "line {i} swallowed: {line:?}"),
+            Some(resp) => {
+                assert!(!expected_silent, "line {i} answered a comment: {line:?}");
+                let parsed = Json::parse(&resp);
+                assert!(
+                    parsed.is_ok(),
+                    "line {i}: response is not well-formed JSON: {resp:?} (input {line:?})"
+                );
+                responses += 1;
+            }
+        }
+    }
+    assert!(responses > N_LINES / 2, "only {responses} responses");
+
+    // The stream survived: a valid command still gets an `ok` answer.
+    let resp = engine
+        .handle_line(r#"{"cmd":"stats"}"#)
+        .expect("stats answered");
+    let json = Json::parse(&resp).expect("well-formed");
+    assert!(json.get("ok").is_some(), "engine wedged after fuzz: {resp}");
+}
