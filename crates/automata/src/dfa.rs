@@ -248,6 +248,7 @@ impl Dfa {
     /// Theorem 2.1's proof and the "no `match` operation needed" argument in
     /// §3.1 rely on it.
     pub fn minimize(&self) -> Dfa {
+        let _span = rasc_obs::span("automata.minimize");
         let complete = self.complete();
         let reach = complete.reachable();
         // Map reachable states to dense indices.
@@ -390,6 +391,8 @@ impl Dfa {
             block_state[block[start_dense]],
             "every block got a state above",
         ));
+        rasc_obs::counter("automata.minimize.runs", 1);
+        rasc_obs::histogram("automata.minimize.states", dfa.len() as u64);
         dfa
     }
 

@@ -157,6 +157,7 @@ impl Monoid {
         if self.closed {
             return;
         }
+        let _span = rasc_obs::span("monoid.close");
         // BFS over words: every f_w arises as f_σ ∘ f_{w'} for |w| = |w'|+1.
         let generators: Vec<FnId> = self.generators.clone();
         let mut frontier: Vec<FnId> = (0..self.fns.len() as u32).map(FnId).collect();
@@ -179,6 +180,9 @@ impl Monoid {
         let id = FnId(crate::id_u32(self.fns.len(), "monoid functions"));
         self.by_fn.insert(f.clone(), id);
         self.fns.push(f);
+        // Monoid table growth: each event is one new element of F_M^≡
+        // materialized (Figure 2 machines make this the scaling hazard).
+        rasc_obs::counter("monoid.elements", 1);
         id
     }
 
@@ -211,6 +215,7 @@ impl Monoid {
             .collect();
         let id = self.intern(ReprFn(images));
         self.memo.insert((later, earlier), id);
+        rasc_obs::counter("monoid.compose.memoized", 1);
         id
     }
 

@@ -181,6 +181,7 @@ impl Nfa {
     /// that every state has a transition on every symbol. The result is not
     /// minimized; call [`Dfa::minimize`] for the canonical machine.
     pub fn determinize(&self) -> Dfa {
+        let _span = rasc_obs::span("automata.determinize");
         let start_set: Vec<NfaStateId> = match self.start {
             Some(s) => self.epsilon_closure([s]).into_iter().collect(),
             None => Vec::new(),
@@ -218,6 +219,8 @@ impl Nfa {
                 dfa.set_transition(from, sym, to);
             }
         }
+        rasc_obs::counter("automata.determinize.runs", 1);
+        rasc_obs::histogram("automata.determinize.states", dfa.len() as u64);
         dfa
     }
 }

@@ -71,6 +71,7 @@ mod constraint;
 mod error;
 pub mod forward;
 mod pattern;
+mod provenance;
 mod query;
 mod solver;
 mod term;
@@ -79,6 +80,7 @@ pub use budget::{Budget, CancelToken, Clock, InterruptReason, MonotonicClock, Ou
 pub use constraint::{Constraint, SetExpr};
 pub use error::{CoreError, Result};
 pub use pattern::{AnnPred, TermPattern};
+pub use provenance::ExplainStep;
 pub use query::OccurrenceWitness;
 pub use solver::{Clash, SolverConfig, SolverStats, System, VarId};
 pub use term::{ConsId, Constructor, GroundTerm, Variance};

@@ -1,0 +1,96 @@
+//! Derivation provenance for solved-form entries.
+//!
+//! When enabled ([`crate::System::enable_provenance`]), the solver records
+//! *why* each solved-form entry (edge, lower bound, upper bound) first
+//! appeared: which surface constraint introduced it, or which
+//! transitive-closure / resolution step derived it from earlier entries.
+//! [`crate::System::explain`] walks these records backwards to produce a
+//! derivation chain — the set-constraint analogue of a proof tree, surfaced
+//! by the CLI's `explain` batch command.
+//!
+//! Recording is keyed by canonical (post-cycle-collapse) ids at insert
+//! time, with first-justification-wins semantics: re-derivations of an
+//! already-present entry do not overwrite the original reason. Entries
+//! recorded while an epoch is open are journaled and removed again on
+//! [`crate::System::pop_epoch`].
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::algebra::AnnId;
+use crate::solver::{SnkId, SrcId, VarId};
+
+/// Why a solved-form entry exists (the premise side of one derivation
+/// step). Variable/source/sink ids are those that were canonical at
+/// recording time; lookups re-canonicalize.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Reason {
+    /// Introduced directly by surface constraint `constraints[i]`.
+    Constraint(usize),
+    /// Transitive closure: lower bound `lb` pushed across edge `edge`.
+    TransLb {
+        /// The edge `(x, y, f)` the bound crossed.
+        edge: (VarId, VarId, AnnId),
+        /// The lower-bound entry `(x, src, g)` that crossed it.
+        lb: (VarId, SrcId, AnnId),
+    },
+    /// Transitive closure: upper bound `ub` pulled back across `edge`.
+    TransUb {
+        /// The edge `(w, x, f)` the bound crossed (backwards).
+        edge: (VarId, VarId, AnnId),
+        /// The upper-bound entry `(x, snk, h)` that crossed it.
+        ub: (VarId, SnkId, AnnId),
+    },
+    /// §3.1 resolution: a lower and an upper bound met at `var`.
+    Meet {
+        /// The variable where the bounds met.
+        var: VarId,
+        /// The met source.
+        src: SrcId,
+        /// Annotation of the lower-bound entry.
+        src_ann: AnnId,
+        /// The met sink.
+        snk: SnkId,
+        /// Annotation of the upper-bound entry.
+        snk_ann: AnnId,
+    },
+    /// Re-derived when `from` was collapsed into its ε-cycle class.
+    Collapsed {
+        /// The variable merged away by cycle elimination.
+        from: VarId,
+    },
+}
+
+/// Identity of one solved-form entry, for keying provenance records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum ProvKey {
+    /// `x ⊆^f y`.
+    Edge(VarId, VarId, AnnId),
+    /// `src ⊆^g x`.
+    Lb(VarId, SrcId, AnnId),
+    /// `x ⊆^h snk`.
+    Ub(VarId, SnkId, AnnId),
+}
+
+/// The provenance store: first reasons per entry, plus the reasons of
+/// facts still pending on the worklist (kept in lockstep with it).
+#[derive(Debug, Default)]
+pub(crate) struct Provenance {
+    /// First recorded reason per solved-form entry.
+    pub(crate) map: HashMap<ProvKey, Reason>,
+    /// Reason of each pending worklist fact, in worklist order.
+    pub(crate) pending: VecDeque<Reason>,
+}
+
+/// One step of a derivation chain returned by [`crate::System::explain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainStep {
+    /// Index into [`crate::System::constraints`] when this step cites a
+    /// surface constraint.
+    pub constraint: Option<usize>,
+    /// The rule that produced the entry: `"constraint"`, `"trans-lb"`,
+    /// `"trans-ub"`, `"resolve"`, `"collapse"`, or `"axiom"` (an entry
+    /// that predates provenance recording).
+    pub rule: &'static str,
+    /// Human-readable rendering of the step.
+    pub description: String,
+}

@@ -20,11 +20,14 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use rasc_obs as obs;
+
 use crate::algebra::{Algebra, AnnId};
 use crate::budget::{Budget, Outcome};
 use crate::constraint::{Constraint, SetExpr};
 use crate::error::{CoreError, Result};
 use crate::id_u32;
+use crate::provenance::{ExplainStep, ProvKey, Provenance, Reason};
 use crate::term::{ConsId, Constructor, Variance};
 
 /// An interned set variable.
@@ -131,6 +134,8 @@ enum UndoOp {
     VarData { idx: u32, data: Box<VarData> },
     /// Remove a projection-merging memo entry.
     ProjMerge(ConsId, usize, VarId),
+    /// Remove a provenance record.
+    Prov(ProvKey),
 }
 
 /// A snapshot of the monotone solver dimensions at [`System::push_epoch`]
@@ -146,6 +151,9 @@ struct EpochMark {
     n_clashes: usize,
     facts_processed: usize,
     cycles_collapsed: usize,
+    fuel_spent: usize,
+    interruptions: usize,
+    depth_limit_hits: usize,
 }
 
 /// The rollback journal: undo ops plus a stack of epoch marks.
@@ -190,6 +198,15 @@ pub struct SolverStats {
     pub annotations: usize,
     /// Variables collapsed by online cycle elimination.
     pub cycles_collapsed: usize,
+    /// Worklist steps charged against a *limited* [`Budget`] (unlimited
+    /// solves consume no fuel).
+    pub fuel_spent: usize,
+    /// Bounded solves that stopped on a budget axis
+    /// ([`Outcome::Interrupted`]).
+    pub interruptions: usize,
+    /// Online cycle searches abandoned at the configured depth bound
+    /// ([`SolverConfig::cycle_search_depth`]).
+    pub depth_limit_hits: usize,
 }
 
 /// Tuning knobs for the bidirectional solver: the §8 engineering the
@@ -260,6 +277,84 @@ pub struct System<A: Algebra> {
     live_entries: usize,
     /// Present while at least one epoch is open.
     journal: Option<Journal>,
+    /// Worklist steps charged against limited budgets.
+    fuel_spent: usize,
+    /// Bounded solves interrupted by their budget.
+    interruptions: usize,
+    /// Cycle searches abandoned at the depth bound.
+    depth_limit_hits: usize,
+    /// Present once provenance recording is enabled.
+    prov: Option<Box<Provenance>>,
+    /// Observability counter deltas not yet emitted. Updating a plain
+    /// field keeps the hot path free of dispatch; deltas are flushed as
+    /// [`obs`] counter events at solve boundaries and after rollbacks.
+    pending_counts: PendingCounts,
+}
+
+/// Counter deltas accumulated between flush points (see
+/// [`System::solve_bounded`] and [`System::pop_epoch`]). Each field maps
+/// to one monotone `obs` counter; `added`/`removed` (and `…`/
+/// `….rolled_back`) pairs mirror every mutation of the corresponding
+/// solver statistic, so a [`rasc_obs::Recorder`] installed for a system's
+/// whole lifetime reconciles exactly with its final [`SolverStats`].
+#[derive(Debug, Default)]
+struct PendingCounts {
+    edges_added: u64,
+    edges_removed: u64,
+    lbs_added: u64,
+    lbs_removed: u64,
+    ubs_added: u64,
+    ubs_removed: u64,
+    facts: u64,
+    facts_rolled_back: u64,
+    fuel: u64,
+    fuel_rolled_back: u64,
+    cycles_collapsed: u64,
+    cycles_uncollapsed: u64,
+    clashes: u64,
+    clashes_rolled_back: u64,
+    interruptions: u64,
+    interruptions_rolled_back: u64,
+    depth_limit_hits: u64,
+    depth_limit_hits_rolled_back: u64,
+}
+
+impl PendingCounts {
+    /// Emits every nonzero delta as an `obs` counter event and resets it.
+    /// Deltas are reset even when no sink is installed, so a sink only
+    /// ever observes mutations made while it was installed.
+    fn flush(&mut self) {
+        let emit = |name: &'static str, v: &mut u64| {
+            if *v != 0 {
+                obs::counter(name, *v);
+                *v = 0;
+            }
+        };
+        emit("solver.edges.added", &mut self.edges_added);
+        emit("solver.edges.removed", &mut self.edges_removed);
+        emit("solver.lbs.added", &mut self.lbs_added);
+        emit("solver.lbs.removed", &mut self.lbs_removed);
+        emit("solver.ubs.added", &mut self.ubs_added);
+        emit("solver.ubs.removed", &mut self.ubs_removed);
+        emit("solver.facts", &mut self.facts);
+        emit("solver.facts.rolled_back", &mut self.facts_rolled_back);
+        emit("solver.fuel", &mut self.fuel);
+        emit("solver.fuel.rolled_back", &mut self.fuel_rolled_back);
+        emit("solver.cycles.collapsed", &mut self.cycles_collapsed);
+        emit("solver.cycles.uncollapsed", &mut self.cycles_uncollapsed);
+        emit("solver.clashes", &mut self.clashes);
+        emit("solver.clashes.rolled_back", &mut self.clashes_rolled_back);
+        emit("solver.interruptions", &mut self.interruptions);
+        emit(
+            "solver.interruptions.rolled_back",
+            &mut self.interruptions_rolled_back,
+        );
+        emit("solver.depth_limit_hits", &mut self.depth_limit_hits);
+        emit(
+            "solver.depth_limit_hits.rolled_back",
+            &mut self.depth_limit_hits_rolled_back,
+        );
+    }
 }
 
 impl<A: Algebra> System<A> {
@@ -293,6 +388,54 @@ impl<A: Algebra> System<A> {
             mutation_counter: 0,
             live_entries: 0,
             journal: None,
+            fuel_spent: 0,
+            interruptions: 0,
+            depth_limit_hits: 0,
+            prov: None,
+            pending_counts: PendingCounts::default(),
+        }
+    }
+
+    /// Turns on provenance recording: from now on the solver records,
+    /// per solved-form entry, the constraint or derivation step that
+    /// first produced it, enabling [`System::explain`]. The pending
+    /// worklist is drained first so recording starts from a fixpoint
+    /// (entries solved before enabling have no recorded provenance).
+    /// Idempotent.
+    pub fn enable_provenance(&mut self) {
+        if self.prov.is_some() {
+            return;
+        }
+        self.solve();
+        self.prov = Some(Box::new(Provenance::default()));
+    }
+
+    /// Whether provenance recording is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.prov.is_some()
+    }
+
+    /// Enqueues a fact, keeping the provenance reason queue in lockstep
+    /// with the worklist when recording is enabled.
+    fn push_fact(&mut self, fact: Fact, why: Reason) {
+        self.worklist.push_back(fact);
+        if let Some(p) = self.prov.as_mut() {
+            p.pending.push_back(why);
+        }
+    }
+
+    /// Records the first reason for a solved-form entry (later
+    /// re-derivations keep the original justification). Journaled while
+    /// an epoch is open.
+    fn record_prov(&mut self, key: ProvKey, why: Option<Reason>) {
+        let Some(why) = why else { return };
+        let Some(p) = self.prov.as_mut() else { return };
+        if p.map.contains_key(&key) {
+            return;
+        }
+        p.map.insert(key, why);
+        if let Some(j) = self.journal.as_mut() {
+            j.ops.push(UndoOp::Prov(key));
         }
     }
 
@@ -368,29 +511,34 @@ impl<A: Algebra> System<A> {
         }
         self.parent[loser.0 as usize] = winner.0;
         self.cycles_collapsed += 1;
+        self.pending_counts.cycles_collapsed += 1;
         let data = std::mem::take(&mut self.vars[loser.index()]);
         self.vars[loser.index()].name = data.name.clone();
         // The loser's entries leave the solved form here; the re-enqueued
         // facts below re-count whichever of them the winner actually keeps.
         self.live_entries -= entry_count(&data);
+        self.pending_counts.edges_removed += category_count(&data.succs);
+        self.pending_counts.lbs_removed += category_count(&data.lbs);
+        self.pending_counts.ubs_removed += category_count(&data.ubs);
+        let why = Reason::Collapsed { from: loser };
         for (&y, anns) in &data.succs {
             for &ann in anns {
-                self.worklist.push_back(Fact::Edge(winner, y, ann));
+                self.push_fact(Fact::Edge(winner, y, ann), why);
             }
         }
         for (&x, anns) in &data.preds {
             for &ann in anns {
-                self.worklist.push_back(Fact::Edge(x, winner, ann));
+                self.push_fact(Fact::Edge(x, winner, ann), why);
             }
         }
         for (&src, anns) in &data.lbs {
             for &ann in anns {
-                self.worklist.push_back(Fact::Lb(winner, src, ann));
+                self.push_fact(Fact::Lb(winner, src, ann), why);
             }
         }
         for (&snk, anns) in &data.ubs {
             for &ann in anns {
-                self.worklist.push_back(Fact::Ub(winner, snk, ann));
+                self.push_fact(Fact::Ub(winner, snk, ann), why);
             }
         }
         if let Some(j) = self.journal.as_mut() {
@@ -415,6 +563,8 @@ impl<A: Algebra> System<A> {
         let mut budget = self.config.cycle_search_depth * 8;
         while let Some((v, _)) = stack.pop() {
             if budget == 0 {
+                self.depth_limit_hits += 1;
+                self.pending_counts.depth_limit_hits += 1;
                 return false;
             }
             budget -= 1;
@@ -532,17 +682,18 @@ impl<A: Algebra> System<A> {
             rhs: rhs.clone(),
             ann,
         });
+        let why = Reason::Constraint(self.constraints.len() - 1);
         match (lhs, rhs) {
             (SetExpr::Var(x), SetExpr::Var(y)) => {
-                self.worklist.push_back(Fact::Edge(x, y, ann));
+                self.push_fact(Fact::Edge(x, y, ann), why);
             }
             (SetExpr::Cons(c, args), SetExpr::Var(y)) => {
                 let src = self.intern_source(Source { cons: c, args });
-                self.worklist.push_back(Fact::Lb(y, src, ann));
+                self.push_fact(Fact::Lb(y, src, ann), why);
             }
             (SetExpr::Var(x), SetExpr::Cons(c, args)) => {
                 let snk = self.intern_sink(Sink::Cons { cons: c, args });
-                self.worklist.push_back(Fact::Ub(x, snk, ann));
+                self.push_fact(Fact::Ub(x, snk, ann), why);
             }
             (SetExpr::Cons(c1, args1), SetExpr::Cons(c2, args2)) => {
                 // Resolve immediately (the first two rules of §3.1).
@@ -554,7 +705,7 @@ impl<A: Algebra> System<A> {
                     cons: c2,
                     args: args2,
                 });
-                self.resolve(src, ann, snk);
+                self.resolve(src, ann, snk, why);
             }
             (SetExpr::Proj(c, i, x), SetExpr::Var(z)) => {
                 // Projection merging (§8 / [27]): all ε-annotated
@@ -575,18 +726,18 @@ impl<A: Algebra> System<A> {
                                 target: aux,
                             });
                             let e = self.algebra.identity();
-                            self.worklist.push_back(Fact::Ub(x, snk, e));
+                            self.push_fact(Fact::Ub(x, snk, e), why);
                             aux
                         }
                     };
-                    self.worklist.push_back(Fact::Edge(aux, z, ann));
+                    self.push_fact(Fact::Edge(aux, z, ann), why);
                 } else {
                     let snk = self.intern_sink(Sink::Proj {
                         cons: c,
                         index: i,
                         target: z,
                     });
-                    self.worklist.push_back(Fact::Ub(x, snk, ann));
+                    self.push_fact(Fact::Ub(x, snk, ann), why);
                 }
             }
             (SetExpr::Proj(c, i, x), SetExpr::Cons(c2, args2)) => {
@@ -598,13 +749,13 @@ impl<A: Algebra> System<A> {
                     index: i,
                     target: v,
                 });
-                self.worklist.push_back(Fact::Ub(x, snk, ann));
+                self.push_fact(Fact::Ub(x, snk, ann), why);
                 let snk2 = self.intern_sink(Sink::Cons {
                     cons: c2,
                     args: args2,
                 });
                 let e = self.algebra.identity();
-                self.worklist.push_back(Fact::Ub(v, snk2, e));
+                self.push_fact(Fact::Ub(v, snk2, e), why);
             }
             (_, SetExpr::Proj(..)) => unreachable!("rejected above"),
         }
@@ -677,8 +828,9 @@ impl<A: Algebra> System<A> {
     }
 
     /// Applies the §3.1 resolution rules to a met source/sink pair under
-    /// path annotation `f`.
-    fn resolve(&mut self, src: SrcId, f: AnnId, snk: SnkId) {
+    /// path annotation `f`. `why` justifies the derived edges (and is the
+    /// provenance of any clash).
+    fn resolve(&mut self, src: SrcId, f: AnnId, snk: SnkId, why: Reason) {
         if !self.algebra.is_useful(f) {
             return;
         }
@@ -693,6 +845,7 @@ impl<A: Algebra> System<A> {
                     };
                     if self.clash_set.insert(clash.clone()) {
                         self.clashes.push(clash);
+                        self.pending_counts.clashes += 1;
                     }
                     return;
                 }
@@ -700,14 +853,12 @@ impl<A: Algebra> System<A> {
                 for (i, variance) in signature.iter().enumerate() {
                     match variance {
                         Variance::Covariant => {
-                            self.worklist
-                                .push_back(Fact::Edge(source.args[i], args[i], f));
+                            self.push_fact(Fact::Edge(source.args[i], args[i], f), why);
                         }
                         Variance::Contravariant => {
                             if f == self.algebra.identity() {
                                 let e = self.algebra.identity();
-                                self.worklist
-                                    .push_back(Fact::Edge(args[i], source.args[i], e));
+                                self.push_fact(Fact::Edge(args[i], source.args[i], e), why);
                             } else {
                                 let clash = Clash::ContravariantAnnotated {
                                     cons,
@@ -716,6 +867,7 @@ impl<A: Algebra> System<A> {
                                 };
                                 if self.clash_set.insert(clash.clone()) {
                                     self.clashes.push(clash);
+                                    self.pending_counts.clashes += 1;
                                 }
                             }
                         }
@@ -728,8 +880,7 @@ impl<A: Algebra> System<A> {
                 target,
             } => {
                 if source.cons == cons {
-                    self.worklist
-                        .push_back(Fact::Edge(source.args[index], target, f));
+                    self.push_fact(Fact::Edge(source.args[index], target, f), why);
                 }
                 // A non-matching constructor simply does not project —
                 // not an inconsistency.
@@ -761,24 +912,37 @@ impl<A: Algebra> System<A> {
     /// window); the clock is only consulted when a deadline is set, so
     /// solves under purely step/memory budgets are fully deterministic.
     pub fn solve_bounded(&mut self, budget: &Budget) -> Outcome {
+        let _span = obs::span("solver.solve");
+        let metered = !budget.is_unlimited();
         let mut meter = budget.start();
         while !self.worklist.is_empty() {
             let terms = self.vars.len() + self.sources.len() + self.sinks.len();
             if let Some(reason) = meter.check(terms, self.live_entries) {
+                self.interruptions += 1;
+                self.pending_counts.interruptions += 1;
+                self.pending_counts.flush();
                 return Outcome::Interrupted(reason);
             }
             meter.step();
+            if metered {
+                self.fuel_spent += 1;
+                self.pending_counts.fuel += 1;
+            }
             let Some(fact) = self.worklist.pop_front() else {
                 break;
             };
+            let why = self.prov.as_mut().and_then(|p| p.pending.pop_front());
             self.facts_processed += 1;
-            self.process_fact(fact);
+            self.pending_counts.facts += 1;
+            self.process_fact(fact, why);
         }
+        self.pending_counts.flush();
         Outcome::Complete
     }
 
-    /// Applies one worklist fact (one "step" of the drain).
-    fn process_fact(&mut self, fact: Fact) {
+    /// Applies one worklist fact (one "step" of the drain). `why` is the
+    /// fact's provenance reason, present iff recording is enabled.
+    fn process_fact(&mut self, fact: Fact, why: Option<Reason>) {
         match fact {
             Fact::Edge(x, y, f) => {
                 let x = self.find_mut(x);
@@ -793,6 +957,8 @@ impl<A: Algebra> System<A> {
                     return;
                 }
                 self.live_entries += 1;
+                self.pending_counts.edges_added += 1;
+                self.record_prov(ProvKey::Edge(x, y, f), why);
                 insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
                 if let Some(j) = self.journal.as_mut() {
                     j.ops.push(UndoOp::Succ(x, y, f));
@@ -812,13 +978,21 @@ impl<A: Algebra> System<A> {
                 let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
                 for (src, g) in lbs {
                     let h = self.algebra.compose(f, g);
-                    self.worklist.push_back(Fact::Lb(y, src, h));
+                    let why = Reason::TransLb {
+                        edge: (x, y, f),
+                        lb: (x, src, g),
+                    };
+                    self.push_fact(Fact::Lb(y, src, h), why);
                 }
                 // Pull y's upper bounds across the new edge.
                 let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[y.index()].ubs);
                 for (snk, g) in ubs {
                     let h = self.algebra.compose(g, f);
-                    self.worklist.push_back(Fact::Ub(x, snk, h));
+                    let why = Reason::TransUb {
+                        edge: (x, y, f),
+                        ub: (y, snk, g),
+                    };
+                    self.push_fact(Fact::Ub(x, snk, h), why);
                 }
             }
             Fact::Lb(x, src, g) => {
@@ -830,6 +1004,8 @@ impl<A: Algebra> System<A> {
                     return;
                 }
                 self.live_entries += 1;
+                self.pending_counts.lbs_added += 1;
+                self.record_prov(ProvKey::Lb(x, src, g), why);
                 if let Some(j) = self.journal.as_mut() {
                     j.ops.push(UndoOp::Lb(x, src, g));
                 }
@@ -837,12 +1013,23 @@ impl<A: Algebra> System<A> {
                 let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
                 for (y, f) in succs {
                     let h = self.algebra.compose(f, g);
-                    self.worklist.push_back(Fact::Lb(y, src, h));
+                    let why = Reason::TransLb {
+                        edge: (x, y, f),
+                        lb: (x, src, g),
+                    };
+                    self.push_fact(Fact::Lb(y, src, h), why);
                 }
                 let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[x.index()].ubs);
                 for (snk, h) in ubs {
                     let composed = self.algebra.compose(h, g);
-                    self.resolve(src, composed, snk);
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.resolve(src, composed, snk, why);
                 }
             }
             Fact::Ub(x, snk, h) => {
@@ -854,6 +1041,8 @@ impl<A: Algebra> System<A> {
                     return;
                 }
                 self.live_entries += 1;
+                self.pending_counts.ubs_added += 1;
+                self.record_prov(ProvKey::Ub(x, snk, h), why);
                 if let Some(j) = self.journal.as_mut() {
                     j.ops.push(UndoOp::Ub(x, snk, h));
                 }
@@ -861,12 +1050,23 @@ impl<A: Algebra> System<A> {
                 let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
                 for (w, f) in preds {
                     let composed = self.algebra.compose(h, f);
-                    self.worklist.push_back(Fact::Ub(w, snk, composed));
+                    let why = Reason::TransUb {
+                        edge: (w, x, f),
+                        ub: (x, snk, h),
+                    };
+                    self.push_fact(Fact::Ub(w, snk, composed), why);
                 }
                 let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
                 for (src, g) in lbs {
                     let composed = self.algebra.compose(h, g);
-                    self.resolve(src, composed, snk);
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.resolve(src, composed, snk, why);
                 }
             }
         }
@@ -882,6 +1082,7 @@ impl<A: Algebra> System<A> {
     /// [`System::pop_epoch`]. Epochs nest.
     pub fn push_epoch(&mut self) {
         self.solve();
+        obs::counter("solver.epochs.pushed", 1);
         let mark = EpochMark {
             ops_len: self.journal.as_ref().map_or(0, |j| j.ops.len()),
             n_vars: self.vars.len(),
@@ -892,6 +1093,9 @@ impl<A: Algebra> System<A> {
             n_clashes: self.clashes.len(),
             facts_processed: self.facts_processed,
             cycles_collapsed: self.cycles_collapsed,
+            fuel_spent: self.fuel_spent,
+            interruptions: self.interruptions,
+            depth_limit_hits: self.depth_limit_hits,
         };
         self.journal
             .get_or_insert_with(Journal::default)
@@ -931,12 +1135,18 @@ impl<A: Algebra> System<A> {
         if journal.marks.is_empty() {
             self.journal = None;
         }
+        if let Some(p) = self.prov.as_mut() {
+            p.pending.clear();
+        }
+        obs::counter("solver.epochs.popped", 1);
+        obs::histogram("solver.rollback.ops", ops.len() as u64);
         let mut touched: HashSet<u32> = HashSet::new();
         for op in ops.into_iter().rev() {
             match op {
                 UndoOp::Succ(x, y, a) => {
                     if remove_ann(&mut self.vars[x.index()].succs, y, a) {
                         self.live_entries -= 1;
+                        self.pending_counts.edges_removed += 1;
                     }
                     touched.insert(x.0);
                     touched.insert(y.0);
@@ -947,12 +1157,14 @@ impl<A: Algebra> System<A> {
                 UndoOp::Lb(x, src, a) => {
                     if remove_ann(&mut self.vars[x.index()].lbs, src, a) {
                         self.live_entries -= 1;
+                        self.pending_counts.lbs_removed += 1;
                     }
                     touched.insert(x.0);
                 }
                 UndoOp::Ub(x, snk, a) => {
                     if remove_ann(&mut self.vars[x.index()].ubs, snk, a) {
                         self.live_entries -= 1;
+                        self.pending_counts.ubs_removed += 1;
                     }
                     touched.insert(x.0);
                 }
@@ -966,11 +1178,19 @@ impl<A: Algebra> System<A> {
                     // restore adds exactly the journaled entries back.
                     debug_assert_eq!(entry_count(&self.vars[idx as usize]), 0);
                     self.live_entries += entry_count(&data);
+                    self.pending_counts.edges_added += category_count(&data.succs);
+                    self.pending_counts.lbs_added += category_count(&data.lbs);
+                    self.pending_counts.ubs_added += category_count(&data.ubs);
                     self.vars[idx as usize] = *data;
                     touched.insert(idx);
                 }
                 UndoOp::ProjMerge(c, i, v) => {
                     self.proj_merge.remove(&(c, i, v));
+                }
+                UndoOp::Prov(key) => {
+                    if let Some(p) = self.prov.as_mut() {
+                        p.map.remove(&key);
+                    }
                 }
             }
         }
@@ -981,6 +1201,8 @@ impl<A: Algebra> System<A> {
         for s in self.sinks.drain(mark.n_sinks..) {
             self.sink_ids.remove(&s);
         }
+        self.pending_counts.clashes_rolled_back +=
+            self.clashes.len().saturating_sub(mark.n_clashes) as u64;
         for c in self.clashes.drain(mark.n_clashes..) {
             self.clash_set.remove(&c);
         }
@@ -989,8 +1211,20 @@ impl<A: Algebra> System<A> {
         self.versions.truncate(mark.n_vars);
         self.constructors.truncate(mark.n_constructors);
         self.constraints.truncate(mark.n_constraints);
+        self.pending_counts.facts_rolled_back +=
+            (self.facts_processed - mark.facts_processed) as u64;
+        self.pending_counts.cycles_uncollapsed +=
+            (self.cycles_collapsed - mark.cycles_collapsed) as u64;
+        self.pending_counts.fuel_rolled_back += (self.fuel_spent - mark.fuel_spent) as u64;
+        self.pending_counts.interruptions_rolled_back +=
+            (self.interruptions - mark.interruptions) as u64;
+        self.pending_counts.depth_limit_hits_rolled_back +=
+            (self.depth_limit_hits - mark.depth_limit_hits) as u64;
         self.facts_processed = mark.facts_processed;
         self.cycles_collapsed = mark.cycles_collapsed;
+        self.fuel_spent = mark.fuel_spent;
+        self.interruptions = mark.interruptions;
+        self.depth_limit_hits = mark.depth_limit_hits;
         // Advance the stamps of every variable the rollback touched.
         for idx in touched {
             if (idx as usize) < mark.n_vars {
@@ -998,6 +1232,7 @@ impl<A: Algebra> System<A> {
             }
         }
         self.mutation_counter += 1;
+        self.pending_counts.flush();
         true
     }
 
@@ -1019,6 +1254,7 @@ impl<A: Algebra> System<A> {
         if journal.marks.is_empty() {
             self.journal = None;
         }
+        obs::counter("solver.epochs.committed", 1);
         true
     }
 
@@ -1125,7 +1361,275 @@ impl<A: Algebra> System<A> {
             facts_processed: self.facts_processed,
             annotations: self.algebra.len(),
             cycles_collapsed: self.cycles_collapsed,
+            fuel_spent: self.fuel_spent,
+            interruptions: self.interruptions,
+            depth_limit_hits: self.depth_limit_hits,
         }
+    }
+
+    /// Explains why constructor `c` appears in `v`'s solution: the chain
+    /// of surface constraints and derivation steps that produced the
+    /// (lexicographically first) solved-form lower bound `c(…) ⊆^g v`.
+    ///
+    /// Returns an empty chain when provenance recording is not enabled
+    /// (see [`System::enable_provenance`]), or when no such lower bound
+    /// exists. Steps are pre-order: each derived entry is followed by the
+    /// explanations of its premises.
+    pub fn explain(&self, v: VarId, c: ConsId) -> Vec<ExplainStep> {
+        let Some(prov) = self.prov.as_deref() else {
+            return Vec::new();
+        };
+        let root = self.find(v);
+        let mut candidates: Vec<(u32, AnnId)> = Vec::new();
+        for (src, anns) in &self.vars[root.index()].lbs {
+            if self.sources[src.0 as usize].cons == c {
+                for &a in anns {
+                    candidates.push((src.0, a));
+                }
+            }
+        }
+        candidates.sort();
+        let Some(&(src_raw, ann)) = candidates.first() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        self.explain_key(
+            prov,
+            ProvKey::Lb(root, SrcId(src_raw), ann),
+            &mut out,
+            &mut seen,
+            0,
+        );
+        out
+    }
+
+    /// Recursive provenance walk: emits the step for `key`, then the
+    /// steps of its premises (bounded by a visited set and a depth cap).
+    fn explain_key(
+        &self,
+        prov: &Provenance,
+        key: ProvKey,
+        out: &mut Vec<ExplainStep>,
+        seen: &mut HashSet<ProvKey>,
+        depth: usize,
+    ) {
+        if depth > 64 || !seen.insert(key) {
+            return;
+        }
+        let reason = prov
+            .map
+            .get(&key)
+            .or_else(|| prov.map.get(&self.canonical_key(key)));
+        let Some(reason) = reason else {
+            out.push(ExplainStep {
+                constraint: None,
+                rule: "axiom",
+                description: format!(
+                    "{} (solved before provenance recording was enabled)",
+                    self.describe_key(key)
+                ),
+            });
+            return;
+        };
+        match *reason {
+            Reason::Constraint(i) => {
+                out.push(ExplainStep {
+                    constraint: Some(i),
+                    rule: "constraint",
+                    description: format!(
+                        "{} — from constraint #{i}: {}",
+                        self.describe_key(key),
+                        self.describe_constraint(i)
+                    ),
+                });
+            }
+            Reason::TransLb { edge, lb } => {
+                out.push(ExplainStep {
+                    constraint: None,
+                    rule: "trans-lb",
+                    description: format!(
+                        "{} — lower bound pushed across edge {}",
+                        self.describe_key(key),
+                        self.describe_key(ProvKey::Edge(edge.0, edge.1, edge.2))
+                    ),
+                });
+                self.explain_key(
+                    prov,
+                    ProvKey::Edge(edge.0, edge.1, edge.2),
+                    out,
+                    seen,
+                    depth + 1,
+                );
+                self.explain_key(prov, ProvKey::Lb(lb.0, lb.1, lb.2), out, seen, depth + 1);
+            }
+            Reason::TransUb { edge, ub } => {
+                out.push(ExplainStep {
+                    constraint: None,
+                    rule: "trans-ub",
+                    description: format!(
+                        "{} — upper bound pulled back across edge {}",
+                        self.describe_key(key),
+                        self.describe_key(ProvKey::Edge(edge.0, edge.1, edge.2))
+                    ),
+                });
+                self.explain_key(
+                    prov,
+                    ProvKey::Edge(edge.0, edge.1, edge.2),
+                    out,
+                    seen,
+                    depth + 1,
+                );
+                self.explain_key(prov, ProvKey::Ub(ub.0, ub.1, ub.2), out, seen, depth + 1);
+            }
+            Reason::Meet {
+                var,
+                src,
+                src_ann,
+                snk,
+                snk_ann,
+            } => {
+                out.push(ExplainStep {
+                    constraint: None,
+                    rule: "resolve",
+                    description: format!(
+                        "{} — §3.1 resolution at {}",
+                        self.describe_key(key),
+                        self.var_name_safe(var)
+                    ),
+                });
+                self.explain_key(prov, ProvKey::Lb(var, src, src_ann), out, seen, depth + 1);
+                self.explain_key(prov, ProvKey::Ub(var, snk, snk_ann), out, seen, depth + 1);
+            }
+            Reason::Collapsed { from } => {
+                out.push(ExplainStep {
+                    constraint: None,
+                    rule: "collapse",
+                    description: format!(
+                        "{} — re-derived when {} was collapsed into its ε-cycle class",
+                        self.describe_key(key),
+                        self.var_name_safe(from)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Maps every variable component of `key` to its current canonical
+    /// representative (keys are recorded pre-collapse).
+    fn canonical_key(&self, key: ProvKey) -> ProvKey {
+        match key {
+            ProvKey::Edge(x, y, a) => ProvKey::Edge(self.find(x), self.find(y), a),
+            ProvKey::Lb(x, s, a) => ProvKey::Lb(self.find(x), s, a),
+            ProvKey::Ub(x, s, a) => ProvKey::Ub(self.find(x), s, a),
+        }
+    }
+
+    /// A variable name that tolerates ids dropped by rollback.
+    fn var_name_safe(&self, v: VarId) -> &str {
+        self.vars
+            .get(self.find(v).index())
+            .map_or("<dropped>", |d| d.name.as_str())
+    }
+
+    /// Renders a provenance key in the paper's notation.
+    fn describe_key(&self, key: ProvKey) -> String {
+        let ann = |a: AnnId| {
+            if a == self.algebra.identity() {
+                String::new()
+            } else {
+                format!("^{}", self.algebra.describe(a))
+            }
+        };
+        match key {
+            ProvKey::Edge(x, y, a) => format!(
+                "{} ⊆{} {}",
+                self.var_name_safe(x),
+                ann(a),
+                self.var_name_safe(y)
+            ),
+            ProvKey::Lb(x, src, a) => {
+                let applied = self
+                    .sources
+                    .get(src.0 as usize)
+                    .map_or_else(|| "<dropped>".to_owned(), |s| self.render_source(s));
+                format!("{applied} ⊆{} {}", ann(a), self.var_name_safe(x))
+            }
+            ProvKey::Ub(x, snk, a) => {
+                let applied = self
+                    .sinks
+                    .get(snk.0 as usize)
+                    .map_or_else(|| "<dropped>".to_owned(), |s| self.render_sink(s));
+                format!("{} ⊆{} {applied}", self.var_name_safe(x), ann(a))
+            }
+        }
+    }
+
+    fn render_source(&self, s: &Source) -> String {
+        let head = self.constructors[s.cons.index()].name();
+        if s.args.is_empty() {
+            head.to_owned()
+        } else {
+            let args: Vec<&str> = s.args.iter().map(|&a| self.var_name_safe(a)).collect();
+            format!("{head}({})", args.join(", "))
+        }
+    }
+
+    fn render_sink(&self, s: &Sink) -> String {
+        match s {
+            Sink::Cons { cons, args } => {
+                let head = self.constructors[cons.index()].name();
+                if args.is_empty() {
+                    head.to_owned()
+                } else {
+                    let args: Vec<&str> = args.iter().map(|&a| self.var_name_safe(a)).collect();
+                    format!("{head}({})", args.join(", "))
+                }
+            }
+            Sink::Proj {
+                cons,
+                index,
+                target,
+            } => {
+                format!(
+                    "{}⁻{}(·) ⊆ {}",
+                    self.constructors[cons.index()].name(),
+                    index + 1,
+                    self.var_name_safe(*target)
+                )
+            }
+        }
+    }
+
+    /// Renders surface constraint `i` (tolerating rolled-back indices).
+    fn describe_constraint(&self, i: usize) -> String {
+        let Some(con) = self.constraints.get(i) else {
+            return "<rolled back>".to_owned();
+        };
+        let render = |e: &SetExpr| match e {
+            SetExpr::Var(v) => self.var_name_safe(*v).to_owned(),
+            SetExpr::Cons(c, args) => {
+                let head = self.constructors[c.index()].name();
+                if args.is_empty() {
+                    head.to_owned()
+                } else {
+                    let args: Vec<&str> = args.iter().map(|&a| self.var_name_safe(a)).collect();
+                    format!("{head}({})", args.join(", "))
+                }
+            }
+            SetExpr::Proj(c, idx, v) => format!(
+                "{}⁻{}({})",
+                self.constructors[c.index()].name(),
+                idx + 1,
+                self.var_name_safe(*v)
+            ),
+        };
+        let ann = if con.ann == self.algebra.identity() {
+            String::new()
+        } else {
+            format!("^{}", self.algebra.describe(con.ann))
+        };
+        format!("{} ⊆{ann} {}", render(&con.lhs), render(&con.rhs))
     }
 
     /// Renders the solved form in the paper's notation (for diagnostics
@@ -1307,6 +1811,12 @@ fn remove_ann<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<AnnId>>, key: K,
         }
     }
     removed
+}
+
+/// Total annotations across one solved-form category map (for the
+/// reconciliation counters).
+fn category_count<K>(map: &HashMap<K, Vec<AnnId>>) -> u64 {
+    map.values().map(Vec::len).sum::<usize>() as u64
 }
 
 /// Counts a variable's solved-form entries the same way [`SolverStats`]
@@ -1689,5 +2199,110 @@ mod tests {
             sys.lower_bound_annotations(y, c).is_empty(),
             "gg cannot extend to a word of L(M) and is pruned"
         );
+    }
+
+    #[test]
+    fn explain_traces_derivation_to_surface_constraints() {
+        // The §2.4 running example: c ⊆^g W, o(W) ⊆^g X, X ⊆ o(Y),
+        // o(Y) ⊆ Z — solving derives c ⊆^{f_g} Y via resolution and
+        // transitive closure.
+        let (mut sys, g, _k) = one_bit_system();
+        sys.enable_provenance();
+        assert!(sys.provenance_enabled());
+        let (w, x, y, z) = (sys.var("W"), sys.var("X"), sys.var("Y"), sys.var("Z"));
+        let c = sys.constructor("c", &[]);
+        let o = sys.constructor("o", &[Variance::Covariant]);
+        let fg = sys.algebra_mut().word(&[g]);
+        let eps = sys.algebra().identity();
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        sys.add_ann(SetExpr::cons_vars(o, [w]), SetExpr::var(x), fg)
+            .unwrap();
+        sys.add_ann(SetExpr::var(x), SetExpr::cons_vars(o, [y]), eps)
+            .unwrap();
+        sys.add_ann(SetExpr::cons_vars(o, [y]), SetExpr::var(z), eps)
+            .unwrap();
+        sys.solve();
+
+        let steps = sys.explain(y, c);
+        assert!(!steps.is_empty(), "derivation chain must be non-empty");
+        // The chain bottoms out in the surface constraints that caused
+        // the flow: c ⊆^g W (index 0) and the resolution participants.
+        assert!(
+            steps.iter().any(|s| s.constraint == Some(0)),
+            "chain cites constraint #0: {steps:#?}"
+        );
+        assert!(
+            steps.iter().any(|s| s.rule == "resolve"),
+            "W flows to Y only through §3.1 resolution: {steps:#?}"
+        );
+        // A variable with no such lower bound has nothing to explain.
+        assert!(sys.explain(x, c).is_empty());
+    }
+
+    #[test]
+    fn explain_is_empty_without_provenance() {
+        let (mut sys, g, _k) = one_bit_system();
+        let w = sys.var("W");
+        let c = sys.constructor("c", &[]);
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        sys.solve();
+        assert_eq!(sys.lower_bound_annotations(w, c).len(), 1);
+        assert!(sys.explain(w, c).is_empty(), "recording never enabled");
+    }
+
+    #[test]
+    fn provenance_rolls_back_with_its_epoch() {
+        let (mut sys, g, _k) = one_bit_system();
+        sys.enable_provenance();
+        let (w, y) = (sys.var("W"), sys.var("Y"));
+        let c = sys.constructor("c", &[]);
+        let fg = sys.algebra_mut().word(&[g]);
+        let eps = sys.algebra().identity();
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        sys.push_epoch();
+        sys.add_ann(SetExpr::var(w), SetExpr::var(y), eps).unwrap();
+        sys.solve();
+        assert!(!sys.explain(y, c).is_empty(), "derived inside the epoch");
+        sys.pop_epoch();
+        assert!(
+            sys.explain(y, c).is_empty(),
+            "the lower bound and its provenance rolled back together"
+        );
+        // Re-deriving after rollback records a fresh, correct reason.
+        sys.add_ann(SetExpr::var(w), SetExpr::var(y), eps).unwrap();
+        sys.solve();
+        let steps = sys.explain(y, c);
+        assert!(steps.iter().any(|s| s.constraint == Some(1)), "{steps:#?}");
+    }
+
+    #[test]
+    fn new_stats_counters_track_budgets_and_roll_back() {
+        use crate::budget::InterruptReason;
+        let (mut sys, g, _k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let fg = sys.algebra_mut().word(&[g]);
+        let mut prev = sys.var("V0");
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(prev), fg)
+            .unwrap();
+        sys.push_epoch();
+        let before = sys.stats();
+        assert_eq!(before.fuel_spent, 0, "unlimited solves consume no fuel");
+        for i in 1..20 {
+            let v = sys.var(&format!("V{i}"));
+            sys.add_ann(SetExpr::var(prev), SetExpr::var(v), fg)
+                .unwrap();
+            prev = v;
+        }
+        let outcome = sys.solve_bounded(&Budget::unlimited().with_steps(3));
+        assert_eq!(outcome, Outcome::Interrupted(InterruptReason::Steps));
+        let mid = sys.stats();
+        assert_eq!(mid.fuel_spent, 3);
+        assert_eq!(mid.interruptions, 1);
+        sys.pop_epoch();
+        assert_eq!(sys.stats(), before, "all new counters restored exactly");
     }
 }

@@ -1,0 +1,38 @@
+//! CI gate: validates a Chrome trace-event file produced by
+//! `rasc batch --trace` (or any `rasc_obs::ChromeTraceSink` user)
+//! against the trace-event schema.
+//!
+//! Usage: `trace_check FILE…` — exits non-zero on the first invalid file
+//! and prints a per-file event summary otherwise.
+
+use std::process::ExitCode;
+
+use rasc_devtools::validate_chrome_trace;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_chrome_trace(&text) {
+            Ok(s) => println!(
+                "{path}: ok — {} events ({} spans, {} counters, max depth {})",
+                s.events, s.begins, s.counters, s.max_depth
+            ),
+            Err(msg) => {
+                eprintln!("trace_check: `{path}` is not a valid trace: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -10,7 +10,9 @@
 //! * [`fn@bench`] — wall-clock benchmark timing with warmup and
 //!   median/mean reporting;
 //! * [`FaultPlan`] — deterministic fault injection for the solver's
-//!   resource governor (trips a budget axis at the N-th solver step).
+//!   resource governor (trips a budget axis at the N-th solver step);
+//! * [`validate_chrome_trace`] — schema checker for the Chrome
+//!   trace-event files `rasc_obs::ChromeTraceSink` writes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,8 +21,10 @@ mod bench;
 mod fault;
 mod prop;
 mod rng;
+mod trace_check;
 
 pub use bench::{bench, bench_secs, BenchStats, Bencher};
 pub use fault::{FaultKind, FaultPlan, SteppedClock};
 pub use prop::{forall, Config, Shrink, Unshrunk};
 pub use rng::Rng;
+pub use trace_check::{validate_chrome_trace, TraceSummary};

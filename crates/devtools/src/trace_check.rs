@@ -1,0 +1,177 @@
+//! Chrome trace-event schema validation, for the observability golden
+//! tests and the CI smoke job.
+//!
+//! Checks the subset of the trace-event JSON-object format that
+//! `rasc_obs::ChromeTraceSink` emits and that Perfetto /
+//! `chrome://tracing` require to load a file at all:
+//!
+//! * the root is an object with a `traceEvents` array;
+//! * every event has a string `name`, a phase `ph` of `B`, `E`, or `C`,
+//!   and numeric `ts`, `pid`, and `tid` fields;
+//! * timestamps are non-decreasing in file order;
+//! * `B`/`E` duration events nest properly: every `E` closes the
+//!   innermost open `B` of the same name, and nothing is left open;
+//! * every `C` counter event carries a numeric `args.value`.
+
+use rasc_inc::json::Json;
+
+/// What [`validate_chrome_trace`] saw in a well-formed trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// `ph:"B"` span-begin events.
+    pub begins: usize,
+    /// `ph:"E"` span-end events.
+    pub ends: usize,
+    /// `ph:"C"` counter events.
+    pub counters: usize,
+    /// Deepest `B`/`E` nesting observed.
+    pub max_depth: usize,
+}
+
+/// Validates `text` as a Chrome trace-event file; returns a summary of
+/// the events seen, or a message pinpointing the first violation.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let root = Json::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "root object has no `traceEvents` array".to_owned())?;
+    let mut summary = TraceSummary::default();
+    let mut open: Vec<String> = Vec::new();
+    let mut last_ts = 0u64;
+    for (i, ev) in events.iter().enumerate() {
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{i}: missing string `name`"))?;
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{i} ({name}): missing string `ph`"))?;
+        let ts = ev
+            .get("ts")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event #{i} ({name}): missing numeric `ts`"))?;
+        for field in ["pid", "tid"] {
+            ev.get(field)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("event #{i} ({name}): missing numeric `{field}`"))?;
+        }
+        if ts < last_ts {
+            return Err(format!(
+                "event #{i} ({name}): timestamp {ts} goes backwards (previous {last_ts})"
+            ));
+        }
+        last_ts = ts;
+        match ph {
+            "B" => {
+                open.push(name.to_owned());
+                summary.begins += 1;
+                summary.max_depth = summary.max_depth.max(open.len());
+            }
+            "E" => {
+                let Some(top) = open.pop() else {
+                    return Err(format!("event #{i} ({name}): `E` with no open `B`"));
+                };
+                if top != name {
+                    return Err(format!(
+                        "event #{i}: `E` for `{name}` but innermost open span is `{top}`"
+                    ));
+                }
+                summary.ends += 1;
+            }
+            "C" => {
+                ev.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| {
+                        format!("event #{i} ({name}): counter without numeric `args.value`")
+                    })?;
+                summary.counters += 1;
+            }
+            other => {
+                return Err(format!("event #{i} ({name}): unknown phase `{other}`"));
+            }
+        }
+        summary.events += 1;
+    }
+    if let Some(name) = open.pop() {
+        return Err(format!("span `{name}` is never closed"));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let text = r#"{"traceEvents":[
+            {"name":"outer","ph":"B","ts":1,"pid":1,"tid":1,"args":{}},
+            {"name":"inner","ph":"B","ts":2,"pid":1,"tid":1,"args":{}},
+            {"name":"n","ph":"C","ts":3,"pid":1,"tid":1,"args":{"value":7}},
+            {"name":"inner","ph":"E","ts":4,"pid":1,"tid":1},
+            {"name":"outer","ph":"E","ts":5,"pid":1,"tid":1}
+        ],"displayTimeUnit":"ms"}"#;
+        let s = validate_chrome_trace(text).expect("valid");
+        assert_eq!(
+            s,
+            TraceSummary {
+                events: 5,
+                begins: 2,
+                ends: 2,
+                counters: 1,
+                max_depth: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_traces() {
+        let cases: &[(&str, &str)] = &[
+            ("not json", "not valid JSON"),
+            (r#"{"foo":[]}"#, "traceEvents"),
+            (
+                r#"{"traceEvents":[{"ph":"B","ts":1,"pid":1,"tid":1}]}"#,
+                "missing string `name`",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"B","ts":1,"pid":1,"tid":1}]}"#,
+                "never closed",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"a","ph":"E","ts":1,"pid":1,"tid":1}]}"#,
+                "no open `B`",
+            ),
+            (
+                r#"{"traceEvents":[
+                    {"name":"a","ph":"B","ts":1,"pid":1,"tid":1},
+                    {"name":"b","ph":"E","ts":2,"pid":1,"tid":1}
+                ]}"#,
+                "innermost open span",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":1,"tid":1}]}"#,
+                "args.value",
+            ),
+            (
+                r#"{"traceEvents":[
+                    {"name":"c","ph":"C","ts":5,"pid":1,"tid":1,"args":{"value":1}},
+                    {"name":"c","ph":"C","ts":4,"pid":1,"tid":1,"args":{"value":2}}
+                ]}"#,
+                "goes backwards",
+            ),
+            (
+                r#"{"traceEvents":[{"name":"x","ph":"Q","ts":1,"pid":1,"tid":1}]}"#,
+                "unknown phase",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = validate_chrome_trace(text).expect_err("must reject");
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! {"cmd":"add","lhs":"pair(X,Y)","rhs":"Z","ann":["g"]}
 //! {"cmd":"push"}
 //! {"cmd":"query","kind":"occurs","var":"Z","cons":"c"}
+//! {"cmd":"explain","var":"Z","cons":"c"}
 //! {"cmd":"pop"}
 //! {"cmd":"stats"}
 //! ```
@@ -39,7 +40,13 @@
 //! * `query` — `kind` is `occurs` (accepting occurrence), `anns`
 //!   (occurrence annotation classes), `pn` (partially matched
 //!   reachability), or `nonempty`.
-//! * `stats` — solver statistics plus cache counters.
+//! * `explain` — the provenance chain showing *why* constructor `cons`
+//!   reached variable `var`'s lower bound: a list of derivation steps,
+//!   each citing a resolution rule and (where applicable) the surface
+//!   constraint it came from. Provenance recording is always on for
+//!   batch sessions.
+//! * `stats` — solver statistics (including budget fuel, interruptions,
+//!   and cycle-search depth-limit hits) plus cache counters.
 //!
 //! Error codes: `malformed_json`, `bad_request`, `unknown_command`,
 //! `unknown_symbol`, `unknown_constructor`, `unknown_variable`,
@@ -136,8 +143,13 @@ impl BatchEngine {
 
     /// An engine with explicit solver configuration.
     pub fn with_config(sigma: Alphabet, machine: &Dfa, config: SolverConfig) -> BatchEngine {
+        let mut session = Session::with_config(MonoidAlgebra::new(machine), config);
+        // Batch sessions always record provenance so `explain` works for
+        // every constraint the stream adds (recording must be on *before*
+        // the facts it will be asked about are derived).
+        session.system_mut().enable_provenance();
         BatchEngine {
-            session: Session::with_config(MonoidAlgebra::new(machine), config),
+            session,
             sigma,
             cons: HashMap::new(),
             vars: HashMap::new(),
@@ -217,6 +229,7 @@ impl BatchEngine {
                 ]))
             }
             "query" => self.query(cmd),
+            "explain" => self.explain(cmd),
             "stats" => Ok(self.stats()),
             other => Err(BatchError::new(
                 "unknown_command",
@@ -475,12 +488,56 @@ impl BatchEngine {
         )
     }
 
+    /// `{"cmd":"explain","var":…,"cons":…}` — the derivation chain that
+    /// put constructor `cons` into `var`'s solution, innermost entry
+    /// first. Empty `steps` means the occurrence does not hold.
+    fn explain(&mut self, cmd: &Json) -> Result<Json, BatchError> {
+        let var_name = cmd
+            .get("var")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_request("explain: missing `var`"))?;
+        let &x = self.vars.get(var_name).ok_or_else(|| {
+            BatchError::new("unknown_variable", format!("unknown variable `{var_name}`"))
+        })?;
+        let cons_name = cmd
+            .get("cons")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_request("explain: missing `cons`"))?;
+        let &c = self.cons.get(cons_name).ok_or_else(|| {
+            BatchError::new(
+                "unknown_constructor",
+                format!("unknown constructor `{cons_name}`"),
+            )
+        })?;
+        let steps: Vec<Json> = self
+            .session
+            .system()
+            .explain(x, c)
+            .into_iter()
+            .map(|step| {
+                obj([
+                    ("rule", Json::from(step.rule)),
+                    ("constraint", step.constraint.map_or(Json::Null, Json::from)),
+                    ("description", Json::from(step.description.as_str())),
+                ])
+            })
+            .collect();
+        Ok(obj([
+            ("ok", Json::from("explain")),
+            ("var", Json::from(var_name)),
+            ("cons", Json::from(cons_name)),
+            ("holds", Json::from(!steps.is_empty())),
+            ("steps", Json::Arr(steps)),
+        ]))
+    }
+
     fn stats(&self) -> Json {
         let s = self.session.stats();
         let c = self.session.cache_stats();
         obj([
             ("ok", Json::from("stats")),
             ("vars", Json::from(s.vars)),
+            ("constructors", Json::from(s.constructors)),
             (
                 "constraints",
                 Json::from(self.session.system().constraints().len()),
@@ -488,8 +545,20 @@ impl BatchEngine {
             ("edges", Json::from(s.edges)),
             ("lower_bounds", Json::from(s.lower_bounds)),
             ("upper_bounds", Json::from(s.upper_bounds)),
+            (
+                "max_lower_bounds_per_var",
+                Json::from(s.max_lower_bounds_per_var),
+            ),
+            (
+                "max_upper_bounds_per_var",
+                Json::from(s.max_upper_bounds_per_var),
+            ),
+            ("annotations", Json::from(s.annotations)),
             ("facts_processed", Json::from(s.facts_processed)),
             ("cycles_collapsed", Json::from(s.cycles_collapsed)),
+            ("fuel_spent", Json::from(s.fuel_spent)),
+            ("interruptions", Json::from(s.interruptions)),
+            ("depth_limit_hits", Json::from(s.depth_limit_hits)),
             ("clashes", Json::from(self.session.clashes().len())),
             ("consistent", Json::from(self.session.is_consistent())),
             ("epoch_depth", Json::from(self.session.epoch_depth())),
@@ -738,6 +807,60 @@ mod tests {
             r#"{"cmd":"query","kind":"occurs","var":"W","cons":"c"}"#,
         );
         assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn explain_returns_a_derivation_chain() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(
+            &mut e,
+            r#"{"cmd":"declare","cons":"pair","signature":"++"}"#,
+        );
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair(X,X)","rhs":"P"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair^-1(P)","rhs":"Y"}"#);
+        let r = run(&mut e, r#"{"cmd":"explain","var":"Y","cons":"c"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("explain"));
+        assert_eq!(r.get("holds").unwrap().as_bool(), Some(true));
+        let steps = r.get("steps").unwrap().as_arr().unwrap();
+        assert!(!steps.is_empty());
+        // The chain bottoms out at a surface constraint.
+        assert!(steps
+            .iter()
+            .any(|s| s.get("constraint").is_some_and(|c| c.as_u64().is_some())));
+        // An occurrence that does not hold explains to an empty chain.
+        let r = run(&mut e, r#"{"cmd":"explain","var":"P","cons":"c"}"#);
+        assert_eq!(r.get("holds").unwrap().as_bool(), Some(false));
+        assert!(r.get("steps").unwrap().as_arr().unwrap().is_empty());
+        // Unknown names are structured in-band errors.
+        let r = run(&mut e, r#"{"cmd":"explain","var":"Zz","cons":"c"}"#);
+        assert_eq!(error_code(&r), Some("unknown_variable"));
+        let r = run(&mut e, r#"{"cmd":"explain","var":"Y","cons":"qq"}"#);
+        assert_eq!(error_code(&r), Some("unknown_constructor"));
+        let r = run(&mut e, r#"{"cmd":"explain","var":"Y"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+    }
+
+    #[test]
+    fn stats_reports_budget_and_bound_counters() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        for key in ["fuel_spent", "interruptions", "depth_limit_hits"] {
+            assert_eq!(r.get(key).unwrap().as_u64(), Some(0), "{key} not zero");
+        }
+        assert_eq!(r.get("constructors").unwrap().as_u64(), Some(1));
+        // A committed bounded add leaves its fuel charge visible.
+        run(&mut e, r#"{"cmd":"limits","max_steps":100000}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y"}"#);
+        run(&mut e, r#"{"cmd":"limits"}"#);
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert!(r.get("fuel_spent").unwrap().as_u64().unwrap() > 0);
+        assert!(r.get("annotations").unwrap().as_u64().unwrap() > 0);
+        assert!(r.get("max_lower_bounds_per_var").unwrap().as_u64().unwrap() > 0);
+        assert!(r.get("max_upper_bounds_per_var").is_some());
     }
 
     #[test]

@@ -234,6 +234,8 @@ impl<A: Algebra> Session<A> {
     /// tables are not shrunk (ids are canonical by content), so the
     /// `annotations` stat may exceed its pre-epoch value.
     pub fn pop_epoch(&mut self) -> bool {
+        // Depth *before* the pop: how deep the rollback reached.
+        rasc_obs::histogram("session.rollback.depth", self.sys.epoch_depth() as u64);
         self.sys.pop_epoch()
     }
 
@@ -338,16 +340,19 @@ impl<A: Algebra> Session<A> {
         };
         if valid {
             self.stats.hits += 1;
+            rasc_obs::counter("session.cache.hits", 1);
             Some(entry.value.clone())
         } else {
             self.cache.remove(key);
             self.stats.invalidations += 1;
+            rasc_obs::counter("session.cache.invalidations", 1);
             None
         }
     }
 
     fn store(&mut self, key: Key, stamp: Stamp, value: Value) {
         self.stats.misses += 1;
+        rasc_obs::counter("session.cache.misses", 1);
         self.cache.insert(key, Entry { stamp, value });
     }
 

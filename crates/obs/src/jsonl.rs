@@ -1,0 +1,138 @@
+//! Streaming JSON-lines export ([`JsonLinesSink`]).
+//!
+//! One JSON object per event, written as it happens — suitable for
+//! tailing a long solve or piping into `jq`. Unlike the
+//! [`crate::ChromeTraceSink`] nothing is buffered beyond the writer's
+//! own buffering, so a crash mid-solve still leaves a usable prefix.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::sink::EventSink;
+
+/// A sink writing one JSON object per event to an `io::Write`.
+///
+/// Each line carries a monotone sequence number (`"seq"`) instead of a
+/// wall-clock timestamp, so output is deterministic for a fixed event
+/// stream.
+pub struct JsonLinesSink {
+    out: Mutex<Box<dyn Write + Send>>,
+    seq: AtomicU64,
+}
+
+impl fmt::Debug for JsonLinesSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonLinesSink")
+            .field("seq", &self.seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl JsonLinesSink {
+    /// A sink writing to `out`.
+    pub fn new(out: Box<dyn Write + Send>) -> JsonLinesSink {
+        JsonLinesSink {
+            out: Mutex::new(out),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    fn emit(&self, kind: &str, name: &'static str, value: Option<u64>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut out) = self.out.lock() {
+            let res = match value {
+                Some(v) => writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"event\":\"{kind}\",\"name\":\"{name}\",\"value\":{v}}}"
+                ),
+                None => writeln!(
+                    out,
+                    "{{\"seq\":{seq},\"event\":\"{kind}\",\"name\":\"{name}\"}}"
+                ),
+            };
+            // An unwritable sink must never fail the solve it observes.
+            let _ = res;
+        }
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for JsonLinesSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl EventSink for JsonLinesSink {
+    fn span_begin(&self, name: &'static str) {
+        self.emit("span_begin", name, None);
+    }
+
+    fn span_end(&self, name: &'static str) {
+        self.emit("span_end", name, None);
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.emit("counter", name, Some(delta));
+    }
+
+    fn histogram(&self, name: &'static str, value: u64) {
+        self.emit("histogram", name, Some(value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `Write` that appends into a shared buffer, so the test can read
+    /// back what the sink (which owns its writer) produced.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if let Ok(mut v) = self.0.lock() {
+                v.extend_from_slice(buf);
+            }
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_json_object_per_event_with_sequence_numbers() {
+        let buf = SharedBuf::default();
+        let sink = JsonLinesSink::new(Box::new(buf.clone()));
+        sink.span_begin("phase");
+        sink.counter("edges", 4);
+        sink.histogram("depth", 2);
+        sink.span_end("phase");
+        drop(sink);
+        let bytes = buf.0.lock().map(|v| v.clone()).unwrap_or_default();
+        let text = String::from_utf8_lossy(&bytes);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert_eq!(
+            lines[0],
+            "{\"seq\":0,\"event\":\"span_begin\",\"name\":\"phase\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"seq\":1,\"event\":\"counter\",\"name\":\"edges\",\"value\":4}"
+        );
+        assert!(lines[3].contains("span_end"), "{text}");
+    }
+}

@@ -1,0 +1,194 @@
+//! The in-memory [`Recorder`] sink.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::sink::EventSink;
+
+/// Aggregate of one histogram's samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, HistogramSummary>,
+    /// Completed spans per name.
+    spans: BTreeMap<&'static str, u64>,
+    /// Currently open span names (a stack).
+    open: Vec<&'static str>,
+    /// Deepest nesting observed.
+    max_depth: usize,
+}
+
+/// An in-memory sink aggregating counters, histogram summaries, and span
+/// tallies — the workhorse of the reconciliation property tests and the
+/// CLI's `--profile` report.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    inner: Mutex<Inner>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    fn with_inner<R: Default>(&self, f: impl FnOnce(&mut Inner) -> R) -> R {
+        // A poisoned mutex means a panic mid-update on another thread;
+        // observability must never compound that, so report defaults.
+        match self.inner.lock() {
+            Ok(mut guard) => f(&mut guard),
+            Err(_) => R::default(),
+        }
+    }
+
+    /// The accumulated value of counter `name` (0 when never emitted).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.with_inner(|i| i.counters.get(name).copied().unwrap_or(0))
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.with_inner(|i| {
+            i.counters
+                .iter()
+                .map(|(&k, &v)| (k.to_owned(), v))
+                .collect()
+        })
+    }
+
+    /// The summary of histogram `name`, if any samples were recorded.
+    pub fn histogram_summary(&self, name: &str) -> Option<HistogramSummary> {
+        self.with_inner(|i| i.histograms.get(name).copied())
+    }
+
+    /// Number of *completed* spans named `name`.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.with_inner(|i| i.spans.get(name).copied().unwrap_or(0))
+    }
+
+    /// Number of spans currently open (nonzero only while recording).
+    pub fn open_span_depth(&self) -> usize {
+        self.with_inner(|i| i.open.len())
+    }
+
+    /// The deepest span nesting observed.
+    pub fn max_span_depth(&self) -> usize {
+        self.with_inner(|i| i.max_depth)
+    }
+
+    /// A human-readable multi-line report (used by `rasc … --profile`).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        self.with_inner(|i| {
+            let mut out = String::new();
+            if !i.counters.is_empty() {
+                let _ = writeln!(out, "counters:");
+                for (name, v) in &i.counters {
+                    let _ = writeln!(out, "  {name:<40} {v}");
+                }
+            }
+            if !i.spans.is_empty() {
+                let _ = writeln!(out, "spans (completed):");
+                for (name, v) in &i.spans {
+                    let _ = writeln!(out, "  {name:<40} {v}");
+                }
+            }
+            if !i.histograms.is_empty() {
+                let _ = writeln!(out, "histograms:");
+                for (name, h) in &i.histograms {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<40} n={} min={} max={} sum={}",
+                        h.count, h.min, h.max, h.sum
+                    );
+                }
+            }
+            out
+        })
+    }
+}
+
+impl EventSink for Recorder {
+    fn span_begin(&self, name: &'static str) {
+        self.with_inner(|i| {
+            i.open.push(name);
+            i.max_depth = i.max_depth.max(i.open.len());
+        });
+    }
+
+    fn span_end(&self, name: &'static str) {
+        self.with_inner(|i| {
+            if let Some(pos) = i.open.iter().rposition(|&n| n == name) {
+                i.open.remove(pos);
+            }
+            *i.spans.entry(name).or_insert(0) += 1;
+        });
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        self.with_inner(|i| {
+            *i.counters.entry(name).or_insert(0) += delta;
+        });
+    }
+
+    fn histogram(&self, name: &'static str, value: u64) {
+        self.with_inner(|i| {
+            let h = i.histograms.entry(name).or_insert(HistogramSummary {
+                count: 0,
+                min: u64::MAX,
+                max: 0,
+                sum: 0,
+            });
+            h.count += 1;
+            h.min = h.min.min(value);
+            h.max = h.max.max(value);
+            h.sum += value;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_counters_histograms_and_spans() {
+        let rec = Recorder::new();
+        rec.counter("a", 2);
+        rec.counter("a", 3);
+        rec.histogram("h", 10);
+        rec.histogram("h", 4);
+        rec.span_begin("s");
+        rec.span_begin("t");
+        rec.span_end("t");
+        rec.span_end("s");
+        assert_eq!(rec.counter_value("a"), 5);
+        assert_eq!(
+            rec.histogram_summary("h"),
+            Some(HistogramSummary {
+                count: 2,
+                min: 4,
+                max: 10,
+                sum: 14
+            })
+        );
+        assert_eq!(rec.span_count("s"), 1);
+        assert_eq!(rec.max_span_depth(), 2);
+        assert_eq!(rec.open_span_depth(), 0);
+        let report = rec.report();
+        assert!(report.contains("counters:"), "{report}");
+        assert!(report.contains('a'), "{report}");
+    }
+}

@@ -7,14 +7,17 @@
 //! rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]
 //! rasc spec       --spec FILE [--dot] [--monoid]
 //! rasc cfg        --program FILE [--dot]
-//! rasc batch      --spec FILE [--input FILE]
+//! rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]
 //! ```
 //!
 //! `check` verifies a §8-syntax property specification against a MiniImp
 //! program; `flow` runs the §7 type-based flow analysis on a MiniLam
 //! program; `points-to` runs the §7.5 analysis on a MiniPtr program;
 //! `batch` runs an incremental solving session over a JSON-lines command
-//! stream (see `rasc::inc::BatchEngine` for the protocol).
+//! stream (see `rasc::inc::BatchEngine` for the protocol); its `--trace`
+//! flag writes a Chrome trace-event file (load it in Perfetto or
+//! `chrome://tracing`) and `--profile` prints an event-count summary to
+//! stderr when the stream ends.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -42,7 +45,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let Some(cmd) = args.first() else {
         return Err(usage());
     };
-    let opts = parse_opts(&args[1..])?;
+    let opts = parse_opts(cmd, &args[1..])?;
     match cmd.as_str() {
         "check" => check(&opts),
         "dataflow" => dataflow(&opts),
@@ -67,7 +70,7 @@ fn usage() -> String {
      rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]\n  \
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
      rasc cfg        --program FILE [--dot]\n  \
-     rasc batch      --spec FILE [--input FILE]   (JSON-lines commands on stdin or FILE)"
+     rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)"
         .to_owned()
 }
 
@@ -99,16 +102,19 @@ impl Opts {
     }
 }
 
-/// Options taking N values (everything else is a flag).
-fn arity(name: &str) -> usize {
+/// Options taking N values (everything else is a flag). Arity is
+/// per-command: `check --trace` is a bare flag (print a witness trace),
+/// while `batch --trace FILE` names the trace-event output file.
+fn arity(cmd: &str, name: &str) -> usize {
     match name {
         "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
+        "trace" if cmd == "batch" => 1,
         "alias" => 2,
         _ => 0,
     }
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(cmd: &str, args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts::default();
     let mut i = 0;
     while i < args.len() {
@@ -116,7 +122,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument `{arg}`"));
         };
-        let n = arity(name);
+        let n = arity(cmd, name);
         if n == 0 {
             opts.flags.push(name.to_owned());
             i += 1;
@@ -316,9 +322,34 @@ fn points_to(opts: &Opts) -> Result<(), String> {
 
 fn batch(opts: &Opts) -> Result<(), String> {
     use std::io::{BufRead, Write};
+    use std::sync::Arc;
+
+    use rasc::obs;
+
     let spec_text = read(opts.required("spec")?)?;
     let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
     let (sigma, dfa) = spec.compile();
+
+    // Observability: --trace collects a Chrome trace-event file,
+    // --profile an in-memory event summary; both fan out to one scoped
+    // sink so instrumentation costs nothing when neither is requested.
+    let chrome = opts
+        .value("trace")
+        .map(|_| Arc::new(obs::ChromeTraceSink::new()));
+    let recorder = opts.flag("profile").then(|| Arc::new(obs::Recorder::new()));
+    let mut sinks: Vec<Arc<dyn obs::EventSink>> = Vec::new();
+    if let Some(c) = &chrome {
+        sinks.push(Arc::clone(c) as Arc<dyn obs::EventSink>);
+    }
+    if let Some(r) = &recorder {
+        sinks.push(Arc::clone(r) as Arc<dyn obs::EventSink>);
+    }
+    let _guard = match sinks.len() {
+        0 => None,
+        1 => sinks.pop().map(obs::ScopedSink::install),
+        _ => Some(obs::ScopedSink::install(Arc::new(obs::Fanout::new(sinks)))),
+    };
+
     let mut engine = rasc::inc::BatchEngine::new(sigma, &dfa);
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -340,6 +371,15 @@ fn batch(opts: &Opts) -> Result<(), String> {
                 process(&line.map_err(|e| e.to_string())?)?;
             }
         }
+    }
+
+    if let (Some(sink), Some(path)) = (&chrome, opts.value("trace")) {
+        sink.save(std::path::Path::new(path))
+            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+        eprintln!("rasc: wrote {} trace events to {path}", sink.len());
+    }
+    if let Some(r) = &recorder {
+        eprint!("{}", r.report());
     }
     Ok(())
 }

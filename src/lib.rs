@@ -13,6 +13,8 @@
 //! * [`flow`] — type-based flow analysis with non-structural subtyping.
 //! * [`inc`] — incremental solving sessions: epoch rollback, stamped
 //!   query caching, and the JSON-lines batch protocol.
+//! * [`obs`] — structured tracing and metrics: event sinks, scoped
+//!   installation, Chrome-trace export, and solver provenance.
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +24,7 @@ pub use rasc_core as constraints;
 pub use rasc_dataflow as dataflow;
 pub use rasc_flow as flow;
 pub use rasc_inc as inc;
+pub use rasc_obs as obs;
 pub use rasc_pdmc as pdmc;
 pub use rasc_ptr as ptr;
 pub use rasc_pushdown as pushdown;

@@ -204,7 +204,7 @@ fn batch_runs_an_incremental_session() {
     assert!(ok, "{text}");
     let lines: Vec<&str> = text.lines().collect();
     // One response per non-comment line of the script.
-    assert_eq!(lines.len(), 20, "{text}");
+    assert_eq!(lines.len(), 21, "{text}");
     assert!(
         lines[5].contains(r#""result":true"#),
         "pc reaches Exec accepting: {text}"
@@ -243,10 +243,47 @@ fn batch_runs_an_incremental_session() {
         "the retried edge is live: {text}"
     );
     assert!(
-        lines[18].contains(r#""code":"unknown_command""#),
+        lines[18].contains(r#""ok":"explain""#)
+            && lines[18].contains(r#""holds":true"#)
+            && lines[18].contains(r#""rule":"constraint""#),
+        "explain cites the surface constraints behind the bound: {text}"
+    );
+    assert!(
+        lines[19].contains(r#""code":"unknown_command""#),
         "errors stay in-band: {text}"
     );
-    assert!(lines[19].contains(r#""ok":"stats""#), "{text}");
+    assert!(
+        lines[20].contains(r#""ok":"stats""#) && lines[20].contains(r#""fuel_spent""#),
+        "{text}"
+    );
+}
+
+#[test]
+fn batch_trace_writes_a_valid_chrome_trace() {
+    let dir = std::env::temp_dir().join("rasc_cli_trace_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("session_trace.json");
+    let (ok, text) = rasc(&[
+        "batch",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--input",
+        "assets/batch/session.jsonl",
+        "--trace",
+        trace_path.to_str().unwrap(),
+        "--profile",
+    ]);
+    assert!(ok, "{text}");
+    // --trace reports what it wrote; --profile prints the event summary.
+    assert!(text.contains("trace events"), "{text}");
+    assert!(text.contains("counters:"), "{text}");
+    assert!(text.contains("solver.facts"), "{text}");
+    // The file is a schema-valid Chrome trace with real solver activity.
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    let summary = rasc_devtools::validate_chrome_trace(&trace).expect("schema-valid trace");
+    assert!(summary.events > 0);
+    assert_eq!(summary.begins, summary.ends, "spans balance");
+    assert!(summary.counters > 0);
 }
 
 #[test]
