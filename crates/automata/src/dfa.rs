@@ -277,7 +277,8 @@ impl Dfa {
         let mut block: Vec<usize> = (0..n)
             .map(|i| usize::from(complete.is_accepting(StateId(dense[i] as u32))))
             .collect();
-        let mut nblocks = if block.contains(&1) && block.contains(&0) {
+        let accepting_count = block.iter().filter(|&&b| b == 1).count();
+        let mut nblocks = if accepting_count > 0 && accepting_count < n {
             2
         } else {
             1

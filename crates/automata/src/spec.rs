@@ -19,7 +19,7 @@
 //! as the plain symbol `open` — instantiation is handled by the substitution
 //! environments in `rasc-core`.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::alphabet::Alphabet;
 use crate::dfa::{Dfa, StateId};
@@ -299,6 +299,7 @@ impl Parser {
 
     fn parse(mut self) -> Result<PropertySpec> {
         let mut states: Vec<String> = Vec::new();
+        let mut state_names: HashSet<String> = HashSet::new();
         let mut accepting: Vec<bool> = Vec::new();
         let mut start: Option<usize> = None;
         let mut arms: Vec<SpecArm> = Vec::new();
@@ -325,7 +326,7 @@ impl Parser {
                 return Err(self.err(format!("expected `state`, found `{kw}`")));
             }
             let name = self.ident("state name")?;
-            if states.contains(&name) {
+            if !state_names.insert(name.clone()) {
                 return Err(self.err(format!("state `{name}` declared twice")));
             }
             let idx = states.len();
@@ -369,7 +370,7 @@ impl Parser {
         // Validate targets and determinism.
         let mut seen: HashMap<(String, String), String> = HashMap::new();
         for arm in &arms {
-            if !states.contains(&arm.to) {
+            if !state_names.contains(&arm.to) {
                 return Err(AutomataError::UnknownState(arm.to.clone()));
             }
             let key = (arm.from.clone(), arm.symbol.name.clone());

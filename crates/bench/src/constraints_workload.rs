@@ -69,6 +69,41 @@ pub fn ladder(width: usize, len: usize, sigma: &Alphabet, seed: u64) -> EdgeList
     }
 }
 
+/// Builds (without solving) a constructor-heavy chain system: a probe
+/// constant at `v0`, then `stages` wrap/project pairs
+/// `o(v_{2i}) ⊆ v_{2i+1}`, `o⁻¹(v_{2i+1}) ⊆ v_{2i+2}` — each stage forces
+/// one source/sink meet and one decomposition, so the derived-fact count
+/// grows linearly with `stages` (the scaling-bench workload for the
+/// constructor machinery; see `solver_scaling`).
+///
+/// Returns the system, the final chain variable, and the probe head.
+pub fn cons_chain(
+    machine: &Dfa,
+    stages: usize,
+) -> (System<MonoidAlgebra>, rasc_core::VarId, rasc_core::ConsId) {
+    let mut sys = System::new(MonoidAlgebra::new(machine));
+    let vars: Vec<_> = (0..=2 * stages)
+        .map(|i| sys.var(&format!("v{i}")))
+        .collect();
+    let probe = sys.constructor("probe", &[]);
+    let o = sys.constructor("o", &[rasc_core::Variance::Covariant]);
+    sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[0]))
+        .expect("well-formed");
+    for i in 0..stages {
+        sys.add(
+            SetExpr::cons_vars(o, [vars[2 * i]]),
+            SetExpr::var(vars[2 * i + 1]),
+        )
+        .expect("well-formed");
+        sys.add(
+            SetExpr::proj(o, 0, vars[2 * i + 1]),
+            SetExpr::var(vars[2 * i + 2]),
+        )
+        .expect("well-formed");
+    }
+    (sys, vars[2 * stages], probe)
+}
+
 /// Outcome of running a workload: whether the probe reaches the sink with
 /// an accepting annotation, plus a work measure (distinct annotated facts).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -8,8 +8,8 @@
 //! from instantiated parameters to representative functions, plus a
 //! *residual* function recording non-parametric transitions.
 
-use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use rasc_automata::{Dfa, FnId, Monoid, SymbolId};
 
@@ -272,18 +272,18 @@ impl Algebra for SubstAlgebra {
             .map(|(k, _)| k)
             .chain([&empty])
             .collect();
-        let mut result_keys: Vec<EntryKey> = Vec::new();
+        // A `BTreeSet` both dedups the merges and yields them sorted.
+        let mut result_keys: BTreeSet<EntryKey> = BTreeSet::new();
         for k1 in &keys1 {
             for k2 in &keys2 {
                 if consistent(k1, k2) {
                     let m = merge(k1, k2);
-                    if !m.is_empty() && !result_keys.contains(&m) {
-                        result_keys.push(m);
+                    if !m.is_empty() {
+                        result_keys.insert(m);
                     }
                 }
             }
         }
-        result_keys.sort();
 
         // (φ₁ ∘ φ₂)(i) = φ₁(i) ∘ φ₂(i).
         let mut entries = Vec::with_capacity(result_keys.len());

@@ -1,0 +1,269 @@
+//! Indexed solved-form storage for the bidirectional solver.
+//!
+//! The solver's per-variable adjacency (`succs`/`preds`) and bound
+//! (`lbs`/`ubs`) categories were originally `HashMap<K, Vec<AnnId>>`,
+//! cloned wholesale (via `flatten`) on every worklist step so propagation
+//! could run while the solver mutates itself. Banshee (Kodumal & Aiken,
+//! SAS 2005) showed that exactly this representation work — indexed edge
+//! sets, clone-free iteration — is what lets set-constraint solvers scale;
+//! this module provides the two building blocks:
+//!
+//! * [`AnnSet`] — a tiered annotation set: a sorted small-vec tier (cheap,
+//!   cache-friendly, deterministic iteration order) that promotes to a
+//!   shadow hash tier for O(1) membership once it outgrows
+//!   [`ANNSET_PROMOTE_LEN`]. The sorted vec is always maintained, so
+//!   iteration order and rendered output stay deterministic regardless of
+//!   tier.
+//! * [`AnnMap`] — a keyed family of [`AnnSet`]s plus a flat append-ordered
+//!   *entry log* of live `(key, ann)` pairs. The log is the snapshot-cursor
+//!   substrate: the propagation loop walks it by index, copying one `Copy`
+//!   pair per step, instead of cloning the whole category up front. It also
+//!   makes entry counts O(1) and insertion-order iteration deterministic
+//!   (the old per-`HashMap` iteration order was stable only within one map
+//!   instance).
+//!
+//! Rollback discipline: epoch undo removes entries in exact reverse
+//! insertion order, so [`AnnMap::remove`] looks the log up from the back —
+//! O(1) on that path — and the log returns byte-identically to its
+//! pre-epoch sequence.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::algebra::AnnId;
+
+/// Sorted-vec tier capacity: an [`AnnSet`] longer than this grows a shadow
+/// `HashSet` for O(1) membership tests. Below it, binary search over a
+/// small contiguous vec wins on both time and space. The paper's §4 bound
+/// (`≤ |F_M^≡|` annotations per entry key) keeps most sets far below this.
+pub(crate) const ANNSET_PROMOTE_LEN: usize = 16;
+
+/// A set of interned annotations with tiered membership and deterministic
+/// (sorted) iteration order.
+#[derive(Debug, Default)]
+pub(crate) struct AnnSet {
+    /// Always sorted and duplicate-free; the source of truth.
+    sorted: Vec<AnnId>,
+    /// Shadow membership index, present only above [`ANNSET_PROMOTE_LEN`].
+    hash: Option<HashSet<AnnId>>,
+}
+
+impl AnnSet {
+    /// Tiered membership: O(1) above the promote threshold, O(log n)
+    /// binary search below. (The solver's dedupe path uses the same tiers
+    /// inside [`AnnSet::insert`]; this standalone probe serves tests.)
+    #[cfg(test)]
+    pub(crate) fn contains(&self, a: AnnId) -> bool {
+        match &self.hash {
+            Some(h) => h.contains(&a),
+            None => self.sorted.binary_search(&a).is_ok(),
+        }
+    }
+
+    /// Inserts `a`; returns `false` when already present.
+    pub(crate) fn insert(&mut self, a: AnnId) -> bool {
+        if let Some(h) = &mut self.hash {
+            if !h.insert(a) {
+                return false;
+            }
+            let pos = match self.sorted.binary_search(&a) {
+                Ok(_) => return true, // unreachable: hash mirrors sorted
+                Err(pos) => pos,
+            };
+            self.sorted.insert(pos, a);
+            return true;
+        }
+        match self.sorted.binary_search(&a) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.sorted.insert(pos, a);
+                if self.sorted.len() > ANNSET_PROMOTE_LEN {
+                    self.hash = Some(self.sorted.iter().copied().collect());
+                }
+                true
+            }
+        }
+    }
+
+    /// Removes `a`; returns `false` when absent. An emptied set drops its
+    /// hash tier so rolled-back state is structurally minimal again.
+    pub(crate) fn remove(&mut self, a: AnnId) -> bool {
+        match self.sorted.binary_search(&a) {
+            Ok(pos) => {
+                self.sorted.remove(pos);
+                if let Some(h) = &mut self.hash {
+                    h.remove(&a);
+                    if self.sorted.len() <= ANNSET_PROMOTE_LEN / 2 {
+                        self.hash = None;
+                    }
+                }
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The annotations in sorted order.
+    pub(crate) fn as_slice(&self) -> &[AnnId] {
+        &self.sorted
+    }
+}
+
+/// A solved-form category for one variable: per-key [`AnnSet`]s plus the
+/// flat entry log the propagation cursors iterate. See the module docs.
+#[derive(Debug)]
+pub(crate) struct AnnMap<K> {
+    /// Live `(key, ann)` entries in insertion order.
+    entries: Vec<(K, AnnId)>,
+    index: HashMap<K, AnnSet>,
+}
+
+impl<K> Default for AnnMap<K> {
+    fn default() -> Self {
+        AnnMap {
+            entries: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Copy + Eq + std::hash::Hash> AnnMap<K> {
+    /// Inserts `(key, a)`; returns whether the entry is new. `on_new_key`
+    /// fires when this is the key's first live annotation (the hook that
+    /// maintains secondary indexes, e.g. the per-constructor buckets).
+    pub(crate) fn insert_with<F: FnOnce()>(&mut self, key: K, a: AnnId, on_new_key: F) -> bool {
+        let set = self.index.entry(key).or_default();
+        let was_empty = set.is_empty();
+        if !set.insert(a) {
+            return false;
+        }
+        if was_empty {
+            on_new_key();
+        }
+        self.entries.push((key, a));
+        true
+    }
+
+    /// Inserts `(key, a)`; returns whether the entry is new.
+    pub(crate) fn insert(&mut self, key: K, a: AnnId) -> bool {
+        self.insert_with(key, a, || {})
+    }
+
+    /// Removes `(key, a)`; returns whether an entry was removed.
+    /// `on_key_emptied` fires when the key's last annotation left.
+    ///
+    /// Epoch rollback removes entries in exact reverse insertion order, so
+    /// the back-to-front log scan terminates immediately on that path.
+    pub(crate) fn remove_with<F: FnOnce()>(&mut self, key: K, a: AnnId, on_key_emptied: F) -> bool {
+        let Some(set) = self.index.get_mut(&key) else {
+            return false;
+        };
+        if !set.remove(a) {
+            return false;
+        }
+        if set.is_empty() {
+            self.index.remove(&key);
+            on_key_emptied();
+        }
+        if let Some(pos) = self.entries.iter().rposition(|&(k, x)| k == key && x == a) {
+            self.entries.remove(pos);
+        }
+        true
+    }
+
+    /// Removes `(key, a)`; returns whether an entry was removed.
+    pub(crate) fn remove(&mut self, key: K, a: AnnId) -> bool {
+        self.remove_with(key, a, || {})
+    }
+
+    /// Membership test: O(1)/O(log n) via the key's [`AnnSet`].
+    #[cfg(test)]
+    pub(crate) fn contains(&self, key: K, a: AnnId) -> bool {
+        self.index.get(&key).is_some_and(|s| s.contains(a))
+    }
+
+    /// Total live entries across all keys — O(1).
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The flat entry log, insertion-ordered. Propagation cursors index
+    /// into this slice one step at a time instead of cloning it.
+    pub(crate) fn entries(&self) -> &[(K, AnnId)] {
+        &self.entries
+    }
+
+    /// The annotation set of one key (sorted), if live.
+    pub(crate) fn get(&self, key: K) -> Option<&AnnSet> {
+        self.index.get(&key)
+    }
+
+    /// Iterates `(key, sorted annotations)` groups (hash order; use
+    /// [`AnnMap::entries`] where determinism matters).
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &AnnSet)> {
+        self.index.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ann(n: u32) -> AnnId {
+        AnnId(n)
+    }
+
+    #[test]
+    fn annset_promotes_and_demotes_across_the_tier_boundary() {
+        let mut s = AnnSet::default();
+        for i in 0..=(ANNSET_PROMOTE_LEN as u32) {
+            assert!(s.insert(ann(i * 7 % 101)));
+            assert!(!s.insert(ann(i * 7 % 101)), "duplicate rejected");
+        }
+        assert!(s.hash.is_some(), "promoted past the small tier");
+        let sorted = s.as_slice().to_vec();
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for &a in &sorted {
+            assert!(s.contains(a));
+        }
+        for &a in sorted.iter().rev() {
+            assert!(s.remove(a));
+            assert!(!s.remove(a));
+        }
+        assert!(s.is_empty());
+        assert!(s.hash.is_none(), "emptied set demoted");
+    }
+
+    #[test]
+    fn annmap_log_tracks_inserts_and_reverse_removals() {
+        let mut m: AnnMap<u32> = AnnMap::default();
+        let mut new_keys = 0;
+        for (k, a) in [(1, 10), (2, 20), (1, 11), (2, 20)] {
+            m.insert_with(k, ann(a), || new_keys += 1);
+        }
+        assert_eq!(new_keys, 2, "duplicate (2,20) created no key");
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.entries(),
+            &[(1, ann(10)), (2, ann(20)), (1, ann(11))],
+            "insertion order, duplicates dropped"
+        );
+        assert!(m.contains(1, ann(11)));
+        // Reverse-order removal (the rollback path) restores each prefix.
+        let mut emptied = 0;
+        assert!(m.remove_with(1, ann(11), || emptied += 1));
+        assert_eq!(emptied, 0, "key 1 still holds ann 10");
+        assert!(m.remove_with(2, ann(20), || emptied += 1));
+        assert!(m.remove_with(1, ann(10), || emptied += 1));
+        assert_eq!(emptied, 2);
+        assert_eq!(m.len(), 0);
+        assert!(m.get(1).is_none());
+    }
+}

@@ -16,7 +16,7 @@
 //! carries the reachability facts in the paper's applications (the `pc`
 //! constant of §6, dataflow facts of §3.3).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use rasc_automata::{Dfa, StateId};
 
@@ -101,6 +101,9 @@ pub struct ForwardSystem {
     pattern_ids: HashMap<Pattern, u32>,
     worklist: VecDeque<Fact>,
     clashes: Vec<ForwardClash>,
+    /// Hash companion of `clashes` for O(1) dedup; `clashes` keeps the
+    /// deterministic discovery order the public API reports.
+    clash_set: HashSet<ForwardClash>,
     facts_processed: usize,
 }
 
@@ -115,6 +118,7 @@ impl ForwardSystem {
             pattern_ids: HashMap::new(),
             worklist: VecDeque::new(),
             clashes: Vec::new(),
+            clash_set: HashSet::new(),
             facts_processed: 0,
         }
     }
@@ -295,14 +299,17 @@ impl ForwardSystem {
         }
     }
 
+    fn record_clash(&mut self, clash: ForwardClash) {
+        if self.clash_set.insert(clash.clone()) {
+            self.clashes.push(clash);
+        }
+    }
+
     fn resolve_const(&mut self, c: ConsId, pat: u32) {
         match self.patterns[pat as usize].clone() {
             Pattern::Cons { cons, .. } => {
                 if cons != c {
-                    let clash = ForwardClash::ConstructorMismatch { lhs: c, rhs: cons };
-                    if !self.clashes.contains(&clash) {
-                        self.clashes.push(clash);
-                    }
+                    self.record_clash(ForwardClash::ConstructorMismatch { lhs: c, rhs: cons });
                 }
             }
             Pattern::Proj { .. } => {
@@ -322,10 +329,7 @@ impl ForwardSystem {
         match self.patterns[pat as usize].clone() {
             Pattern::Cons { cons, args } => {
                 if cons != c {
-                    let clash = ForwardClash::ConstructorMismatch { lhs: c, rhs: cons };
-                    if !self.clashes.contains(&clash) {
-                        self.clashes.push(clash);
-                    }
+                    self.record_clash(ForwardClash::ConstructorMismatch { lhs: c, rhs: cons });
                     return;
                 }
                 for (i, &a) in src_args.iter().enumerate() {

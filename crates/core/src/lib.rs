@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+mod annset;
 pub mod backward;
 mod budget;
 mod constraint;

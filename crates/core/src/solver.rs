@@ -23,6 +23,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use rasc_obs as obs;
 
 use crate::algebra::{Algebra, AnnId};
+use crate::annset::{AnnMap, AnnSet};
 use crate::budget::{Budget, Outcome};
 use crate::constraint::{Constraint, SetExpr};
 use crate::error::{CoreError, Result};
@@ -166,11 +167,16 @@ struct Journal {
 #[derive(Debug, Default)]
 struct VarData {
     name: String,
-    /// `X ⊆^f Y` edges.
-    succs: HashMap<VarId, Vec<AnnId>>,
-    preds: HashMap<VarId, Vec<AnnId>>,
-    lbs: HashMap<SrcId, Vec<AnnId>>,
-    ubs: HashMap<SnkId, Vec<AnnId>>,
+    /// `X ⊆^f Y` edges (indexed by endpoint, cursor log for propagation).
+    succs: AnnMap<VarId>,
+    preds: AnnMap<VarId>,
+    lbs: AnnMap<SrcId>,
+    ubs: AnnMap<SnkId>,
+    /// Constructor-indexed lower-bound buckets: the live `lbs` keys whose
+    /// source has head `c`, so `lower_bound_annotations`/pattern queries
+    /// never rescan unrelated lower bounds (Heintze–McAllester-style
+    /// constructor bucketing).
+    lbs_by_cons: HashMap<ConsId, Vec<SrcId>>,
 }
 
 /// Aggregate counters describing a solved system, for benchmarks and
@@ -517,29 +523,21 @@ impl<A: Algebra> System<A> {
         // The loser's entries leave the solved form here; the re-enqueued
         // facts below re-count whichever of them the winner actually keeps.
         self.live_entries -= entry_count(&data);
-        self.pending_counts.edges_removed += category_count(&data.succs);
-        self.pending_counts.lbs_removed += category_count(&data.lbs);
-        self.pending_counts.ubs_removed += category_count(&data.ubs);
+        self.pending_counts.edges_removed += data.succs.len() as u64;
+        self.pending_counts.lbs_removed += data.lbs.len() as u64;
+        self.pending_counts.ubs_removed += data.ubs.len() as u64;
         let why = Reason::Collapsed { from: loser };
-        for (&y, anns) in &data.succs {
-            for &ann in anns {
-                self.push_fact(Fact::Edge(winner, y, ann), why);
-            }
+        for &(y, ann) in data.succs.entries() {
+            self.push_fact(Fact::Edge(winner, y, ann), why);
         }
-        for (&x, anns) in &data.preds {
-            for &ann in anns {
-                self.push_fact(Fact::Edge(x, winner, ann), why);
-            }
+        for &(x, ann) in data.preds.entries() {
+            self.push_fact(Fact::Edge(x, winner, ann), why);
         }
-        for (&src, anns) in &data.lbs {
-            for &ann in anns {
-                self.push_fact(Fact::Lb(winner, src, ann), why);
-            }
+        for &(src, ann) in data.lbs.entries() {
+            self.push_fact(Fact::Lb(winner, src, ann), why);
         }
-        for (&snk, anns) in &data.ubs {
-            for &ann in anns {
-                self.push_fact(Fact::Ub(winner, snk, ann), why);
-            }
+        for &(snk, ann) in data.ubs.entries() {
+            self.push_fact(Fact::Ub(winner, snk, ann), why);
         }
         if let Some(j) = self.journal.as_mut() {
             j.ops.push(UndoOp::VarData {
@@ -554,10 +552,14 @@ impl<A: Algebra> System<A> {
     /// Bounded DFS over ε-annotated edges looking for a path `from → to`;
     /// on success every visited node on the path is collapsed into `to`
     /// and `true` is returned.
+    ///
+    /// Visited-set membership and path reconstruction use a `HashSet` and
+    /// a parent map — a linear `Vec` scan here made long cycle searches
+    /// O(n²) (10k-node cycles took seconds; see the regression test).
     fn try_collapse_cycle(&mut self, from: VarId, to: VarId) -> bool {
         let id = self.algebra.identity();
         let mut stack = vec![(from, 0usize)];
-        let mut visited: Vec<VarId> = vec![from];
+        let mut visited: HashSet<VarId> = HashSet::from([from]);
         let mut path: Vec<VarId> = Vec::new();
         let mut parent_of: HashMap<VarId, VarId> = HashMap::new();
         let mut budget = self.config.cycle_search_depth * 8;
@@ -585,15 +587,14 @@ impl<A: Algebra> System<A> {
                 }
                 return true;
             }
-            let succs: Vec<VarId> = self.vars[v.index()]
-                .succs
-                .iter()
-                .filter(|(_, anns)| anns.binary_search(&id).is_ok())
-                .map(|(&y, _)| self.find(y))
-                .collect();
-            for y in succs {
-                if !visited.contains(&y) {
-                    visited.push(y);
+            let mut i = 0;
+            while let Some(&(y, ann)) = self.vars[v.index()].succs.entries().get(i) {
+                i += 1;
+                if ann != id {
+                    continue;
+                }
+                let y = self.find(y);
+                if visited.insert(y) {
                     parent_of.insert(y, v);
                     if visited.len() <= self.config.cycle_search_depth {
                         stack.push((y, 0));
@@ -834,12 +835,27 @@ impl<A: Algebra> System<A> {
         if !self.algebra.is_useful(f) {
             return;
         }
-        let source = self.sources[src.0 as usize].clone();
-        match self.sinks[snk.0 as usize].clone() {
-            Sink::Cons { cons, args } => {
-                if source.cons != cons {
+        // Copy the lightweight shape up front and re-index per position
+        // below, so the `Source`/`Sink` argument vectors and the
+        // constructor signature are never cloned on this hot path.
+        enum Shape {
+            Cons(ConsId, usize),
+            Proj(ConsId, usize, VarId),
+        }
+        let src_cons = self.sources[src.0 as usize].cons;
+        let shape = match &self.sinks[snk.0 as usize] {
+            Sink::Cons { cons, args } => Shape::Cons(*cons, args.len()),
+            Sink::Proj {
+                cons,
+                index,
+                target,
+            } => Shape::Proj(*cons, *index, *target),
+        };
+        match shape {
+            Shape::Cons(cons, n_args) => {
+                if src_cons != cons {
                     let clash = Clash::ConstructorMismatch {
-                        lhs: source.cons,
+                        lhs: src_cons,
                         rhs: cons,
                         ann: f,
                     };
@@ -849,16 +865,22 @@ impl<A: Algebra> System<A> {
                     }
                     return;
                 }
-                let signature = self.constructors[cons.index()].signature.clone();
-                for (i, variance) in signature.iter().enumerate() {
-                    match variance {
+                for i in 0..n_args {
+                    let src_arg = self.sources[src.0 as usize].args[i];
+                    let snk_arg = match &self.sinks[snk.0 as usize] {
+                        Sink::Cons { args, .. } => args[i],
+                        // `shape` was copied from this very sink; sinks are
+                        // interned append-only and never mutated.
+                        Sink::Proj { .. } => unreachable!("sink shape changed mid-resolve"),
+                    };
+                    match self.constructors[cons.index()].signature[i] {
                         Variance::Covariant => {
-                            self.push_fact(Fact::Edge(source.args[i], args[i], f), why);
+                            self.push_fact(Fact::Edge(src_arg, snk_arg, f), why);
                         }
                         Variance::Contravariant => {
                             if f == self.algebra.identity() {
                                 let e = self.algebra.identity();
-                                self.push_fact(Fact::Edge(args[i], source.args[i], e), why);
+                                self.push_fact(Fact::Edge(snk_arg, src_arg, e), why);
                             } else {
                                 let clash = Clash::ContravariantAnnotated {
                                     cons,
@@ -874,13 +896,10 @@ impl<A: Algebra> System<A> {
                     }
                 }
             }
-            Sink::Proj {
-                cons,
-                index,
-                target,
-            } => {
-                if source.cons == cons {
-                    self.push_fact(Fact::Edge(source.args[index], target, f), why);
+            Shape::Proj(cons, index, target) => {
+                if src_cons == cons {
+                    let src_arg = self.sources[src.0 as usize].args[index];
+                    self.push_fact(Fact::Edge(src_arg, target, f), why);
                 }
                 // A non-matching constructor simply does not project —
                 // not an inconsistency.
@@ -953,13 +972,13 @@ impl<A: Algebra> System<A> {
                 if !self.algebra.is_useful(f) {
                     return;
                 }
-                if !insert_ann(self.vars[x.index()].succs.entry(y).or_default(), f) {
+                if !self.vars[x.index()].succs.insert(y, f) {
                     return;
                 }
                 self.live_entries += 1;
                 self.pending_counts.edges_added += 1;
                 self.record_prov(ProvKey::Edge(x, y, f), why);
-                insert_ann(self.vars[y.index()].preds.entry(x).or_default(), f);
+                self.vars[y.index()].preds.insert(x, f);
                 if let Some(j) = self.journal.as_mut() {
                     j.ops.push(UndoOp::Succ(x, y, f));
                     j.ops.push(UndoOp::Pred(x, y, f));
@@ -974,9 +993,13 @@ impl<A: Algebra> System<A> {
                     // all merged facts, so nothing more to do here.
                     return;
                 }
-                // Push x's lower bounds across the new edge.
-                let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
-                for (src, g) in lbs {
+                // Push x's lower bounds across the new edge. Snapshot
+                // cursor: `push_fact` only touches the worklist and the
+                // provenance queue, never `vars`, so indexing the entry log
+                // one `Copy` pair at a time is clone-free and safe.
+                let mut i = 0;
+                while let Some(&(src, g)) = self.vars[x.index()].lbs.entries().get(i) {
+                    i += 1;
                     let h = self.algebra.compose(f, g);
                     let why = Reason::TransLb {
                         edge: (x, y, f),
@@ -985,8 +1008,9 @@ impl<A: Algebra> System<A> {
                     self.push_fact(Fact::Lb(y, src, h), why);
                 }
                 // Pull y's upper bounds across the new edge.
-                let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[y.index()].ubs);
-                for (snk, g) in ubs {
+                let mut i = 0;
+                while let Some(&(snk, g)) = self.vars[y.index()].ubs.entries().get(i) {
+                    i += 1;
                     let h = self.algebra.compose(g, f);
                     let why = Reason::TransUb {
                         edge: (x, y, f),
@@ -1000,7 +1024,12 @@ impl<A: Algebra> System<A> {
                 if !self.algebra.is_useful(g) {
                     return;
                 }
-                if !insert_ann(self.vars[x.index()].lbs.entry(src).or_default(), g) {
+                let head = self.sources[src.0 as usize].cons;
+                let data = &mut self.vars[x.index()];
+                let lbs_by_cons = &mut data.lbs_by_cons;
+                if !data.lbs.insert_with(src, g, || {
+                    lbs_by_cons.entry(head).or_default().push(src);
+                }) {
                     return;
                 }
                 self.live_entries += 1;
@@ -1010,8 +1039,9 @@ impl<A: Algebra> System<A> {
                     j.ops.push(UndoOp::Lb(x, src, g));
                 }
                 self.touch(x);
-                let succs: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].succs);
-                for (y, f) in succs {
+                let mut i = 0;
+                while let Some(&(y, f)) = self.vars[x.index()].succs.entries().get(i) {
+                    i += 1;
                     let h = self.algebra.compose(f, g);
                     let why = Reason::TransLb {
                         edge: (x, y, f),
@@ -1019,8 +1049,9 @@ impl<A: Algebra> System<A> {
                     };
                     self.push_fact(Fact::Lb(y, src, h), why);
                 }
-                let ubs: Vec<(SnkId, AnnId)> = flatten(&self.vars[x.index()].ubs);
-                for (snk, h) in ubs {
+                let mut i = 0;
+                while let Some(&(snk, h)) = self.vars[x.index()].ubs.entries().get(i) {
+                    i += 1;
                     let composed = self.algebra.compose(h, g);
                     let why = Reason::Meet {
                         var: x,
@@ -1037,7 +1068,7 @@ impl<A: Algebra> System<A> {
                 if !self.algebra.is_useful(h) {
                     return;
                 }
-                if !insert_ann(self.vars[x.index()].ubs.entry(snk).or_default(), h) {
+                if !self.vars[x.index()].ubs.insert(snk, h) {
                     return;
                 }
                 self.live_entries += 1;
@@ -1047,8 +1078,9 @@ impl<A: Algebra> System<A> {
                     j.ops.push(UndoOp::Ub(x, snk, h));
                 }
                 self.touch(x);
-                let preds: Vec<(VarId, AnnId)> = flatten(&self.vars[x.index()].preds);
-                for (w, f) in preds {
+                let mut i = 0;
+                while let Some(&(w, f)) = self.vars[x.index()].preds.entries().get(i) {
+                    i += 1;
                     let composed = self.algebra.compose(h, f);
                     let why = Reason::TransUb {
                         edge: (w, x, f),
@@ -1056,8 +1088,9 @@ impl<A: Algebra> System<A> {
                     };
                     self.push_fact(Fact::Ub(w, snk, composed), why);
                 }
-                let lbs: Vec<(SrcId, AnnId)> = flatten(&self.vars[x.index()].lbs);
-                for (src, g) in lbs {
+                let mut i = 0;
+                while let Some(&(src, g)) = self.vars[x.index()].lbs.entries().get(i) {
+                    i += 1;
                     let composed = self.algebra.compose(h, g);
                     let why = Reason::Meet {
                         var: x,
@@ -1144,7 +1177,7 @@ impl<A: Algebra> System<A> {
         for op in ops.into_iter().rev() {
             match op {
                 UndoOp::Succ(x, y, a) => {
-                    if remove_ann(&mut self.vars[x.index()].succs, y, a) {
+                    if self.vars[x.index()].succs.remove(y, a) {
                         self.live_entries -= 1;
                         self.pending_counts.edges_removed += 1;
                     }
@@ -1152,17 +1185,33 @@ impl<A: Algebra> System<A> {
                     touched.insert(y.0);
                 }
                 UndoOp::Pred(x, y, a) => {
-                    remove_ann(&mut self.vars[y.index()].preds, x, a);
+                    self.vars[y.index()].preds.remove(x, a);
                 }
                 UndoOp::Lb(x, src, a) => {
-                    if remove_ann(&mut self.vars[x.index()].lbs, src, a) {
+                    let head = self.sources[src.0 as usize].cons;
+                    let data = &mut self.vars[x.index()];
+                    let lbs_by_cons = &mut data.lbs_by_cons;
+                    // Reverse-order undo empties keys in reverse of their
+                    // creation, so the bucket entry to drop sits at the
+                    // back — `rposition` finds it in O(1) on this path.
+                    let removed = data.lbs.remove_with(src, a, || {
+                        if let Some(bucket) = lbs_by_cons.get_mut(&head) {
+                            if let Some(pos) = bucket.iter().rposition(|&s| s == src) {
+                                bucket.remove(pos);
+                            }
+                            if bucket.is_empty() {
+                                lbs_by_cons.remove(&head);
+                            }
+                        }
+                    });
+                    if removed {
                         self.live_entries -= 1;
                         self.pending_counts.lbs_removed += 1;
                     }
                     touched.insert(x.0);
                 }
                 UndoOp::Ub(x, snk, a) => {
-                    if remove_ann(&mut self.vars[x.index()].ubs, snk, a) {
+                    if self.vars[x.index()].ubs.remove(snk, a) {
                         self.live_entries -= 1;
                         self.pending_counts.ubs_removed += 1;
                     }
@@ -1178,9 +1227,9 @@ impl<A: Algebra> System<A> {
                     // restore adds exactly the journaled entries back.
                     debug_assert_eq!(entry_count(&self.vars[idx as usize]), 0);
                     self.live_entries += entry_count(&data);
-                    self.pending_counts.edges_added += category_count(&data.succs);
-                    self.pending_counts.lbs_added += category_count(&data.lbs);
-                    self.pending_counts.ubs_added += category_count(&data.ubs);
+                    self.pending_counts.edges_added += data.succs.len() as u64;
+                    self.pending_counts.lbs_added += data.lbs.len() as u64;
+                    self.pending_counts.ubs_added += data.ubs.len() as u64;
                     self.vars[idx as usize] = *data;
                     touched.insert(idx);
                 }
@@ -1299,38 +1348,37 @@ impl<A: Algebra> System<A> {
     /// form — i.e. all `f` with `c(…) ⊆^f X`.
     pub fn lower_bound_annotations(&self, x: VarId, c: ConsId) -> Vec<AnnId> {
         let x = self.find(x);
-        let mut out = Vec::new();
-        for (src, anns) in &self.vars[x.index()].lbs {
-            if self.sources[src.0 as usize].cons == c {
-                out.extend(anns.iter().copied());
-            }
-        }
-        out.sort();
-        out.dedup();
-        out
+        let data = &self.vars[x.index()];
+        // Constructor-indexed: only `c`-headed sources are visited, and
+        // their annotation sets are already sorted and deduplicated, so
+        // the common one-source case returns without sorting anything.
+        let Some(bucket) = data.lbs_by_cons.get(&c) else {
+            return Vec::new();
+        };
+        let sets: Vec<&AnnSet> = bucket.iter().filter_map(|&src| data.lbs.get(src)).collect();
+        merge_sorted_anns(&sets)
     }
 
     /// All solved-form lower bounds of `x`: `(constructor, args, annotation)`
-    /// triples.
-    pub fn lower_bounds(&self, x: VarId) -> Vec<(ConsId, Vec<VarId>, AnnId)> {
+    /// triples, borrowed from the solved form (no per-entry clone of the
+    /// argument vector) in insertion order.
+    pub fn lower_bounds(&self, x: VarId) -> impl Iterator<Item = (ConsId, &[VarId], AnnId)> + '_ {
         let x = self.find(x);
-        let mut out = Vec::new();
-        for (src, anns) in &self.vars[x.index()].lbs {
+        self.vars[x.index()].lbs.entries().iter().map(|&(src, a)| {
             let s = &self.sources[src.0 as usize];
-            for &a in anns {
-                out.push((s.cons, s.args.clone(), a));
-            }
-        }
-        out
+            (s.cons, s.args.as_slice(), a)
+        })
     }
 
     /// The annotated variable-variable edges leaving `x` in the solved
     /// form.
     pub fn edges_from(&self, x: VarId) -> Vec<(VarId, AnnId)> {
         let x = self.find(x);
-        flatten(&self.vars[x.index()].succs)
-            .into_iter()
-            .map(|(y, a)| (self.find(y), a))
+        self.vars[x.index()]
+            .succs
+            .entries()
+            .iter()
+            .map(|&(y, a)| (self.find(y), a))
             .collect()
     }
 
@@ -1342,9 +1390,9 @@ impl<A: Algebra> System<A> {
         let mut max_lower = 0;
         let mut max_upper = 0;
         for v in &self.vars {
-            edges += v.succs.values().map(Vec::len).sum::<usize>();
-            let l = v.lbs.values().map(Vec::len).sum::<usize>();
-            let u = v.ubs.values().map(Vec::len).sum::<usize>();
+            edges += v.succs.len();
+            let l = v.lbs.len();
+            let u = v.ubs.len();
             lower += l;
             upper += u;
             max_lower = max_lower.max(l);
@@ -1380,11 +1428,14 @@ impl<A: Algebra> System<A> {
             return Vec::new();
         };
         let root = self.find(v);
+        let data = &self.vars[root.index()];
         let mut candidates: Vec<(u32, AnnId)> = Vec::new();
-        for (src, anns) in &self.vars[root.index()].lbs {
-            if self.sources[src.0 as usize].cons == c {
-                for &a in anns {
-                    candidates.push((src.0, a));
+        if let Some(bucket) = data.lbs_by_cons.get(&c) {
+            for &src in bucket {
+                if let Some(anns) = data.lbs.get(src) {
+                    for &a in anns.as_slice() {
+                        candidates.push((src.0, a));
+                    }
                 }
             }
         }
@@ -1651,7 +1702,9 @@ impl<A: Algebra> System<A> {
             if self.find(VarId(i as u32)).index() != i {
                 continue; // collapsed into its cycle representative
             }
-            for (src, anns) in &v.lbs {
+            // Entry logs render in insertion order — deterministic across
+            // runs, and restored byte-identically by epoch rollback.
+            for &(src, a) in v.lbs.entries() {
                 let s = &self.sources[src.0 as usize];
                 let rendered_args: Vec<&str> = s
                     .args
@@ -1664,17 +1717,13 @@ impl<A: Algebra> System<A> {
                 } else {
                     format!("{head}({})", rendered_args.join(", "))
                 };
-                for &a in anns {
-                    let _ = writeln!(out, "{applied} ⊆{} {name}", ann_str(a));
-                }
+                let _ = writeln!(out, "{applied} ⊆{} {name}", ann_str(a));
             }
-            for (&y, anns) in &v.succs {
+            for &(y, a) in v.succs.entries() {
                 let target = &self.vars[self.find(y).index()].name;
-                for &a in anns {
-                    let _ = writeln!(out, "{name} ⊆{} {target}", ann_str(a));
-                }
+                let _ = writeln!(out, "{name} ⊆{} {target}", ann_str(a));
             }
-            for (snk, anns) in &v.ubs {
+            for &(snk, a) in v.ubs.entries() {
                 match &self.sinks[snk.0 as usize] {
                     Sink::Cons { cons, args } => {
                         let rendered_args: Vec<&str> = args
@@ -1687,9 +1736,7 @@ impl<A: Algebra> System<A> {
                         } else {
                             format!("{head}({})", rendered_args.join(", "))
                         };
-                        for &a in anns {
-                            let _ = writeln!(out, "{name} ⊆{} {applied}", ann_str(a));
-                        }
+                        let _ = writeln!(out, "{name} ⊆{} {applied}", ann_str(a));
                     }
                     Sink::Proj {
                         cons,
@@ -1698,10 +1745,7 @@ impl<A: Algebra> System<A> {
                     } => {
                         let head = self.constructors[cons.index()].name();
                         let t = &self.vars[self.find(*target).index()].name;
-                        for &a in anns {
-                            let _ =
-                                writeln!(out, "{head}⁻{}({name}) ⊆{} {t}", index + 1, ann_str(a));
-                        }
+                        let _ = writeln!(out, "{head}⁻{}({name}) ⊆{} {t}", index + 1, ann_str(a));
                     }
                 }
             }
@@ -1715,11 +1759,9 @@ impl<A: Algebra> System<A> {
     pub(crate) fn proj_sinks_of(&self, x: VarId) -> Vec<(VarId, AnnId)> {
         let x = self.find(x);
         let mut out = Vec::new();
-        for (snk, anns) in &self.vars[x.index()].ubs {
+        for &(snk, h) in self.vars[x.index()].ubs.entries() {
             if let Sink::Proj { target, .. } = self.sinks[snk.0 as usize] {
-                for &h in anns {
-                    out.push((self.find(target), h));
-                }
+                out.push((self.find(target), h));
             }
         }
         out
@@ -1729,17 +1771,21 @@ impl<A: Algebra> System<A> {
     /// constructor sinks (for the query-time reconstruction of constructor
     /// annotation variables).
     pub(crate) fn constructor_expr_keys(&self) -> Vec<ExprKey> {
+        // Hash-backed dedup (the linear `keys.contains` scan was quadratic
+        // in the number of interned expressions); emission order is still
+        // first-occurrence order.
+        let mut seen: HashSet<ExprKey> = HashSet::new();
         let mut keys: Vec<ExprKey> = Vec::new();
         for s in &self.sources {
             let key = (s.cons, s.args.clone());
-            if !keys.contains(&key) {
+            if seen.insert(key.clone()) {
                 keys.push(key);
             }
         }
         for s in &self.sinks {
             if let Sink::Cons { cons, args } = s {
                 let key = (*cons, args.clone());
-                if !keys.contains(&key) {
+                if seen.insert(key.clone()) {
                     keys.push(key);
                 }
             }
@@ -1752,17 +1798,17 @@ impl<A: Algebra> System<A> {
     pub(crate) fn source_sink_meets(&self, x: VarId) -> Vec<MeetEntry> {
         let data = &self.vars[self.find(x).index()];
         let mut out = Vec::new();
-        for (src, gs) in &data.lbs {
+        for (&src, gs) in data.lbs.iter() {
             let source = &self.sources[src.0 as usize];
-            for (snk, hs) in &data.ubs {
+            for (&snk, hs) in data.ubs.iter() {
                 let Sink::Cons { cons, args } = &self.sinks[snk.0 as usize] else {
                     continue;
                 };
                 if *cons != source.cons {
                     continue;
                 }
-                for &g in gs {
-                    for &h in hs {
+                for &g in gs.as_slice() {
+                    for &h in hs.as_slice() {
                         out.push((
                             (source.cons, source.args.clone()),
                             (*cons, args.clone()),
@@ -1784,57 +1830,30 @@ impl<A: Algebra> System<A> {
     }
 }
 
-/// Inserts into a small sorted annotation set; returns `false` if already
-/// present.
-fn insert_ann(set: &mut Vec<AnnId>, a: AnnId) -> bool {
-    match set.binary_search(&a) {
-        Ok(_) => false,
-        Err(pos) => {
-            set.insert(pos, a);
-            true
-        }
-    }
-}
-
-/// Removes one annotation from a keyed annotation-set map, dropping the
-/// key when its set empties (so rolled-back state is structurally equal
-/// to the pre-epoch state). Returns whether an annotation was removed.
-fn remove_ann<K: std::hash::Hash + Eq>(map: &mut HashMap<K, Vec<AnnId>>, key: K, a: AnnId) -> bool {
-    let mut removed = false;
-    if let Some(anns) = map.get_mut(&key) {
-        if let Ok(pos) = anns.binary_search(&a) {
-            anns.remove(pos);
-            removed = true;
-        }
-        if anns.is_empty() {
-            map.remove(&key);
-        }
-    }
-    removed
-}
-
-/// Total annotations across one solved-form category map (for the
-/// reconciliation counters).
-fn category_count<K>(map: &HashMap<K, Vec<AnnId>>) -> u64 {
-    map.values().map(Vec::len).sum::<usize>() as u64
-}
-
 /// Counts a variable's solved-form entries the same way [`SolverStats`]
 /// does (succs + lbs + ubs; preds mirror succs and are not counted).
+/// O(1) per category thanks to the entry logs.
 fn entry_count(data: &VarData) -> usize {
-    data.succs.values().map(Vec::len).sum::<usize>()
-        + data.lbs.values().map(Vec::len).sum::<usize>()
-        + data.ubs.values().map(Vec::len).sum::<usize>()
+    data.succs.len() + data.lbs.len() + data.ubs.len()
 }
 
-fn flatten<K: Copy>(map: &HashMap<K, Vec<AnnId>>) -> Vec<(K, AnnId)> {
-    let mut out = Vec::new();
-    for (&k, anns) in map {
-        for &a in anns {
-            out.push((k, a));
+/// Merges the sorted annotation slices of several [`AnnSet`]s into one
+/// sorted, duplicate-free vec without a full re-sort (the per-constructor
+/// bucket query path: usually a single source per head).
+fn merge_sorted_anns(sets: &[&AnnSet]) -> Vec<AnnId> {
+    match sets {
+        [] => Vec::new(),
+        [one] => one.as_slice().to_vec(),
+        many => {
+            let mut out: Vec<AnnId> = Vec::with_capacity(many.iter().map(|s| s.len()).sum());
+            for s in many {
+                out.extend_from_slice(s.as_slice());
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -2304,5 +2323,68 @@ mod tests {
         assert_eq!(mid.interruptions, 1);
         sys.pop_epoch();
         assert_eq!(sys.stats(), before, "all new counters restored exactly");
+    }
+
+    /// Regression test for the cycle-search visited set: with the old
+    /// linear `Vec::contains` scan a 10k-node ε-cycle cost O(n²) inside a
+    /// single worklist step; the hash-backed walk collapses it comfortably
+    /// within a modest step budget (DFS work is not metered, so the budget
+    /// bounds only the fact drain — the deadline below is the backstop).
+    #[test]
+    fn ten_thousand_node_cycle_collapses_within_budget() {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let m = Dfa::one_bit(&sigma, g, k);
+        let mut sys = System::with_config(
+            MonoidAlgebra::new(&m),
+            SolverConfig {
+                cycle_search_depth: 20_000,
+                ..SolverConfig::default()
+            },
+        );
+        const N: usize = 10_000;
+        let vars: Vec<VarId> = (0..N).map(|i| sys.var(&format!("v{i}"))).collect();
+        for i in 0..N {
+            sys.add(SetExpr::var(vars[i]), SetExpr::var(vars[(i + 1) % N]))
+                .unwrap();
+        }
+        let outcome = sys.solve_bounded(
+            &Budget::unlimited()
+                .with_steps(500_000)
+                .with_deadline_millis(60_000),
+        );
+        assert_eq!(outcome, Outcome::Complete);
+        assert!(sys.stats().cycles_collapsed >= 1);
+        let root = sys.find_root(vars[0]);
+        assert!(
+            vars.iter().all(|&v| sys.find_root(v) == root),
+            "all 10k cycle members collapsed into one class"
+        );
+    }
+
+    /// The hash-backed dedup in `constructor_expr_keys` must keep the old
+    /// first-occurrence emission order (downstream annotation-variable
+    /// reconstruction numbers keys by position).
+    #[test]
+    fn constructor_expr_keys_keep_first_occurrence_order() {
+        let (mut sys, g, _k) = one_bit_system();
+        let c = sys.constructor("c", &[]);
+        let d = sys.constructor("d", &[]);
+        let o = sys.constructor("o", &[Variance::Covariant]);
+        let (w, x, y) = (sys.var("W"), sys.var("X"), sys.var("Y"));
+        let fg = sys.algebra_mut().word(&[g]);
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(w), fg)
+            .unwrap();
+        sys.add_ann(SetExpr::cons_vars(o, [w]), SetExpr::var(x), fg)
+            .unwrap();
+        // Duplicates of earlier keys plus a sink-only key.
+        sys.add_ann(SetExpr::cons(c, []), SetExpr::var(y), fg)
+            .unwrap();
+        sys.add(SetExpr::var(y), SetExpr::cons(d, [])).unwrap();
+        sys.solve();
+        let keys = sys.constructor_expr_keys();
+        let heads: Vec<ConsId> = keys.iter().map(|(cons, _)| *cons).collect();
+        assert_eq!(heads, vec![c, o, d], "first-occurrence order, deduped");
     }
 }

@@ -14,7 +14,7 @@
 //!   the mutation stamps of every variable they depended on; later
 //!   increments invalidate only results whose dependency stamps moved.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use rasc_core::algebra::{Algebra, AnnId};
 use rasc_core::{
@@ -361,20 +361,27 @@ impl<A: Algebra> Session<A> {
     /// its current stamp. If an increment later adds a lower bound to any
     /// of these (growing the reachable set), the parent's stamp moves.
     fn lb_closure_stamps(&self, x: VarId) -> Vec<(VarId, u64)> {
-        let mut seen: Vec<VarId> = vec![self.sys.find_root(x)];
-        let mut stack = vec![self.sys.find_root(x)];
+        let root = self.sys.find_root(x);
+        // Hash-backed visited set (the linear `seen.contains` scan was
+        // quadratic on deep closures); `order` keeps the dependency list
+        // in deterministic discovery order. `lower_bounds` now borrows
+        // the argument slices, so the walk allocates nothing per entry.
+        let mut seen: HashSet<VarId> = HashSet::from([root]);
+        let mut order: Vec<VarId> = vec![root];
+        let mut stack = vec![root];
         while let Some(v) = stack.pop() {
             for (_, args, _) in self.sys.lower_bounds(v) {
-                for a in args {
+                for &a in args {
                     let a = self.sys.find_root(a);
-                    if !seen.contains(&a) {
-                        seen.push(a);
+                    if seen.insert(a) {
+                        order.push(a);
                         stack.push(a);
                     }
                 }
             }
         }
-        seen.into_iter()
+        order
+            .into_iter()
             .map(|v| (v, self.sys.var_version(v)))
             .collect()
     }

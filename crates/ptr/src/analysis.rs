@@ -380,7 +380,6 @@ impl PointsTo {
         let mut out: Vec<String> = self
             .resolve
             .lower_bounds(v)
-            .into_iter()
             .filter_map(|(_cons, args, _ann)| {
                 args.first()
                     .and_then(|a| self.loc_of_contents.get(a))
