@@ -1,0 +1,207 @@
+//! Load generator for `rasc-serve`: a loopback client fleet driving the
+//! JSON-lines protocol through a real TCP server, measuring throughput
+//! and latency percentiles at 1, 4, and 16 concurrent clients.
+//!
+//! Clients are **closed-loop with think time**: each waits for its
+//! response, then sleeps ~1 ms (PRNG-jittered) before the next request.
+//! With per-request service time far below the think time, adding
+//! clients raises throughput by overlapping their idle periods — the
+//! scaling this bench guards (16 clients must deliver ≥ 3× the
+//! single-client rate) measures the server's ability to interleave
+//! connections, and holds even on a single-core host where CPU-bound
+//! clients could never scale.
+//!
+//! Emits `BENCH_serve.json` and exits non-zero when the scaling floor
+//! is violated.
+//!
+//! Usage: `serve_load [out.json] [--secs S]` (default 1.2 s per rung).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use rasc_automata::{Alphabet, Dfa};
+use rasc_devtools::Rng;
+use rasc_inc::json::{obj, Json};
+use rasc_serve::{ServeConfig, Server};
+
+/// Mean think time between a client's requests, in microseconds.
+const THINK_MICROS: u64 = 1_000;
+/// Scaling floor: 16 clients must deliver at least this multiple of the
+/// single-client throughput.
+const MIN_SPEEDUP: f64 = 3.0;
+
+/// One client's run: request count and per-request latencies (µs).
+struct ClientRun {
+    requests: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Connects, seeds a tiny session, then issues closed-loop queries with
+/// jittered think time until the deadline.
+fn run_client(addr: SocketAddr, seed: u64, duration: Duration) -> ClientRun {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    let mut request = |req: &str, line: &mut String| {
+        writer.write_all(req.as_bytes()).expect("write");
+        writer.write_all(b"\n").expect("write");
+        writer.flush().expect("flush");
+        line.clear();
+        reader.read_line(line).expect("read");
+        assert!(!line.is_empty(), "server closed mid-session");
+    };
+
+    // Per-connection session setup: the server gives every connection
+    // its own engine, so names do not collide across clients.
+    for setup in [
+        r#"{"cmd":"declare","cons":"probe"}"#,
+        r#"{"cmd":"add","lhs":"probe","rhs":"Src"}"#,
+        r#"{"cmd":"add","lhs":"Src","rhs":"Dst","ann":["g","k"]}"#,
+    ] {
+        request(setup, &mut line);
+        assert!(line.contains("\"ok\""), "setup failed: {line}");
+    }
+
+    let mut rng = Rng::new(seed);
+    let mut run = ClientRun {
+        requests: 0,
+        latencies_us: Vec::new(),
+    };
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        let t0 = Instant::now();
+        request(
+            r#"{"cmd":"query","kind":"occurs","var":"Dst","cons":"probe"}"#,
+            &mut line,
+        );
+        assert!(line.contains("\"ok\""), "query failed: {line}");
+        run.requests += 1;
+        run.latencies_us.push(t0.elapsed().as_micros() as u64);
+        // Think: uniform in [0.5, 1.5) × the mean, so clients desynchronize.
+        let jitter = THINK_MICROS / 2 + (rng.next_u64() % THINK_MICROS);
+        std::thread::sleep(Duration::from_micros(jitter));
+    }
+    run
+}
+
+/// Runs one rung of `clients` concurrent closed-loop clients.
+fn run_rung(addr: SocketAddr, clients: usize, duration: Duration) -> (f64, Vec<u64>, u64) {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|i| std::thread::spawn(move || run_client(addr, 0x5eed + i as u64, duration)))
+        .collect();
+    let mut latencies = Vec::new();
+    let mut requests = 0;
+    for h in handles {
+        let run = h.join().expect("client thread");
+        requests += run.requests;
+        latencies.extend(run.latencies_us);
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (requests as f64 / secs, latencies, requests)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_serve.json".to_owned();
+    let mut secs = 1.2f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--secs" {
+            secs = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--secs expects a number");
+        } else {
+            out_path = a.clone();
+        }
+    }
+    let duration = Duration::from_secs_f64(secs);
+
+    let mut sigma = Alphabet::new();
+    let (g, k) = (sigma.intern("g"), sigma.intern("k"));
+    let machine = Dfa::one_bit(&sigma, g, k);
+    let config = ServeConfig {
+        threads: 16,
+        max_connections: 64,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", sigma, &machine, config).expect("bind");
+    let addr = server.local_addr();
+    let (handle, join) = server.spawn();
+
+    println!(
+        "rasc-serve load: loopback fleet on {addr}, think ~{THINK_MICROS} us, \
+         {secs:.1} s per rung"
+    );
+
+    // Warmup rung (discarded): populates code paths and the listener.
+    let _ = run_rung(addr, 2, Duration::from_millis(200));
+
+    let mut rung_rows = Vec::new();
+    let mut rates = Vec::new();
+    for clients in [1usize, 4, 16] {
+        let (rps, latencies, requests) = run_rung(addr, clients, duration);
+        let p50 = percentile(&latencies, 0.50);
+        let p99 = percentile(&latencies, 0.99);
+        println!(
+            "{clients:>3} clients: {rps:>8.1} req/s  ({requests} requests, \
+             p50 {p50} us, p99 {p99} us)"
+        );
+        rung_rows.push(Json::Obj(vec![
+            ("clients".to_owned(), Json::from(clients)),
+            ("requests".to_owned(), Json::from(requests as usize)),
+            ("throughput_rps".to_owned(), Json::Num(rps)),
+            ("p50_micros".to_owned(), Json::from(p50 as usize)),
+            ("p99_micros".to_owned(), Json::from(p99 as usize)),
+        ]));
+        rates.push(rps);
+    }
+
+    handle.begin_shutdown();
+    handle.shutdown();
+    let report = join.join().expect("server thread").expect("server io");
+    let speedup = rates[2] / rates[0];
+    println!(
+        "16-client speedup over 1: {speedup:.2}x (floor {MIN_SPEEDUP:.1}x); \
+         server saw {} connections, {} requests, {} rejected",
+        report.connections, report.requests, report.rejected
+    );
+
+    let json = obj([
+        ("bench", Json::from("serve_load")),
+        ("threads", Json::from(16usize)),
+        ("max_connections", Json::from(64usize)),
+        ("think_micros", Json::from(THINK_MICROS as usize)),
+        ("secs_per_rung", Json::Num(secs)),
+        ("rungs", Json::Arr(rung_rows)),
+        ("speedup_16_over_1", Json::Num(speedup)),
+        ("min_required_speedup", Json::Num(MIN_SPEEDUP)),
+        (
+            "server_connections",
+            Json::from(report.connections as usize),
+        ),
+        ("server_requests", Json::from(report.requests as usize)),
+        ("server_rejected", Json::from(report.rejected as usize)),
+    ]);
+    std::fs::write(&out_path, json.render() + "\n").expect("write report");
+    println!("wrote {out_path}");
+
+    assert!(
+        speedup >= MIN_SPEEDUP,
+        "16 concurrent clients must deliver at least {MIN_SPEEDUP}x the \
+         single-client throughput (got {speedup:.2}x)"
+    );
+}

@@ -1,0 +1,114 @@
+//! Adversarial batch-protocol input generation, shared by the stdin fuzz
+//! suite (`tests/proptest_batch_fuzz.rs`) and the TCP fuzz suite
+//! (`tests/serve.rs`): garbage bytes, punctuation soup, deep nesting,
+//! truncated and type-mangled commands. Every generated line is
+//! newline-free, so it frames cleanly over both stdin and a socket.
+
+use crate::rng::Rng;
+
+/// Templates that are valid (or plausibly shaped) protocol lines before
+/// mutation.
+const TEMPLATES: &[&str] = &[
+    r#"{"cmd":"declare","var":"V1"}"#,
+    r#"{"cmd":"declare","con":"c","arity":1}"#,
+    r#"{"cmd":"add","lhs":"c","rhs":"V1","ann":["g"]}"#,
+    r#"{"cmd":"add","lhs":"V1","rhs":"V2"}"#,
+    r#"{"cmd":"query","what":"occurrences","var":"V1","con":"c"}"#,
+    r#"{"cmd":"push"}"#,
+    r#"{"cmd":"pop"}"#,
+    r#"{"cmd":"stats"}"#,
+    r#"{"cmd":"limits","max_steps":3}"#,
+    r#"{"cmd":"limits"}"#,
+];
+
+const GARBAGE_CHARS: &[char] = &[
+    '{', '}', '[', ']', '"', ':', ',', '\\', 'a', 'V', '0', '9', '-', '.', 'e', 'n', 't', 'f', ' ',
+    '\t', 'é', '∆', '\u{7f}', '\'', '/',
+];
+
+/// One adversarial protocol line: a random mix of garbage soup, deep
+/// nesting (exercising the JSON reader's depth cap), truncated or
+/// byte-mangled valid commands, and well-formed JSON of hostile shape.
+/// Never contains a newline. Deterministic per [`Rng`] stream.
+pub fn hostile_line(rng: &mut Rng) -> String {
+    match rng.gen_range(0..8) {
+        // Punctuation/garbage soup.
+        0 | 1 => (0..rng.gen_range(0..60))
+            .map(|_| *rng.choose(GARBAGE_CHARS))
+            .collect(),
+        // Deep nesting (would be a stack overflow without json's depth cap).
+        2 => {
+            let open = *rng.choose(&['[', '{']);
+            let mut s: String = std::iter::repeat_n(open, rng.gen_range(1..600)).collect();
+            if open == '{' {
+                s = s.replace('{', "{\"a\":");
+                s.push('1');
+            }
+            s
+        }
+        // Truncated valid command.
+        3 | 4 => {
+            let t = rng.choose(TEMPLATES);
+            let cut = rng.gen_range(0..t.len());
+            t.chars().take(cut).collect()
+        }
+        // Valid command with one random byte substituted.
+        5 | 6 => {
+            let t: Vec<char> = rng.choose(TEMPLATES).chars().collect();
+            let i = rng.gen_range(0..t.len());
+            let mut s = String::new();
+            for (j, c) in t.iter().enumerate() {
+                s.push(if j == i {
+                    *rng.choose(GARBAGE_CHARS)
+                } else {
+                    *c
+                });
+            }
+            s
+        }
+        // Valid JSON, hostile shape: wrong types, unknown commands.
+        _ => match rng.gen_range(0..5) {
+            0 => r#"{"cmd":5}"#.to_owned(),
+            1 => r#"{"cmd":"add","lhs":{},"rhs":[]}"#.to_owned(),
+            2 => format!(r#"{{"cmd":"{}"}}"#, "x".repeat(rng.gen_range(1..40))),
+            3 => r#"{"cmd":"limits","max_steps":-1}"#.to_owned(),
+            _ => format!(r#"{{"cmd":"declare","var":"{}"}}"#, "\\u0000"),
+        },
+    }
+}
+
+/// Whether the protocol treats `line` as silent (no response): blank, or
+/// a `#` comment.
+pub fn is_silent(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_are_newline_free_and_deterministic() {
+        let collect = || -> Vec<String> {
+            let mut rng = Rng::new(0xBADC_0FFE);
+            (0..500).map(|_| hostile_line(&mut rng)).collect()
+        };
+        let a = collect();
+        let b = collect();
+        assert_eq!(a, b, "deterministic per seed");
+        assert!(a.iter().all(|l| !l.contains('\n')), "newline-free");
+        // The generator covers several shapes, not just one.
+        assert!(a.iter().any(|l| l.len() > 100), "deep nesting present");
+        assert!(a.iter().any(|l| l.starts_with('{')), "JSON-ish present");
+    }
+
+    #[test]
+    fn silent_classification_matches_the_protocol() {
+        assert!(is_silent(""));
+        assert!(is_silent("   "));
+        assert!(is_silent("# comment"));
+        assert!(!is_silent("{}"));
+        assert!(!is_silent("x"));
+    }
+}

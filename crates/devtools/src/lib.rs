@@ -11,6 +11,8 @@
 //!   median/mean reporting;
 //! * [`FaultPlan`] — deterministic fault injection for the solver's
 //!   resource governor (trips a budget axis at the N-th solver step);
+//! * [`hostile`] — adversarial batch-protocol line generation, shared by
+//!   the stdin and TCP fuzz suites;
 //! * [`validate_chrome_trace`] — schema checker for the Chrome
 //!   trace-event files `rasc_obs::ChromeTraceSink` writes.
 
@@ -19,6 +21,7 @@
 
 mod bench;
 mod fault;
+pub mod hostile;
 mod prop;
 mod rng;
 mod trace_check;

@@ -60,6 +60,8 @@ use rasc_automata::{Alphabet, Dfa};
 use rasc_core::algebra::{Algebra, MonoidAlgebra};
 use rasc_core::{Budget, Clock, ConsId, Outcome, SetExpr, SolverConfig, VarId, Variance};
 
+use rasc_core::CancelToken;
+
 use crate::json::{obj, Json};
 use crate::session::Session;
 
@@ -119,6 +121,60 @@ impl Limits {
             && self.max_terms.is_none()
             && self.max_entries.is_none()
     }
+
+    /// The element-wise tightest combination of two limit sets: each axis
+    /// takes the smaller of the two caps (an unset axis imposes nothing).
+    fn min_with(&self, other: &Limits) -> Limits {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Limits {
+            max_steps: tighter(self.max_steps, other.max_steps),
+            max_millis: tighter(self.max_millis, other.max_millis),
+            max_terms: tighter(self.max_terms, other.max_terms),
+            max_entries: tighter(self.max_entries, other.max_entries),
+        }
+    }
+}
+
+/// Engine-wide resource caps imposed by the embedder (e.g. the serve
+/// layer's server-wide per-request limits), as opposed to the limits the
+/// client sets with the protocol `limits` command.
+///
+/// Caps *clamp* rather than replace: the budget applied to each `add` is
+/// the element-wise minimum of the caps and the client's own limits, so a
+/// client can tighten its budget but never escape the embedder's. While
+/// any cap is in force every `add` is transactional, exactly as with the
+/// `limits` command.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineCaps {
+    /// Worklist-step (fuel) cap per `add`.
+    pub max_steps: Option<u64>,
+    /// Wall-clock deadline per `add`, in milliseconds.
+    pub max_millis: Option<u64>,
+    /// Interned-term cap (variables + sources + sinks).
+    pub max_terms: Option<usize>,
+    /// Solved-form entry cap (edges plus lower and upper bounds).
+    pub max_entries: Option<usize>,
+}
+
+impl EngineCaps {
+    /// Caps with every axis unlimited.
+    pub fn unlimited() -> EngineCaps {
+        EngineCaps::default()
+    }
+
+    /// Whether no axis is capped.
+    pub fn is_unset(&self) -> bool {
+        self.max_steps.is_none()
+            && self.max_millis.is_none()
+            && self.max_terms.is_none()
+            && self.max_entries.is_none()
+    }
 }
 
 /// A stateful batch-protocol interpreter over one [`Session`].
@@ -129,6 +185,12 @@ pub struct BatchEngine {
     cons: HashMap<String, ConsId>,
     vars: HashMap<String, VarId>,
     limits: Limits,
+    /// Embedder-imposed caps clamping every budget (see [`EngineCaps`]).
+    caps: Limits,
+    /// Cooperative cancellation observed by every bounded `add` (wired by
+    /// the serve layer so disconnects and forced shutdown interrupt
+    /// in-flight solves).
+    cancel: Option<CancelToken>,
     /// Deadline time source for budgets (injectable for deterministic
     /// tests; `None` = the real monotonic clock).
     clock: Option<Arc<dyn Clock>>,
@@ -154,6 +216,8 @@ impl BatchEngine {
             cons: HashMap::new(),
             vars: HashMap::new(),
             limits: Limits::default(),
+            caps: Limits::default(),
+            cancel: None,
             clock: None,
         }
     }
@@ -167,6 +231,25 @@ impl BatchEngine {
     /// the fault-injection harness drive deadlines deterministically).
     pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
         self.clock = Some(clock);
+    }
+
+    /// Imposes embedder-wide resource caps on every `add` (see
+    /// [`EngineCaps`]): the client's `limits` command can tighten the
+    /// budget further but never loosen past these.
+    pub fn set_caps(&mut self, caps: EngineCaps) {
+        self.caps = Limits {
+            max_steps: caps.max_steps,
+            max_millis: caps.max_millis,
+            max_terms: caps.max_terms,
+            max_entries: caps.max_entries,
+        };
+    }
+
+    /// Attaches a cancellation token observed by every subsequent `add`:
+    /// once cancelled, in-flight solves roll back transactionally and
+    /// report `{"error":{"code":"budget_exhausted","reason":"cancelled"}}`.
+    pub fn set_cancel(&mut self, cancel: CancelToken) {
+        self.cancel = Some(cancel);
     }
 
     /// Handles one input line; `None` for blank/comment lines, otherwise
@@ -318,26 +401,32 @@ impl BatchEngine {
         ]))
     }
 
-    /// The budget for the next `add`, or `None` when no limit is set.
+    /// The budget for the next `add` — the client's `limits` clamped by
+    /// the embedder's caps, plus any cancellation token — or `None` when
+    /// nothing bounds the solve.
     fn current_budget(&self) -> Option<Budget> {
-        if self.limits.is_unset() {
+        let effective = self.limits.min_with(&self.caps);
+        if effective.is_unset() && self.cancel.is_none() {
             return None;
         }
         let mut b = Budget::unlimited();
-        if let Some(n) = self.limits.max_steps {
+        if let Some(n) = effective.max_steps {
             b = b.with_steps(n);
         }
-        if let Some(ms) = self.limits.max_millis {
+        if let Some(ms) = effective.max_millis {
             b = b.with_deadline_millis(ms);
         }
-        if let Some(n) = self.limits.max_terms {
+        if let Some(n) = effective.max_terms {
             b = b.with_max_terms(n);
         }
-        if let Some(n) = self.limits.max_entries {
+        if let Some(n) = effective.max_entries {
             b = b.with_max_entries(n);
         }
         if let Some(clock) = &self.clock {
             b = b.with_clock(Arc::clone(clock));
+        }
+        if let Some(cancel) = &self.cancel {
+            b = b.with_cancel(cancel.clone());
         }
         Some(b)
     }
@@ -807,6 +896,60 @@ mod tests {
             r#"{"cmd":"query","kind":"occurs","var":"W","cons":"c"}"#,
         );
         assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn engine_caps_clamp_client_limits() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"V0","ann":["g"]}"#);
+        for i in 0..8 {
+            let line = format!(r#"{{"cmd":"add","lhs":"V{i}","rhs":"V{}"}}"#, i + 1);
+            run(&mut e, &line);
+        }
+        // A server-wide cap of one step bounds the add even though the
+        // client asked for a generous budget of its own.
+        e.set_caps(EngineCaps {
+            max_steps: Some(1),
+            ..EngineCaps::default()
+        });
+        run(&mut e, r#"{"cmd":"limits","max_steps":1000000}"#);
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"V8","rhs":"W"}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        let err = r.get("error").unwrap();
+        assert_eq!(err.get("rolled_back").unwrap().as_bool(), Some(true));
+        // Clearing the client limits does not lift the cap either.
+        run(&mut e, r#"{"cmd":"limits"}"#);
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"V8","rhs":"W"}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        // Lifting the cap restores unbounded adds.
+        e.set_caps(EngineCaps::unlimited());
+        assert!(EngineCaps::unlimited().is_unset());
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"V8","rhs":"W"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+    }
+
+    #[test]
+    fn cancel_token_interrupts_and_rolls_back() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        let token = CancelToken::new();
+        e.set_cancel(token.clone());
+        // An uncancelled token leaves adds working (transactionally).
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        let before = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert_eq!(before.get("epoch_depth").unwrap().as_u64(), Some(0));
+        // Once cancelled, the next add is interrupted and rolled back.
+        token.cancel();
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y"}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        let err = r.get("error").unwrap();
+        assert_eq!(err.get("reason").unwrap().as_str(), Some("cancelled"));
+        let after = run(&mut e, r#"{"cmd":"stats"}"#);
+        for key in ["vars", "edges", "constraints"] {
+            assert_eq!(after.get(key), before.get(key), "{key} changed");
+        }
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //!
 //! * [`Session`] — incremental constraint addition, epoch-based rollback,
 //!   and a generation-stamped query cache;
-//! * [`BatchEngine`] — the JSON-lines batch protocol (`rasc batch`);
+//! * [`BatchEngine`] — the JSON-lines batch protocol (`rasc batch` and
+//!   the `rasc serve` connection layer), with [`EngineCaps`] for
+//!   embedder-imposed resource caps;
+//! * [`BatchEngine::run_stream`] — newline-delimited framing over any
+//!   `BufRead`/`Write` pair, flushing each response;
 //! * [`json`] — the minimal JSON reader/writer backing the protocol.
 
 #![forbid(unsafe_code)]
@@ -13,6 +17,7 @@
 mod batch;
 pub mod json;
 mod session;
+mod stream;
 
-pub use batch::BatchEngine;
+pub use batch::{BatchEngine, EngineCaps};
 pub use session::{CacheStats, Session};

@@ -1,0 +1,141 @@
+//! Newline-delimited framing for the batch protocol, separated from the
+//! [`BatchEngine`]'s command dispatch so every front-end — the `rasc
+//! batch` stdin/stdout CLI, the `rasc serve` TCP connection layer, tests
+//! driving an in-memory buffer — shares one loop with one contract:
+//!
+//! * each input line is handed to [`BatchEngine::handle_line`];
+//! * each response is written as one line and **flushed immediately**, so
+//!   pipe- and socket-driven clients see every answer as soon as it
+//!   exists (never parked in an intermediate `BufWriter` until EOF);
+//! * blank and `#`-comment lines produce no output, like the engine.
+
+use std::io::{self, BufRead, Write};
+
+use crate::batch::BatchEngine;
+
+impl BatchEngine {
+    /// Runs the engine over `input` until EOF, writing one response line
+    /// per command to `output` and flushing after every response.
+    ///
+    /// Protocol-level problems (malformed JSON, unknown commands, budget
+    /// exhaustion, …) are reported in-band by the engine and never end
+    /// the stream; only an I/O error on `input` or `output` returns
+    /// `Err`, and the engine stays usable afterwards.
+    pub fn run_stream<R: BufRead, W: Write>(&mut self, input: R, mut output: W) -> io::Result<()> {
+        for line in input.lines() {
+            self.handle_framed_line(&line?, &mut output)?;
+        }
+        Ok(())
+    }
+
+    /// Frames one request/response exchange: dispatches `line` and, if it
+    /// produced a response, writes it to `output` followed by a newline
+    /// and a flush. Returns whether a response was written.
+    ///
+    /// This is the single write-side contract shared by [`run_stream`]
+    /// and the serve layer (which owns its own read loop so it can
+    /// interleave shutdown polling and per-request accounting).
+    ///
+    /// [`run_stream`]: BatchEngine::run_stream
+    pub fn handle_framed_line<W: Write>(&mut self, line: &str, output: &mut W) -> io::Result<bool> {
+        match self.handle_line(line) {
+            Some(response) => {
+                output.write_all(response.as_bytes())?;
+                output.write_all(b"\n")?;
+                output.flush()?;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rasc_automata::{Alphabet, Dfa};
+
+    use super::*;
+
+    fn engine() -> BatchEngine {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let machine = Dfa::one_bit(&sigma, g, k);
+        BatchEngine::new(sigma, &machine)
+    }
+
+    /// A writer that records how many times it was flushed.
+    struct CountingWriter {
+        buf: Vec<u8>,
+        flushes: usize,
+    }
+
+    impl Write for CountingWriter {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.buf.write(data)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            self.flushes += 1;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn run_stream_answers_each_line_and_skips_comments() {
+        let input = concat!(
+            "# a comment\n",
+            "{\"cmd\":\"declare\",\"cons\":\"c\"}\n",
+            "\n",
+            "{\"cmd\":\"add\",\"lhs\":\"c\",\"rhs\":\"X\",\"ann\":[\"g\"]}\n",
+            "{\"cmd\":\"query\",\"kind\":\"occurs\",\"var\":\"X\",\"cons\":\"c\"}\n",
+            "not json\n",
+        );
+        let mut out = Vec::new();
+        let mut e = engine();
+        e.run_stream(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines[0].contains(r#""ok":"declare""#), "{text}");
+        assert!(lines[2].contains(r#""result":true"#), "{text}");
+        assert!(lines[3].contains(r#""code":"malformed_json""#), "{text}");
+    }
+
+    #[test]
+    fn every_response_is_flushed_immediately() {
+        let input = concat!(
+            "{\"cmd\":\"declare\",\"cons\":\"c\"}\n",
+            "# silent\n",
+            "{\"cmd\":\"stats\"}\n",
+        );
+        let mut out = CountingWriter {
+            buf: Vec::new(),
+            flushes: 0,
+        };
+        engine().run_stream(input.as_bytes(), &mut out).unwrap();
+        assert_eq!(out.flushes, 2, "one flush per response, none for comments");
+    }
+
+    #[test]
+    fn io_errors_surface_but_do_not_wedge_the_engine() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _data: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut e = engine();
+        let err = e
+            .run_stream(b"{\"cmd\":\"stats\"}\n".as_slice(), FailingWriter)
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        // The engine itself survives the sink dying.
+        let mut out = Vec::new();
+        e.run_stream(b"{\"cmd\":\"stats\"}\n".as_slice(), &mut out)
+            .unwrap();
+        assert!(String::from_utf8(out).unwrap().contains(r#""ok":"stats""#));
+    }
+}

@@ -1,0 +1,57 @@
+//! Concurrent constraint-solving server (`rasc-serve`).
+//!
+//! Serves the JSON-lines batch protocol of [`rasc_inc::BatchEngine`]
+//! over TCP — the online-analysis story of Kodumal & Aiken's engine
+//! (demand-driven queries against a persistent solved form) behind a
+//! stable service boundary, zero-dependency (std only) like the rest of
+//! the workspace:
+//!
+//! * **Session pools** — one incremental [`rasc_inc::Session`] per
+//!   connection, served by a bounded [`ThreadPool`] with a graceful
+//!   drain; connections are isolated (names, epochs, caches, budgets).
+//! * **Admission control** — a hard cap on concurrent connections and a
+//!   bounded worker queue; overload answers
+//!   `{"error":{"code":"overloaded",…}}` in-band and closes, instead of
+//!   queuing unboundedly.
+//! * **Resource governance** — server-wide per-request caps
+//!   ([`rasc_inc::EngineCaps`]) wired into every engine, plus a
+//!   [`rasc_core::CancelToken`] per connection so a stalled drain can
+//!   interrupt in-flight solves, which roll back transactionally.
+//! * **Graceful shutdown** — via [`ServerHandle::shutdown`] or the
+//!   in-band `{"cmd":"shutdown"}` admin command: the accept loop stops,
+//!   in-flight requests finish and their responses flush, then
+//!   connections close and workers join.
+//! * **Observability** — `rasc-obs` counters
+//!   (`serve.connections.opened/closed`, `serve.requests`,
+//!   `serve.rejected.overload`), a `serve.request.micros` latency
+//!   histogram, and per-connection/per-request spans, delivered to any
+//!   [`rasc_obs::EventSink`] given in [`ServeConfig::sink`].
+//!
+//! The protocol itself — commands, structured error codes, the guarantee
+//! that no input line ever kills a session — is exactly `rasc batch`'s;
+//! see [`rasc_inc::BatchEngine`]. A malformed or hostile line gets an
+//! in-band error on the same connection, which stays usable.
+//!
+//! ```no_run
+//! use rasc_automata::Alphabet;
+//! use rasc_automata::Dfa;
+//! use rasc_serve::{ServeConfig, Server};
+//!
+//! let mut sigma = Alphabet::new();
+//! let (g, k) = (sigma.intern("g"), sigma.intern("k"));
+//! let machine = Dfa::one_bit(&sigma, g, k);
+//! let server = Server::bind("127.0.0.1:0", sigma, &machine, ServeConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let report = server.run()?; // until a shutdown is initiated
+//! println!("served {} requests", report.requests);
+//! # std::io::Result::Ok(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod server;
+
+pub use pool::{Overloaded, ThreadPool};
+pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

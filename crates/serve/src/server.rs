@@ -1,0 +1,456 @@
+//! The TCP server: accept loop, admission control, per-connection
+//! sessions, and graceful drain.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rasc_automata::{Alphabet, Dfa};
+use rasc_core::{CancelToken, Clock};
+use rasc_inc::json::{obj, Json};
+use rasc_inc::{BatchEngine, EngineCaps};
+use rasc_obs::{self as obs, EventSink, ScopedSink};
+
+use crate::pool::ThreadPool;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Server-wide configuration: concurrency, admission control, and the
+/// per-request resource caps applied to every connection's engine.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads; each serves one connection at a time.
+    pub threads: usize,
+    /// Admission cap on connections being served or waiting for a worker.
+    /// Arrivals beyond it receive `{"error":{"code":"overloaded",…}}` and
+    /// are closed instead of queuing unboundedly.
+    pub max_connections: usize,
+    /// Per-request resource caps wired into every connection's
+    /// [`BatchEngine`] (the protocol `limits` command can tighten but
+    /// never exceed them).
+    pub caps: EngineCaps,
+    /// How often blocked reads and the accept loop re-check the shutdown
+    /// flag, in milliseconds — the upper bound on how long an *idle*
+    /// connection delays a drain.
+    pub poll_millis: u64,
+    /// If set, a drain that has not finished after this many milliseconds
+    /// fires every connection's [`CancelToken`], so runaway in-flight
+    /// solves roll back (reported in-band as `budget_exhausted` /
+    /// `cancelled`) instead of stalling shutdown forever.
+    pub drain_cancel_millis: Option<u64>,
+    /// Observability sink installed on every worker (and the accept
+    /// thread) for the server's counters, latency histograms, and
+    /// per-connection spans.
+    pub sink: Option<Arc<dyn EventSink>>,
+    /// Deadline time source injected into every engine (deterministic
+    /// tests; `None` = real monotonic clock).
+    pub clock: Option<Arc<dyn Clock>>,
+    /// Whether the in-band `{"cmd":"shutdown"}` admin command initiates a
+    /// graceful drain (the protocol answers `unknown_command` when off).
+    pub allow_shutdown_command: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 4,
+            max_connections: 64,
+            caps: EngineCaps::unlimited(),
+            poll_millis: 20,
+            drain_cancel_millis: None,
+            sink: None,
+            clock: None,
+            allow_shutdown_command: true,
+        }
+    }
+}
+
+/// Counters aggregated over one server lifetime, returned by
+/// [`Server::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeReport {
+    /// Connections accepted and served (including ones still counted
+    /// during drain).
+    pub connections: u64,
+    /// Requests answered across all connections.
+    pub requests: u64,
+    /// Connections refused by admission control.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    sigma: Alphabet,
+    dfa: Dfa,
+    config: ServeConfig,
+    draining: AtomicBool,
+    /// `(done, cv)`: flipped and broadcast once the server has fully
+    /// drained and stopped.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// Connections admitted and not yet finished (serving or queued).
+    active: AtomicUsize,
+    next_conn: AtomicU64,
+    /// In-flight connections' cancellation tokens, keyed by connection id
+    /// (fired by the drain watchdog).
+    cancels: Mutex<HashMap<u64, CancelToken>>,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// A cloneable handle for inspecting and stopping a running [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals a graceful shutdown and returns immediately: the accept
+    /// loop stops, in-flight requests complete, connections close.
+    pub fn begin_shutdown(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Signals a graceful shutdown and blocks until the server has fully
+    /// drained and stopped.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let mut done = lock(&self.shared.done);
+        while !*done {
+            done = self
+                .shared
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Whether a shutdown has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Connections currently admitted (serving or waiting for a worker).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+}
+
+/// A concurrent JSON-lines constraint-solving server: one
+/// [`rasc_inc::Session`] (inside a [`BatchEngine`]) per connection,
+/// served by a bounded [`ThreadPool`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    pool: ThreadPool,
+}
+
+impl Server {
+    /// Binds `addr` and prepares the worker pool. The server speaks the
+    /// batch protocol of [`BatchEngine`]; each connection gets a fresh
+    /// session over `machine`'s annotation monoid.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        sigma: Alphabet,
+        machine: &Dfa,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        // Queue capacity matches the admission cap, so a connection that
+        // passed admission is never refused by the pool.
+        let pool = ThreadPool::new(config.threads, config.max_connections.max(1));
+        let shared = Arc::new(Shared {
+            sigma,
+            dfa: machine.clone(),
+            config,
+            draining: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+            next_conn: AtomicU64::new(0),
+            cancels: Mutex::new(HashMap::new()),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        Ok(Server {
+            listener,
+            addr,
+            shared,
+            pool,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for stopping and inspecting the server from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs the accept loop on the calling thread until a shutdown is
+    /// initiated (via [`ServerHandle`] or the in-band `shutdown` admin
+    /// command), then drains: stops accepting, finishes in-flight
+    /// requests, closes connections, joins the workers, and wakes every
+    /// [`ServerHandle::shutdown`] waiter.
+    pub fn run(self) -> io::Result<ServeReport> {
+        let Server {
+            listener,
+            addr: _,
+            shared,
+            pool,
+        } = self;
+        let _sink_guard = shared
+            .config
+            .sink
+            .as_ref()
+            .map(|s| ScopedSink::install(Arc::clone(s)));
+        listener.set_nonblocking(true)?;
+        let poll = Duration::from_millis(shared.config.poll_millis.max(1));
+        while !shared.is_draining() {
+            match listener.accept() {
+                Ok((stream, _peer)) => admit(&shared, &pool, stream),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(poll),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                // Transient accept failures (EMFILE, aborted handshakes)
+                // must not kill the server.
+                Err(_) => std::thread::sleep(poll),
+            }
+        }
+        // Stop accepting, then drain. A watchdog fires every in-flight
+        // connection's CancelToken if the drain outlives its deadline.
+        drop(listener);
+        let watchdog = shared.config.drain_cancel_millis.map(|ms| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let deadline = Duration::from_millis(ms);
+                let started = Instant::now();
+                let mut done = lock(&shared.done);
+                while !*done {
+                    let Some(left) = deadline.checked_sub(started.elapsed()) else {
+                        drop(done);
+                        for token in lock(&shared.cancels).values() {
+                            token.cancel();
+                        }
+                        return;
+                    };
+                    let (guard, _timeout) = shared
+                        .done_cv
+                        .wait_timeout(done, left)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    done = guard;
+                }
+            })
+        });
+        pool.drain();
+        *lock(&shared.done) = true;
+        shared.done_cv.notify_all();
+        if let Some(w) = watchdog {
+            let _ = w.join();
+        }
+        Ok(ServeReport {
+            connections: shared.connections.load(Ordering::SeqCst),
+            requests: shared.requests.load(Ordering::SeqCst),
+            rejected: shared.rejected.load(Ordering::SeqCst),
+        })
+    }
+
+    /// Runs the server on a background thread, returning its handle and
+    /// the join handle yielding the final [`ServeReport`].
+    pub fn spawn(self) -> (ServerHandle, JoinHandle<io::Result<ServeReport>>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        (handle, join)
+    }
+}
+
+/// Decrements the active-connection count when the connection finishes —
+/// or when an admitted job is dropped unrun during shutdown.
+#[derive(Debug)]
+struct ConnTicket(Arc<Shared>);
+
+impl Drop for ConnTicket {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn admit(shared: &Arc<Shared>, pool: &ThreadPool, stream: TcpStream) {
+    if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+        obs::counter("serve.rejected.overload", 1);
+        reject_overloaded(stream);
+        return;
+    }
+    shared.active.fetch_add(1, Ordering::SeqCst);
+    let ticket = ConnTicket(Arc::clone(shared));
+    let shared_job = Arc::clone(shared);
+    let enqueued = pool.try_execute(move || {
+        let _ticket = ticket; // released when the connection finishes
+        handle_connection(&shared_job, stream);
+    });
+    // Admission passed, so the only way the pool refuses is a drain that
+    // began concurrently; the dropped job's ticket releases its slot and
+    // the stream simply closes.
+    if enqueued.is_err() {
+        shared.rejected.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Answers an un-admitted connection with a typed in-band error before
+/// closing it, so clients can tell overload from a network failure.
+fn reject_overloaded(stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut stream = stream;
+    let line = obj([(
+        "error",
+        obj([
+            ("code", Json::from("overloaded")),
+            (
+                "message",
+                Json::from("connection limit reached; retry later"),
+            ),
+        ]),
+    )])
+    .render();
+    let _ = stream.write_all(line.as_bytes());
+    let _ = stream.write_all(b"\n");
+    let _ = stream.flush();
+}
+
+/// Whether `line` is the in-band `{"cmd":"shutdown"}` admin command (the
+/// substring test is just a cheap pre-filter before parsing).
+fn is_shutdown_command(line: &str) -> bool {
+    line.contains("shutdown")
+        && Json::parse(line.trim())
+            .ok()
+            .and_then(|j| j.get("cmd").and_then(Json::as_str).map(str::to_owned))
+            .is_some_and(|cmd| cmd == "shutdown")
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _sink_guard = shared
+        .config
+        .sink
+        .as_ref()
+        .map(|s| ScopedSink::install(Arc::clone(s)));
+    let _span = obs::span("serve.connection");
+    obs::counter("serve.connections.opened", 1);
+    shared.connections.fetch_add(1, Ordering::SeqCst);
+
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::SeqCst);
+    let _ = stream.set_nodelay(true);
+    let poll = Duration::from_millis(shared.config.poll_millis.max(1));
+    let _ = stream.set_read_timeout(Some(poll));
+    let Ok(read_half) = stream.try_clone() else {
+        obs::counter("serve.connections.closed", 1);
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    let mut engine = BatchEngine::new(shared.sigma.clone(), &shared.dfa);
+    engine.set_caps(shared.config.caps);
+    if let Some(clock) = &shared.config.clock {
+        engine.set_clock(Arc::clone(clock));
+    }
+    let cancel = CancelToken::new();
+    engine.set_cancel(cancel.clone());
+    lock(&shared.cancels).insert(conn_id, cancel);
+
+    // One request line at a time. The buffer persists across read
+    // timeouts (a timed-out `read_line` keeps what it already consumed),
+    // so slow senders frame correctly while idle connections still
+    // notice a drain within one poll interval.
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                let request = std::mem::take(&mut line);
+                if !serve_request(shared, &mut engine, &request, &mut writer) {
+                    break;
+                }
+                // Finish the request just answered, then close: a drain
+                // never truncates an in-flight response.
+                if shared.is_draining() {
+                    break;
+                }
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.is_draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => break,
+        }
+    }
+
+    lock(&shared.cancels).remove(&conn_id);
+    obs::counter("serve.connections.closed", 1);
+}
+
+/// Handles one request line; returns `false` when the connection should
+/// close (client gone, or a shutdown command was honored).
+fn serve_request<W: Write>(
+    shared: &Arc<Shared>,
+    engine: &mut BatchEngine,
+    request: &str,
+    writer: &mut W,
+) -> bool {
+    if shared.config.allow_shutdown_command && is_shutdown_command(request) {
+        let response = obj([
+            ("ok", Json::from("shutdown")),
+            ("draining", Json::from(true)),
+        ])
+        .render();
+        let _ = writer.write_all(response.as_bytes());
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+        obs::counter("serve.shutdown_commands", 1);
+        shared.draining.store(true, Ordering::SeqCst);
+        return false;
+    }
+    let _span = obs::span("serve.request");
+    let started = Instant::now();
+    match engine.handle_framed_line(request, writer) {
+        Ok(true) => {
+            shared.requests.fetch_add(1, Ordering::SeqCst);
+            obs::counter("serve.requests", 1);
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            obs::histogram("serve.request.micros", micros);
+            true
+        }
+        Ok(false) => true, // blank/comment line
+        Err(_) => false,   // write failed: client is gone
+    }
+}

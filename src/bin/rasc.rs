@@ -8,6 +8,8 @@
 //! rasc spec       --spec FILE [--dot] [--monoid]
 //! rasc cfg        --program FILE [--dot]
 //! rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]
+//! rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits SPEC]
+//!                 [--max-connections N] [--trace FILE] [--profile]
 //! ```
 //!
 //! `check` verifies a §8-syntax property specification against a MiniImp
@@ -18,6 +20,13 @@
 //! flag writes a Chrome trace-event file (load it in Perfetto or
 //! `chrome://tracing`) and `--profile` prints an event-count summary to
 //! stderr when the stream ends.
+//!
+//! `serve` exposes the same protocol over TCP (one session per
+//! connection; see `rasc::serve`): `--threads` sizes the worker pool,
+//! `--max-connections` caps admission, and `--limits
+//! steps=N,millis=N,terms=N,entries=N` sets server-wide per-request
+//! resource caps. The server drains gracefully when any client sends
+//! `{"cmd":"shutdown"}`; `--trace`/`--profile` work as in `batch`.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -54,6 +63,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "spec" => spec_cmd(&opts),
         "cfg" => cfg_cmd(&opts),
         "batch" => batch(&opts),
+        "serve" => serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -70,7 +80,8 @@ fn usage() -> String {
      rasc points-to  --program FILE [--sets] [--alias X Y] [--stack-aware]\n  \
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
      rasc cfg        --program FILE [--dot]\n  \
-     rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)"
+     rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)\n  \
+     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--trace FILE] [--profile]"
         .to_owned()
 }
 
@@ -108,7 +119,8 @@ impl Opts {
 fn arity(cmd: &str, name: &str) -> usize {
     match name {
         "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
-        "trace" if cmd == "batch" => 1,
+        "trace" if cmd == "batch" || cmd == "serve" => 1,
+        "addr" | "threads" | "limits" | "max-connections" if cmd == "serve" => 1,
         "alias" => 2,
         _ => 0,
     }
@@ -320,10 +332,61 @@ fn points_to(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn batch(opts: &Opts) -> Result<(), String> {
-    use std::io::{BufRead, Write};
-    use std::sync::Arc;
+/// The `--trace`/`--profile` observability sinks shared by `batch` and
+/// `serve`: a Chrome trace-event collector, an in-memory recorder, and
+/// the single (possibly fanned-out) sink combining whichever were
+/// requested.
+struct ObsSetup {
+    chrome: Option<std::sync::Arc<rasc::obs::ChromeTraceSink>>,
+    recorder: Option<std::sync::Arc<rasc::obs::Recorder>>,
+    sink: Option<std::sync::Arc<dyn rasc::obs::EventSink>>,
+}
 
+impl ObsSetup {
+    fn from_opts(opts: &Opts) -> ObsSetup {
+        use std::sync::Arc;
+
+        use rasc::obs;
+
+        let chrome = opts
+            .value("trace")
+            .map(|_| Arc::new(obs::ChromeTraceSink::new()));
+        let recorder = opts.flag("profile").then(|| Arc::new(obs::Recorder::new()));
+        let mut sinks: Vec<Arc<dyn obs::EventSink>> = Vec::new();
+        if let Some(c) = &chrome {
+            sinks.push(Arc::clone(c) as Arc<dyn obs::EventSink>);
+        }
+        if let Some(r) = &recorder {
+            sinks.push(Arc::clone(r) as Arc<dyn obs::EventSink>);
+        }
+        let sink = match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => Some(Arc::new(obs::Fanout::new(sinks)) as Arc<dyn obs::EventSink>),
+        };
+        ObsSetup {
+            chrome,
+            recorder,
+            sink,
+        }
+    }
+
+    /// Saves the Chrome trace (if requested) and prints the recorder
+    /// summary (if requested) once the workload is done.
+    fn finish(&self, opts: &Opts) -> Result<(), String> {
+        if let (Some(sink), Some(path)) = (&self.chrome, opts.value("trace")) {
+            sink.save(std::path::Path::new(path))
+                .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
+            eprintln!("rasc: wrote {} trace events to {path}", sink.len());
+        }
+        if let Some(r) = &self.recorder {
+            eprint!("{}", r.report());
+        }
+        Ok(())
+    }
+}
+
+fn batch(opts: &Opts) -> Result<(), String> {
     use rasc::obs;
 
     let spec_text = read(opts.required("spec")?)?;
@@ -333,55 +396,99 @@ fn batch(opts: &Opts) -> Result<(), String> {
     // Observability: --trace collects a Chrome trace-event file,
     // --profile an in-memory event summary; both fan out to one scoped
     // sink so instrumentation costs nothing when neither is requested.
-    let chrome = opts
-        .value("trace")
-        .map(|_| Arc::new(obs::ChromeTraceSink::new()));
-    let recorder = opts.flag("profile").then(|| Arc::new(obs::Recorder::new()));
-    let mut sinks: Vec<Arc<dyn obs::EventSink>> = Vec::new();
-    if let Some(c) = &chrome {
-        sinks.push(Arc::clone(c) as Arc<dyn obs::EventSink>);
-    }
-    if let Some(r) = &recorder {
-        sinks.push(Arc::clone(r) as Arc<dyn obs::EventSink>);
-    }
-    let _guard = match sinks.len() {
-        0 => None,
-        1 => sinks.pop().map(obs::ScopedSink::install),
-        _ => Some(obs::ScopedSink::install(Arc::new(obs::Fanout::new(sinks)))),
-    };
+    let setup = ObsSetup::from_opts(opts);
+    let _guard = setup.sink.clone().map(obs::ScopedSink::install);
 
+    // The framing (one response line per command, flushed immediately so
+    // pipe-driven clients never wait on a buffer) is the library's
+    // `run_stream`, shared with the TCP serve layer.
     let mut engine = rasc::inc::BatchEngine::new(sigma, &dfa);
     let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    let mut process = |line: &str| -> Result<(), String> {
-        if let Some(response) = engine.handle_line(line) {
-            writeln!(out, "{response}").map_err(|e| e.to_string())?;
-        }
-        Ok(())
-    };
-    match opts.value("input") {
-        Some(path) => {
-            for line in read(path)?.lines() {
-                process(line)?;
-            }
-        }
+    let out = stdout.lock();
+    let result = match opts.value("input") {
+        Some(path) => engine.run_stream(read(path)?.as_bytes(), out),
         None => {
             let stdin = std::io::stdin();
-            for line in stdin.lock().lines() {
-                process(&line.map_err(|e| e.to_string())?)?;
+            engine.run_stream(stdin.lock(), out)
+        }
+    };
+    result.map_err(|e| e.to_string())?;
+
+    setup.finish(opts)
+}
+
+fn serve(opts: &Opts) -> Result<(), String> {
+    let spec_text = read(opts.required("spec")?)?;
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+
+    let addr = opts.value("addr").unwrap_or("127.0.0.1:7878");
+    let parse_num = |name: &str| -> Result<Option<usize>, String> {
+        opts.value(name)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| format!("--{name} expects a non-negative integer, got `{v}`"))
+            })
+            .transpose()
+    };
+
+    let mut config = rasc::serve::ServeConfig::default();
+    if let Some(n) = parse_num("threads")? {
+        config.threads = n.max(1);
+    }
+    if let Some(n) = parse_num("max-connections")? {
+        config.max_connections = n.max(1);
+    }
+    if let Some(spec) = opts.value("limits") {
+        config.caps = parse_limits(spec)?;
+    }
+
+    let setup = ObsSetup::from_opts(opts);
+    config.sink = setup.sink.clone();
+
+    let server = rasc::serve::Server::bind(addr, sigma, &dfa, config.clone())
+        .map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+    eprintln!(
+        "rasc: serving on {} ({} threads, max {} connections); \
+         send {{\"cmd\":\"shutdown\"}} to drain",
+        server.local_addr(),
+        config.threads,
+        config.max_connections
+    );
+    let report = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "rasc: drained — {} connections, {} requests, {} rejected",
+        report.connections, report.requests, report.rejected
+    );
+
+    setup.finish(opts)
+}
+
+/// Parses `--limits steps=N,millis=N,terms=N,entries=N` (any subset).
+fn parse_limits(spec: &str) -> Result<rasc::inc::EngineCaps, String> {
+    let mut caps = rasc::inc::EngineCaps::unlimited();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad --limits entry `{part}` (want key=value)"))?;
+        let n: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad --limits value in `{part}`"))?;
+        let as_usize = usize::try_from(n).unwrap_or(usize::MAX);
+        match key.trim() {
+            "steps" => caps.max_steps = Some(n),
+            "millis" => caps.max_millis = Some(n),
+            "terms" => caps.max_terms = Some(as_usize),
+            "entries" => caps.max_entries = Some(as_usize),
+            other => {
+                return Err(format!(
+                    "unknown --limits key `{other}` (want steps, millis, terms, or entries)"
+                ))
             }
         }
     }
-
-    if let (Some(sink), Some(path)) = (&chrome, opts.value("trace")) {
-        sink.save(std::path::Path::new(path))
-            .map_err(|e| format!("cannot write trace `{path}`: {e}"))?;
-        eprintln!("rasc: wrote {} trace events to {path}", sink.len());
-    }
-    if let Some(r) = &recorder {
-        eprint!("{}", r.report());
-    }
-    Ok(())
+    Ok(caps)
 }
 
 fn spec_cmd(opts: &Opts) -> Result<(), String> {

@@ -15,6 +15,8 @@
 //!   query caching, and the JSON-lines batch protocol.
 //! * [`obs`] — structured tracing and metrics: event sinks, scoped
 //!   installation, Chrome-trace export, and solver provenance.
+//! * [`serve`] — the concurrent JSON-lines TCP server: session pools,
+//!   admission control, and graceful drain (`rasc serve`).
 
 #![forbid(unsafe_code)]
 
@@ -28,5 +30,6 @@ pub use rasc_obs as obs;
 pub use rasc_pdmc as pdmc;
 pub use rasc_ptr as ptr;
 pub use rasc_pushdown as pushdown;
+pub use rasc_serve as serve;
 
 pub use rasc_inc::Session;

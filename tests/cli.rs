@@ -287,6 +287,50 @@ fn batch_trace_writes_a_valid_chrome_trace() {
 }
 
 #[test]
+fn batch_flushes_each_response_while_stdin_stays_open() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::Stdio;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rasc"))
+        .args(["batch", "--spec", "assets/specs/privilege.spec"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut stdin = child.stdin.take().unwrap();
+    let stdout = child.stdout.take().unwrap();
+
+    // A driver holding its pipe open must see each response as soon as
+    // it sends the command — not when the stream ends.
+    let (tx, rx) = mpsc::channel();
+    let reader = std::thread::spawn(move || {
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(Ok(line)) = lines.next() {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    for (cmd, expect) in [
+        (r#"{"cmd":"declare","cons":"pc"}"#, r#""ok":"declare""#),
+        (r#"{"cmd":"add","lhs":"pc","rhs":"Main"}"#, r#""ok":"add""#),
+    ] {
+        writeln!(stdin, "{cmd}").unwrap();
+        stdin.flush().unwrap();
+        let response = rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("response must arrive while stdin is still open");
+        assert!(response.contains(expect), "{response}");
+    }
+    drop(stdin);
+    reader.join().unwrap();
+    assert!(child.wait().unwrap().success());
+}
+
+#[test]
 fn batch_reports_protocol_errors_in_band() {
     use std::io::Write;
     use std::process::Stdio;

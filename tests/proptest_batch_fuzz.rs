@@ -8,6 +8,7 @@
 use rasc::automata::{Alphabet, Regex};
 use rasc::inc::json::Json;
 use rasc::inc::BatchEngine;
+use rasc_devtools::hostile::hostile_line;
 use rasc_devtools::Rng;
 
 const N_LINES: usize = 10_000;
@@ -16,72 +17,6 @@ fn engine() -> BatchEngine {
     let sigma = Alphabet::from_names(["g", "k"]);
     let dfa = Regex::parse("g (k g)*", &sigma).unwrap().compile(&sigma);
     BatchEngine::new(sigma, &dfa)
-}
-
-/// Templates that are valid protocol lines before mutation.
-const TEMPLATES: &[&str] = &[
-    r#"{"cmd":"declare","var":"V1"}"#,
-    r#"{"cmd":"declare","con":"c","arity":1}"#,
-    r#"{"cmd":"add","lhs":"c","rhs":"V1","ann":["g"]}"#,
-    r#"{"cmd":"add","lhs":"V1","rhs":"V2"}"#,
-    r#"{"cmd":"query","what":"occurrences","var":"V1","con":"c"}"#,
-    r#"{"cmd":"push"}"#,
-    r#"{"cmd":"pop"}"#,
-    r#"{"cmd":"stats"}"#,
-    r#"{"cmd":"limits","max_steps":3}"#,
-    r#"{"cmd":"limits"}"#,
-];
-
-const GARBAGE_CHARS: &[char] = &[
-    '{', '}', '[', ']', '"', ':', ',', '\\', 'a', 'V', '0', '9', '-', '.', 'e', 'n', 't', 'f', ' ',
-    '\t', 'é', '∆', '\u{7f}', '\'', '/',
-];
-
-fn hostile_line(rng: &mut Rng) -> String {
-    match rng.gen_range(0..8) {
-        // Punctuation/garbage soup.
-        0 | 1 => (0..rng.gen_range(0..60))
-            .map(|_| *rng.choose(GARBAGE_CHARS))
-            .collect(),
-        // Deep nesting (would be a stack overflow without json's depth cap).
-        2 => {
-            let open = *rng.choose(&['[', '{']);
-            let mut s: String = std::iter::repeat_n(open, rng.gen_range(1..600)).collect();
-            if open == '{' {
-                s = s.replace('{', "{\"a\":");
-                s.push('1');
-            }
-            s
-        }
-        // Truncated valid command.
-        3 | 4 => {
-            let t = rng.choose(TEMPLATES);
-            let cut = rng.gen_range(0..t.len());
-            t.chars().take(cut).collect()
-        }
-        // Valid command with one random byte substituted.
-        5 | 6 => {
-            let t: Vec<char> = rng.choose(TEMPLATES).chars().collect();
-            let i = rng.gen_range(0..t.len());
-            let mut s = String::new();
-            for (j, c) in t.iter().enumerate() {
-                s.push(if j == i {
-                    *rng.choose(GARBAGE_CHARS)
-                } else {
-                    *c
-                });
-            }
-            s
-        }
-        // Valid JSON, hostile shape: wrong types, unknown commands.
-        _ => match rng.gen_range(0..5) {
-            0 => r#"{"cmd":5}"#.to_owned(),
-            1 => r#"{"cmd":"add","lhs":{},"rhs":[]}"#.to_owned(),
-            2 => format!(r#"{{"cmd":"{}"}}"#, "x".repeat(rng.gen_range(1..40))),
-            3 => r#"{"cmd":"limits","max_steps":-1}"#.to_owned(),
-            _ => format!(r#"{{"cmd":"declare","var":"{}"}}"#, "\\u0000"),
-        },
-    }
 }
 
 #[test]
@@ -96,10 +31,7 @@ fn ten_thousand_hostile_lines_never_kill_the_stream() {
             1 => "# comment".to_owned(),
             _ => hostile_line(&mut rng),
         };
-        let expected_silent = {
-            let t = line.trim();
-            t.is_empty() || t.starts_with('#')
-        };
+        let expected_silent = rasc_devtools::hostile::is_silent(&line);
         match engine.handle_line(&line) {
             None => assert!(expected_silent, "line {i} swallowed: {line:?}"),
             Some(resp) => {

@@ -1,0 +1,330 @@
+//! Integration tests for `rasc-serve`: concurrent loopback clients,
+//! hostile input over TCP, admission control, and graceful shutdown
+//! with a request deterministically in flight.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use rasc::automata::{Alphabet, Dfa};
+use rasc::constraints::Clock;
+use rasc::inc::json::Json;
+use rasc::inc::EngineCaps;
+use rasc::serve::{ServeConfig, Server, ServerHandle};
+use rasc_devtools::SteppedClock;
+
+/// A connected client speaking one JSON line per request.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    line: String,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone")),
+            writer: BufWriter::new(stream),
+            line: String::new(),
+        }
+    }
+
+    fn send(&mut self, request: &str) {
+        self.writer.write_all(request.as_bytes()).expect("write");
+        self.writer.write_all(b"\n").expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Reads one response line; `None` on clean EOF.
+    fn recv(&mut self) -> Option<String> {
+        self.line.clear();
+        match self.reader.read_line(&mut self.line) {
+            Ok(0) => None,
+            Ok(_) => Some(self.line.trim_end().to_owned()),
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        self.send(request);
+        self.recv().expect("server closed unexpectedly")
+    }
+}
+
+fn spawn_server(config: ServeConfig) -> (ServerHandle, std::thread::JoinHandle<()>) {
+    let mut sigma = Alphabet::new();
+    let (g, k) = (sigma.intern("g"), sigma.intern("k"));
+    let machine = Dfa::one_bit(&sigma, g, k);
+    let server = Server::bind("127.0.0.1:0", sigma, &machine, config).expect("bind");
+    let (handle, join) = server.spawn();
+    let join = std::thread::spawn(move || {
+        join.join().expect("server thread").expect("server io");
+    });
+    (handle, join)
+}
+
+#[test]
+fn concurrent_clients_get_isolated_sessions() {
+    let (handle, join) = spawn_server(ServeConfig {
+        threads: 4,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Every client declares the same constructor name and builds a
+    // different system under it — no cross-talk is observable.
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let r = c.roundtrip(r#"{"cmd":"declare","cons":"pc"}"#);
+                assert!(r.contains(r#""ok":"declare""#), "client {i}: {r}");
+                // `g` drives the one-bit machine to its accepting state,
+                // so the occurrence is annotation-live.
+                let r = c.roundtrip(&format!(
+                    r#"{{"cmd":"add","lhs":"pc","rhs":"Var{i}","ann":["g"]}}"#
+                ));
+                assert!(r.contains(r#""ok":"add""#), "client {i}: {r}");
+                // Our own variable occurs; the neighbours' never do.
+                let r = c.roundtrip(&format!(
+                    r#"{{"cmd":"query","kind":"occurs","var":"Var{i}","cons":"pc"}}"#
+                ));
+                assert!(r.contains(r#""result":true"#), "client {i}: {r}");
+                let other = (i + 1) % 4;
+                let r = c.roundtrip(&format!(
+                    r#"{{"cmd":"query","kind":"occurs","var":"Var{other}","cons":"pc"}}"#
+                ));
+                assert!(
+                    r.contains(r#""code":"unknown_variable""#),
+                    "sessions must be isolated — client {i} saw {other}'s state: {r}"
+                );
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client");
+    }
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+#[test]
+fn hostile_tcp_input_never_kills_the_connection() {
+    let (handle, join) = spawn_server(ServeConfig::default());
+    let addr = handle.addr();
+
+    let mut rng = rasc_devtools::Rng::new(0xfeed_beef);
+    let mut c = Client::connect(addr);
+    let mut expected = 0usize;
+    let mut got = 0usize;
+    for _ in 0..400 {
+        let line = rasc_devtools::hostile::hostile_line(&mut rng);
+        c.send(&line);
+        if !rasc_devtools::hostile::is_silent(&line) {
+            expected += 1;
+            let response = c.recv().expect("connection must survive hostile input");
+            let parsed = Json::parse(&response).expect("responses are valid JSON");
+            assert!(
+                parsed.get("ok").is_some() || parsed.get("error").is_some(),
+                "every response is a typed ok/error: {response}"
+            );
+            got += 1;
+        }
+    }
+    assert_eq!(got, expected);
+
+    // The same connection still serves well-formed requests afterwards.
+    let r = c.roundtrip(r#"{"cmd":"stats"}"#);
+    assert!(r.contains(r#""ok":"stats""#), "{r}");
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+#[test]
+fn overload_is_a_typed_in_band_error() {
+    let (handle, join) = spawn_server(ServeConfig {
+        threads: 1,
+        max_connections: 1,
+        poll_millis: 5,
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Client A occupies the only slot (a completed round-trip proves it
+    // was admitted, not merely connected).
+    let mut a = Client::connect(addr);
+    let r = a.roundtrip(r#"{"cmd":"declare","cons":"pc"}"#);
+    assert!(r.contains(r#""ok":"declare""#), "{r}");
+
+    // Client B is refused with a typed error, then EOF.
+    let mut b = Client::connect(addr);
+    let refusal = b.recv().expect("overload answers in-band before closing");
+    let parsed = Json::parse(&refusal).expect("refusal is valid JSON");
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("overloaded"),
+        "{refusal}"
+    );
+    assert_eq!(b.recv(), None, "refused connections close after the error");
+
+    // Client A is unaffected.
+    let r = a.roundtrip(r#"{"cmd":"add","lhs":"pc","rhs":"Main"}"#);
+    assert!(r.contains(r#""ok":"add""#), "{r}");
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+#[test]
+fn per_request_caps_clamp_client_limits() {
+    let (handle, join) = spawn_server(ServeConfig {
+        caps: EngineCaps {
+            max_steps: Some(1),
+            ..EngineCaps::unlimited()
+        },
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr);
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains("ok"));
+    // The client asks for a huge budget; the server-wide cap wins. A
+    // growing chain makes each add dearer until the one-step cap bites,
+    // and the failing add rolls back transactionally.
+    assert!(c
+        .roundtrip(r#"{"cmd":"limits","max_steps":1000000}"#)
+        .contains(r#""ok":"limits""#));
+    let mut requests = vec![r#"{"cmd":"add","lhs":"pc","rhs":"V0","ann":["g"]}"#.to_owned()];
+    for i in 0..10 {
+        requests.push(format!(
+            r#"{{"cmd":"add","lhs":"V{i}","rhs":"V{}","ann":["g"]}}"#,
+            i + 1
+        ));
+    }
+    let mut clamped = false;
+    for req in &requests {
+        let r = c.roundtrip(req);
+        if r.contains(r#""code":"budget_exhausted""#) {
+            assert!(r.contains(r#""rolled_back":true"#), "{r}");
+            clamped = true;
+            break;
+        }
+        assert!(r.contains(r#""ok":"add""#), "{r}");
+    }
+    assert!(
+        clamped,
+        "a one-step server cap must clamp the client's million-step budget"
+    );
+    // The connection survives the refusal.
+    assert!(c
+        .roundtrip(r#"{"cmd":"stats"}"#)
+        .contains(r#""ok":"stats""#));
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+/// A [`Clock`] that signals when first consulted, then blocks until
+/// released — making "a request is in flight on a worker" a
+/// deterministic state instead of a sleep-based race.
+#[derive(Debug)]
+struct GateClock {
+    entered: mpsc::Sender<()>,
+    gate: Arc<(Mutex<bool>, Condvar)>,
+    signalled: AtomicBool,
+    inner: SteppedClock,
+}
+
+impl Clock for GateClock {
+    fn now_millis(&self) -> u64 {
+        if !self.signalled.swap(true, Ordering::SeqCst) {
+            let _ = self.entered.send(());
+            let (open, cv) = &*self.gate;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }
+        self.inner.now_millis()
+    }
+}
+
+#[test]
+fn graceful_shutdown_drains_the_in_flight_request() {
+    let (entered_tx, entered_rx) = mpsc::channel();
+    let gate = Arc::new((Mutex::new(false), Condvar::new()));
+    let clock = Arc::new(GateClock {
+        entered: entered_tx,
+        gate: Arc::clone(&gate),
+        signalled: AtomicBool::new(false),
+        inner: SteppedClock::default(),
+    });
+    // A (huge) deadline cap makes every add consult the clock when its
+    // budget starts — which is where the gate holds the request open.
+    let (handle, join) = spawn_server(ServeConfig {
+        threads: 2,
+        poll_millis: 5,
+        caps: EngineCaps {
+            max_millis: Some(u64::MAX / 4),
+            ..EngineCaps::unlimited()
+        },
+        clock: Some(clock),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Client A's add blocks on the gate inside its budget — in flight.
+    let mut a = Client::connect(addr);
+    a.send(r#"{"cmd":"declare","cons":"pc"}"#);
+    a.send(r#"{"cmd":"add","lhs":"pc","rhs":"Main"}"#);
+    entered_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("the add must reach its budget's clock");
+
+    // Client B issues the in-band shutdown command.
+    let mut b = Client::connect(addr);
+    let r = b.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert!(
+        r.contains(r#""ok":"shutdown""#) && r.contains(r#""draining":true"#),
+        "{r}"
+    );
+    assert_eq!(b.recv(), None, "the admin connection closes after the ack");
+    assert!(handle.is_draining());
+
+    // Release the gate: the in-flight request completes and its full
+    // response is delivered before the connection closes.
+    {
+        let (open, cv) = &*gate;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    let declare = a.recv().expect("queued declare answered");
+    assert!(declare.contains(r#""ok":"declare""#), "{declare}");
+    let add = a
+        .recv()
+        .expect("a drain never truncates an in-flight response");
+    assert!(add.contains(r#""ok":"add""#), "{add}");
+    assert_eq!(a.recv(), None, "the drained connection then closes");
+
+    join.join().expect("server joins");
+    // The listener is gone: new connections are refused.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "a drained server must not accept new connections"
+    );
+}
