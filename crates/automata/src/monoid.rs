@@ -283,6 +283,99 @@ impl Monoid {
     pub fn repr_fn(&self, f: FnId) -> &ReprFn {
         &self.fns[f.index()]
     }
+
+    /// The per-symbol generators `f_σ`, indexed by symbol.
+    pub fn generators(&self) -> &[FnId] {
+        &self.generators
+    }
+
+    /// Rebuilds a monoid from previously exported parts (see the snapshot
+    /// subsystem in `rasc-core`). The memo table starts empty and the
+    /// monoid is treated as unclosed — compositions re-memoize on demand,
+    /// which keeps the export format small and order-independent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found:
+    /// out-of-range state images, identity/generator ids out of range, an
+    /// identity that is not the identity function, duplicate functions, or
+    /// a wrong-length image vector.
+    pub fn from_parts(
+        n_states: usize,
+        start_index: usize,
+        accepting: Vec<bool>,
+        fn_images: Vec<Vec<u32>>,
+        identity_index: usize,
+        generator_indices: &[u32],
+    ) -> Result<Monoid, String> {
+        if accepting.len() != n_states {
+            return Err(format!(
+                "accepting vector has {} entries for {} states",
+                accepting.len(),
+                n_states
+            ));
+        }
+        if start_index >= n_states {
+            return Err(format!(
+                "start state {start_index} out of range ({n_states} states)"
+            ));
+        }
+        let mut fns = Vec::with_capacity(fn_images.len());
+        let mut by_fn = HashMap::with_capacity(fn_images.len());
+        for (i, images) in fn_images.into_iter().enumerate() {
+            if images.len() != n_states {
+                return Err(format!(
+                    "function {i} has {} images for {} states",
+                    images.len(),
+                    n_states
+                ));
+            }
+            if let Some(&bad) = images.iter().find(|&&s| s as usize >= n_states) {
+                return Err(format!("function {i} maps to state {bad} out of range"));
+            }
+            let f = ReprFn(images);
+            let id = FnId(crate::id_u32(fns.len(), "monoid functions"));
+            if by_fn.insert(f.clone(), id).is_some() {
+                return Err(format!("function {i} duplicates an earlier function"));
+            }
+            fns.push(f);
+        }
+        if identity_index >= fns.len() {
+            return Err(format!(
+                "identity id {identity_index} out of range ({} functions)",
+                fns.len()
+            ));
+        }
+        if fns[identity_index]
+            .0
+            .iter()
+            .enumerate()
+            .any(|(s, &img)| s as u32 != img)
+        {
+            return Err(format!("function {identity_index} is not the identity"));
+        }
+        let mut generators = Vec::with_capacity(generator_indices.len());
+        for &g in generator_indices {
+            if g as usize >= fns.len() {
+                return Err(format!(
+                    "generator id {g} out of range ({} functions)",
+                    fns.len()
+                ));
+            }
+            generators.push(FnId(g));
+        }
+        Ok(Monoid {
+            n_states,
+            start: StateId(crate::id_u32(start_index, "machine states")),
+            accepting,
+            fns,
+            by_fn,
+            identity: FnId(crate::id_u32(identity_index, "monoid functions")),
+            generators,
+            memo: HashMap::new(),
+            closed: false,
+        })
+    }
 }
 
 /// Builds the paper's Figure 2 adversarial machine over `n` states, whose
@@ -412,6 +505,69 @@ mod tests {
             assert_eq!(monoid.compose(e, f), f);
             assert_eq!(monoid.compose(f, e), f);
         }
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let (sigma, dfa) = one_bit();
+        let mut monoid = Monoid::of_dfa(&dfa);
+        let parts: Vec<Vec<u32>> = monoid
+            .fn_ids()
+            .map(|f| {
+                monoid
+                    .repr_fn(f)
+                    .images()
+                    .map(|s| s.index() as u32)
+                    .collect()
+            })
+            .collect();
+        let accepting: Vec<bool> = (0..monoid.n_states())
+            .map(|i| monoid.state_accepting(StateId(i as u32)))
+            .collect();
+        let gens: Vec<u32> = monoid
+            .generators()
+            .iter()
+            .map(|g| g.index() as u32)
+            .collect();
+        let mut rebuilt = Monoid::from_parts(
+            monoid.n_states(),
+            monoid.start_state().index(),
+            accepting.clone(),
+            parts.clone(),
+            monoid.identity().index(),
+            &gens,
+        )
+        .expect("valid parts");
+        assert_eq!(rebuilt.len(), monoid.len());
+        let g = sigma.lookup("g").unwrap();
+        let k = sigma.lookup("k").unwrap();
+        for word in [vec![], vec![g], vec![g, k], vec![k, g, g]] {
+            let a = monoid.of_word(&word);
+            let b = rebuilt.of_word(&word);
+            assert_eq!(monoid.is_accepting(a), rebuilt.is_accepting(b), "{word:?}");
+        }
+        // Validation failures are typed errors, not panics.
+        assert!(Monoid::from_parts(2, 5, vec![true, false], parts.clone(), 0, &gens).is_err());
+        assert!(
+            Monoid::from_parts(2, 0, vec![true, false], vec![vec![0, 9]], 0, &[]).is_err(),
+            "out-of-range image"
+        );
+        assert!(
+            Monoid::from_parts(2, 0, vec![true, false], vec![vec![1, 0]], 0, &[]).is_err(),
+            "identity that is not the identity"
+        );
+        assert!(
+            Monoid::from_parts(
+                2,
+                0,
+                vec![true, false],
+                vec![vec![0, 1], vec![0, 1]],
+                0,
+                &[]
+            )
+            .is_err(),
+            "duplicate function"
+        );
     }
 
     #[test]

@@ -69,6 +69,40 @@ pub fn ladder(width: usize, len: usize, sigma: &Alphabet, seed: u64) -> EdgeList
     }
 }
 
+/// A dense random digraph: every variable gets `out_degree` outgoing
+/// edges with random single-symbol annotations, the first of which chains
+/// to the next variable so the whole graph is one reachable cycle. High
+/// out-degree makes the solver examine ~`out_degree` candidate facts for
+/// every annotation class that lands in the solved form, so cold solving
+/// costs far more than the solved form's size — the regime where a warm
+/// restart (linear in the solved form) beats cold replay by the widest
+/// margin (see `snapshot_restore`).
+pub fn dense(n_vars: usize, out_degree: usize, sigma: &Alphabet, seed: u64) -> EdgeListWorkload {
+    let mut rng = Rng::new(seed);
+    let syms: Vec<SymbolId> = sigma.symbols().collect();
+    let mut edges = Vec::with_capacity(n_vars * out_degree);
+    for v in 0..n_vars {
+        edges.push((
+            v,
+            (v + 1) % n_vars,
+            vec![syms[rng.gen_range(0..syms.len())]],
+        ));
+        for _ in 1..out_degree {
+            edges.push((
+                v,
+                rng.gen_range(0..n_vars),
+                vec![syms[rng.gen_range(0..syms.len())]],
+            ));
+        }
+    }
+    EdgeListWorkload {
+        n_vars,
+        edges,
+        source: 0,
+        sink: n_vars - 1,
+    }
+}
+
 /// Builds (without solving) a constructor-heavy chain system: a probe
 /// constant at `v0`, then `stages` wrap/project pairs
 /// `o(v_{2i}) ⊆ v_{2i+1}`, `o⁻¹(v_{2i+1}) ⊆ v_{2i+2}` — each stage forces

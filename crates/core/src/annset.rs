@@ -102,6 +102,15 @@ impl AnnSet {
         }
     }
 
+    /// Builds a set from an already-sorted, duplicate-free vec, landing on
+    /// the same tier an equivalent insert-by-insert sequence would have
+    /// reached (hash shadow iff past the promote threshold).
+    pub(crate) fn from_sorted(sorted: Vec<AnnId>) -> AnnSet {
+        debug_assert!(sorted.windows(2).all(|w| w[0] < w[1]));
+        let hash = (sorted.len() > ANNSET_PROMOTE_LEN).then(|| sorted.iter().copied().collect());
+        AnnSet { sorted, hash }
+    }
+
     pub(crate) fn len(&self) -> usize {
         self.sorted.len()
     }
@@ -212,6 +221,63 @@ impl<K: Copy + Eq + std::hash::Hash> AnnMap<K> {
     }
 }
 
+impl<K: Copy + Eq + Ord + std::hash::Hash> AnnMap<K> {
+    /// Bulk-loads an insertion-ordered entry log into an empty map.
+    /// Structurally identical to replaying [`AnnMap::insert_with`] entry by
+    /// entry, but groups entries with one key sort instead of paying one
+    /// hash probe plus one sorted-vec shift per entry — the snapshot
+    /// *restore* hot path, where the whole solved form streams back in at
+    /// once. `on_new_key` fires once per distinct key, in first-appearance
+    /// order (the same order incremental inserts would have fired it).
+    ///
+    /// Returns `false` on a duplicate `(key, ann)` pair; the map contents
+    /// are unspecified after a failure (restore discards the system), but
+    /// internally consistent.
+    pub(crate) fn load_log<F: FnMut(K)>(
+        &mut self,
+        entries: Vec<(K, AnnId)>,
+        mut on_new_key: F,
+    ) -> bool {
+        debug_assert!(self.entries.is_empty() && self.index.is_empty());
+        if entries.is_empty() {
+            return true;
+        }
+        // Stable grouping: sort positions by (key, position) so each key's
+        // annotations stay in appearance order and ties keep the first
+        // appearance first.
+        let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| (entries[i as usize].0, i));
+        // Keys surface in sorted order here, but `on_new_key` is specified
+        // (and relied upon by the per-constructor buckets) to fire in
+        // first-appearance order, so collect and re-sort by position.
+        let mut new_keys: Vec<(u32, K)> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let key = entries[order[i] as usize].0;
+            let start = i;
+            while i < order.len() && entries[order[i] as usize].0 == key {
+                i += 1;
+            }
+            let mut anns: Vec<AnnId> = order[start..i]
+                .iter()
+                .map(|&j| entries[j as usize].1)
+                .collect();
+            anns.sort_unstable();
+            if anns.windows(2).any(|w| w[0] == w[1]) {
+                return false;
+            }
+            new_keys.push((order[start], key));
+            self.index.insert(key, AnnSet::from_sorted(anns));
+        }
+        new_keys.sort_unstable_by_key(|&(pos, _)| pos);
+        for &(_, key) in &new_keys {
+            on_new_key(key);
+        }
+        self.entries = entries;
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +305,41 @@ mod tests {
         }
         assert!(s.is_empty());
         assert!(s.hash.is_none(), "emptied set demoted");
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_inserts() {
+        // A log with interleaved keys, enough entries on key 1 to cross the
+        // promote threshold, and first appearances out of key order.
+        let mut log: Vec<(u32, AnnId)> = Vec::new();
+        for i in 0..(ANNSET_PROMOTE_LEN as u32 + 4) {
+            log.push((1, ann(100 + (i * 13) % 29)));
+        }
+        log.insert(1, (7, ann(3)));
+        log.insert(3, (0, ann(9)));
+        log.push((7, ann(1)));
+
+        let mut incremental: AnnMap<u32> = AnnMap::default();
+        let mut inc_keys = Vec::new();
+        for &(k, a) in &log {
+            incremental.insert_with(k, a, || inc_keys.push(k));
+        }
+        let mut bulk: AnnMap<u32> = AnnMap::default();
+        let mut bulk_keys = Vec::new();
+        assert!(bulk.load_log(log.clone(), |k| bulk_keys.push(k)));
+
+        assert_eq!(bulk.entries(), incremental.entries());
+        assert_eq!(bulk_keys, inc_keys, "new-key hook order preserved");
+        for k in [0u32, 1, 7] {
+            let (b, i) = (bulk.get(k).unwrap(), incremental.get(k).unwrap());
+            assert_eq!(b.as_slice(), i.as_slice());
+            assert_eq!(b.hash.is_some(), i.hash.is_some(), "same tier on key {k}");
+        }
+
+        let mut dup = log.clone();
+        dup.push(dup[0]);
+        let mut rejecting: AnnMap<u32> = AnnMap::default();
+        assert!(!rejecting.load_log(dup, |_| {}), "duplicate pair rejected");
     }
 
     #[test]

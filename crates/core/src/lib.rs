@@ -74,6 +74,7 @@ pub mod forward;
 mod pattern;
 mod provenance;
 mod query;
+pub mod snapshot;
 mod solver;
 mod term;
 
@@ -83,6 +84,7 @@ pub use error::{CoreError, Result};
 pub use pattern::{AnnPred, TermPattern};
 pub use provenance::ExplainStep;
 pub use query::OccurrenceWitness;
+pub use snapshot::{SnapshotAlgebra, SnapshotError};
 pub use solver::{Clash, SolverConfig, SolverStats, System, VarId};
 pub use term::{ConsId, Constructor, GroundTerm, Variance};
 

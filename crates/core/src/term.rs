@@ -9,6 +9,12 @@ use crate::algebra::AnnId;
 pub struct ConsId(pub(crate) u32);
 
 impl ConsId {
+    /// Builds a constructor id from a raw index. The caller must ensure
+    /// the index is valid for the system it will be used with.
+    pub fn from_index(index: usize) -> ConsId {
+        ConsId(crate::id_u32(index, "constructor index"))
+    }
+
     /// The constructor's index within its system.
     pub fn index(self) -> usize {
         self.0 as usize

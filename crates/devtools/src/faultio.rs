@@ -1,0 +1,291 @@
+//! Deterministic IO fault injection for the snapshot subsystem.
+//!
+//! An [`IoFaultPlan`] names a byte-level failure mode and an offset;
+//! materializing it wraps a byte sink in a [`FaultyWriter`] that fails
+//! exactly there, or corrupts already-written bytes the way a torn or
+//! bit-rotted file would look on disk. Everything is deterministic, so
+//! property tests composing plans with [`crate::forall`] replay
+//! bit-for-bit from a seed.
+//!
+//! Crash points around the atomic-rename protocol are modeled as the
+//! on-disk states that protocol can actually leave behind
+//! ([`IoFaultPlan::crash_state`]): a crash *before* the rename leaves the
+//! old snapshot plus a stray partial `.tmp`; a crash *after* leaves the
+//! new snapshot. There is deliberately no in-between — that is the whole
+//! point of write-then-rename — and the recovery suite asserts loads see
+//! exactly one of those two worlds.
+
+use std::io::{self, Write};
+
+use crate::rng::Rng;
+
+/// Which IO failure mode an [`IoFaultPlan`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The sink accepts only a prefix: writes at the offset report
+    /// `Ok(0)`-style short progress and then fail with `WriteZero`.
+    ShortWrite,
+    /// The device fills up: writes at the offset fail with an
+    /// out-of-space error (`ENOSPC`-shaped).
+    Enospc,
+    /// The file is truncated to the offset after a seemingly complete
+    /// write — a torn snapshot as left by a crash mid-write.
+    Truncation,
+    /// One bit at the offset flips — silent media corruption.
+    BitFlip,
+    /// The process dies before the temp file is renamed over the target:
+    /// the previous snapshot survives, a partial `.tmp` litters the
+    /// directory.
+    CrashBeforeRename,
+    /// The process dies just after the rename: the new snapshot is fully
+    /// durable.
+    CrashAfterRename,
+}
+
+/// Durable `(target, tmp)` file contents after a modeled crash: the
+/// surviving snapshot (if any) and the stray partial `.tmp` (if any).
+/// See [`IoFaultPlan::crash_state`].
+pub type CrashState<'a> = (Option<&'a [u8]>, Option<Vec<u8>>);
+
+/// A deterministic IO fault: a failure mode and the byte offset at which
+/// it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoFaultPlan {
+    /// The failure mode to inject.
+    pub kind: IoFaultKind,
+    /// Byte offset at which the fault strikes (clamped to the data's
+    /// length where it must land inside it).
+    pub at_byte: usize,
+}
+
+impl IoFaultPlan {
+    /// A plan injecting `kind` at byte `at_byte`.
+    pub fn new(kind: IoFaultKind, at_byte: usize) -> IoFaultPlan {
+        IoFaultPlan { kind, at_byte }
+    }
+
+    /// Draws a random plan (uniform kind, offset in `0..max_byte`) for
+    /// the [`crate::forall`] harness.
+    pub fn arbitrary(rng: &mut Rng, max_byte: usize) -> IoFaultPlan {
+        let kind = match rng.gen_range(0..6) {
+            0 => IoFaultKind::ShortWrite,
+            1 => IoFaultKind::Enospc,
+            2 => IoFaultKind::Truncation,
+            3 => IoFaultKind::BitFlip,
+            4 => IoFaultKind::CrashBeforeRename,
+            _ => IoFaultKind::CrashAfterRename,
+        };
+        IoFaultPlan::new(kind, rng.gen_range(0..max_byte.max(1)))
+    }
+
+    /// Whether the plan's mode fails the write itself (`ShortWrite`,
+    /// `Enospc`) as opposed to corrupting bytes at rest or simulating a
+    /// crash around the rename.
+    pub fn fails_write(&self) -> bool {
+        matches!(self.kind, IoFaultKind::ShortWrite | IoFaultKind::Enospc)
+    }
+
+    /// Applies an at-rest corruption to a fully written snapshot:
+    /// truncates at the offset or flips one bit there. Returns `None`
+    /// for modes that do not corrupt bytes at rest.
+    pub fn corrupt(&self, bytes: &[u8]) -> Option<Vec<u8>> {
+        match self.kind {
+            IoFaultKind::Truncation => Some(bytes[..self.at_byte.min(bytes.len())].to_vec()),
+            IoFaultKind::BitFlip if !bytes.is_empty() => {
+                let mut out = bytes.to_vec();
+                let i = self.at_byte % out.len();
+                out[i] ^= 1 << (self.at_byte % 8);
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// The durable on-disk state after a crash at this plan's point in
+    /// the write-temp/fsync/rename protocol, as `(target, tmp)` file
+    /// contents: `old` is the pre-existing snapshot (if any), `new` the
+    /// snapshot being written. Returns `None` for non-crash modes.
+    pub fn crash_state<'a>(&self, old: Option<&'a [u8]>, new: &'a [u8]) -> Option<CrashState<'a>> {
+        match self.kind {
+            IoFaultKind::CrashBeforeRename => {
+                // The tmp file holds whatever prefix reached the disk.
+                let tmp = new[..self.at_byte.min(new.len())].to_vec();
+                Some((old, Some(tmp)))
+            }
+            IoFaultKind::CrashAfterRename => Some((Some(new), None)),
+            _ => None,
+        }
+    }
+}
+
+impl crate::prop::Shrink for IoFaultPlan {
+    fn shrink(&self) -> Vec<IoFaultPlan> {
+        let mut out: Vec<IoFaultPlan> = self
+            .at_byte
+            .shrink()
+            .into_iter()
+            .map(|b| IoFaultPlan::new(self.kind, b))
+            .collect();
+        // Truncation is the simplest corruption; prefer it.
+        if self.kind != IoFaultKind::Truncation {
+            out.push(IoFaultPlan::new(IoFaultKind::Truncation, self.at_byte));
+        }
+        out
+    }
+}
+
+/// An `io::Write` that injects a planned fault at an exact byte offset —
+/// accepting bytes before it, then short-writing or failing like a full
+/// disk. Non-write-failing plans pass everything through.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    plan: IoFaultPlan,
+    written: usize,
+    tripped: bool,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` so `plan` strikes at its offset.
+    pub fn new(inner: W, plan: IoFaultPlan) -> FaultyWriter<W> {
+        FaultyWriter {
+            inner,
+            plan,
+            written: 0,
+            tripped: false,
+        }
+    }
+
+    /// Bytes successfully accepted before (or without) the fault.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Whether the planned fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// Unwraps the inner sink (holding whatever prefix was accepted).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !self.plan.fails_write() {
+            let n = self.inner.write(buf)?;
+            self.written += n;
+            return Ok(n);
+        }
+        if self.written >= self.plan.at_byte {
+            self.tripped = true;
+            return match self.plan.kind {
+                IoFaultKind::Enospc => Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected fault: no space left on device",
+                )),
+                _ => Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "injected fault: sink accepts no more bytes",
+                )),
+            };
+        }
+        // Accept only up to the fault offset; the caller's retry of the
+        // remainder then trips the fault (exactly how a real short write
+        // surfaces through `write_all`).
+        let room = self.plan.at_byte - self.written;
+        let n = buf.len().min(room.max(1));
+        let n = self.inner.write(&buf[..n])?;
+        self.written += n;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        let draw = |seed: u64| -> Vec<IoFaultPlan> {
+            let mut rng = Rng::new(seed);
+            (0..64)
+                .map(|_| IoFaultPlan::arbitrary(&mut rng, 512))
+                .collect()
+        };
+        assert_eq!(draw(7), draw(7));
+    }
+
+    #[test]
+    fn short_write_accepts_exactly_the_prefix() {
+        let data = vec![0xAB; 100];
+        for cut in [0usize, 1, 37, 99] {
+            let mut w =
+                FaultyWriter::new(Vec::new(), IoFaultPlan::new(IoFaultKind::ShortWrite, cut));
+            let err = w.write_all(&data).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::WriteZero);
+            assert!(w.tripped());
+            assert_eq!(w.written(), cut);
+            assert_eq!(w.into_inner().len(), cut);
+        }
+    }
+
+    #[test]
+    fn enospc_is_a_storage_full_error() {
+        let mut w = FaultyWriter::new(Vec::new(), IoFaultPlan::new(IoFaultKind::Enospc, 4));
+        let err = w.write_all(&[1, 2, 3, 4, 5, 6]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(w.written(), 4);
+    }
+
+    #[test]
+    fn passthrough_modes_do_not_interfere() {
+        let mut w = FaultyWriter::new(
+            Vec::new(),
+            IoFaultPlan::new(IoFaultKind::CrashAfterRename, 2),
+        );
+        w.write_all(b"all of it").unwrap();
+        w.flush().unwrap();
+        assert!(!w.tripped());
+        assert_eq!(w.into_inner(), b"all of it");
+    }
+
+    #[test]
+    fn corruption_and_crash_states_are_modeled() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let t = IoFaultPlan::new(IoFaultKind::Truncation, 10);
+        assert_eq!(t.corrupt(&bytes).unwrap().len(), 10);
+        let f = IoFaultPlan::new(IoFaultKind::BitFlip, 300);
+        let flipped = f.corrupt(&bytes).unwrap();
+        assert_eq!(flipped.len(), bytes.len());
+        assert_eq!(
+            flipped.iter().zip(&bytes).filter(|(a, b)| a != b).count(),
+            1
+        );
+        assert!(t.crash_state(None, &bytes).is_none());
+
+        let old = vec![9u8; 5];
+        let before = IoFaultPlan::new(IoFaultKind::CrashBeforeRename, 3);
+        let (target, tmp) = before.crash_state(Some(&old), &bytes).unwrap();
+        assert_eq!(target, Some(old.as_slice()));
+        assert_eq!(tmp.unwrap(), &bytes[..3]);
+        let after = IoFaultPlan::new(IoFaultKind::CrashAfterRename, 3);
+        let (target, tmp) = after.crash_state(Some(&old), &bytes).unwrap();
+        assert_eq!(target, Some(bytes.as_slice()));
+        assert!(tmp.is_none());
+    }
+
+    #[test]
+    fn shrinking_moves_toward_early_truncations() {
+        let plan = IoFaultPlan::new(IoFaultKind::BitFlip, 64);
+        let shrunk = crate::prop::Shrink::shrink(&plan);
+        assert!(shrunk.iter().any(|p| p.kind == IoFaultKind::Truncation));
+        assert!(shrunk.iter().any(|p| p.at_byte < 64));
+    }
+}

@@ -11,6 +11,9 @@
 //!   median/mean reporting;
 //! * [`FaultPlan`] — deterministic fault injection for the solver's
 //!   resource governor (trips a budget axis at the N-th solver step);
+//! * [`IoFaultPlan`] / [`FaultyWriter`] — deterministic IO fault
+//!   injection for the snapshot subsystem (short writes, full disks,
+//!   truncation, bit rot, crashes around the atomic rename);
 //! * [`hostile`] — adversarial batch-protocol line generation, shared by
 //!   the stdin and TCP fuzz suites;
 //! * [`validate_chrome_trace`] — schema checker for the Chrome
@@ -21,6 +24,7 @@
 
 mod bench;
 mod fault;
+mod faultio;
 pub mod hostile;
 mod prop;
 mod rng;
@@ -28,6 +32,7 @@ mod trace_check;
 
 pub use bench::{bench, bench_secs, BenchStats, Bencher};
 pub use fault::{FaultKind, FaultPlan, SteppedClock};
+pub use faultio::{FaultyWriter, IoFaultKind, IoFaultPlan};
 pub use prop::{forall, Config, Shrink, Unshrunk};
 pub use rng::Rng;
 pub use trace_check::{validate_chrome_trace, TraceSummary};

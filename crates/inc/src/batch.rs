@@ -47,20 +47,28 @@
 //!   batch sessions.
 //! * `stats` — solver statistics (including budget fuel, interruptions,
 //!   and cycle-search depth-limit hits) plus cache counters.
+//! * `snapshot` / `restore` — persist the session's solved form to a
+//!   crash-safe snapshot file and reload one. `path` selects the file;
+//!   omitted, the engine's configured default path (set by the embedder,
+//!   e.g. `rasc serve --snapshot-dir`) is used. Embedders may disable
+//!   client-chosen paths, in which case only the default is writable.
+//!   Torn or tampered snapshot files are rejected with
+//!   `snapshot_corrupt` and the session is left untouched.
 //!
 //! Error codes: `malformed_json`, `bad_request`, `unknown_command`,
 //! `unknown_symbol`, `unknown_constructor`, `unknown_variable`,
 //! `already_declared`, `no_open_epoch`, `constraint_rejected`,
-//! `budget_exhausted`, `internal`.
+//! `budget_exhausted`, `snapshot_corrupt`, `io`, `internal`.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use rasc_automata::{Alphabet, Dfa};
 use rasc_core::algebra::{Algebra, MonoidAlgebra};
 use rasc_core::{Budget, Clock, ConsId, Outcome, SetExpr, SolverConfig, VarId, Variance};
 
-use rasc_core::CancelToken;
+use rasc_core::{CancelToken, SnapshotError};
 
 use crate::json::{obj, Json};
 use crate::session::Session;
@@ -180,10 +188,10 @@ impl EngineCaps {
 /// A stateful batch-protocol interpreter over one [`Session`].
 #[derive(Debug)]
 pub struct BatchEngine {
-    session: Session<MonoidAlgebra>,
-    sigma: Alphabet,
-    cons: HashMap<String, ConsId>,
-    vars: HashMap<String, VarId>,
+    pub(crate) session: Session<MonoidAlgebra>,
+    pub(crate) sigma: Alphabet,
+    pub(crate) cons: HashMap<String, ConsId>,
+    pub(crate) vars: HashMap<String, VarId>,
     limits: Limits,
     /// Embedder-imposed caps clamping every budget (see [`EngineCaps`]).
     caps: Limits,
@@ -194,6 +202,30 @@ pub struct BatchEngine {
     /// Deadline time source for budgets (injectable for deterministic
     /// tests; `None` = the real monotonic clock).
     clock: Option<Arc<dyn Clock>>,
+    /// Default target for the `snapshot`/`restore` commands when the
+    /// client omits `path` (wired by `rasc serve --snapshot-dir`).
+    snapshot_path: Option<PathBuf>,
+    /// Whether the `snapshot`/`restore` commands may take a client-chosen
+    /// `path`. Serving embedders disable this so remote clients can only
+    /// touch the configured default file.
+    client_snapshot_paths: bool,
+    /// Observer called with the serialized bytes after each successful
+    /// `snapshot` command (the serve layer refreshes its warm-start base
+    /// image here).
+    snapshot_hook: Option<SnapshotHook>,
+}
+
+/// The callable a [`SnapshotHook`] wraps: serialized snapshot bytes in,
+/// nothing out, shareable across the serve layer's threads.
+type SnapshotObserver = Box<dyn Fn(&[u8]) + Send + Sync>;
+
+/// A boxed snapshot observer (newtype so [`BatchEngine`] keeps `Debug`).
+struct SnapshotHook(SnapshotObserver);
+
+impl std::fmt::Debug for SnapshotHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SnapshotHook(..)")
+    }
 }
 
 impl BatchEngine {
@@ -219,6 +251,9 @@ impl BatchEngine {
             caps: Limits::default(),
             cancel: None,
             clock: None,
+            snapshot_path: None,
+            client_snapshot_paths: true,
+            snapshot_hook: None,
         }
     }
 
@@ -250,6 +285,25 @@ impl BatchEngine {
     /// report `{"error":{"code":"budget_exhausted","reason":"cancelled"}}`.
     pub fn set_cancel(&mut self, cancel: CancelToken) {
         self.cancel = Some(cancel);
+    }
+
+    /// Sets the default file the `snapshot`/`restore` commands use when
+    /// the client omits `path`.
+    pub fn set_snapshot_path(&mut self, path: PathBuf) {
+        self.snapshot_path = Some(path);
+    }
+
+    /// Allows or forbids client-chosen `path` fields on the
+    /// `snapshot`/`restore` commands. Serving embedders pass `false` so a
+    /// remote client can only read and write the configured default file.
+    pub fn set_client_snapshot_paths(&mut self, allowed: bool) {
+        self.client_snapshot_paths = allowed;
+    }
+
+    /// Registers an observer called with the serialized bytes after each
+    /// successful in-band `snapshot` command.
+    pub fn set_snapshot_hook(&mut self, hook: impl Fn(&[u8]) + Send + Sync + 'static) {
+        self.snapshot_hook = Some(SnapshotHook(Box::new(hook)));
     }
 
     /// Handles one input line; `None` for blank/comment lines, otherwise
@@ -314,6 +368,8 @@ impl BatchEngine {
             "query" => self.query(cmd),
             "explain" => self.explain(cmd),
             "stats" => Ok(self.stats()),
+            "snapshot" => self.cmd_snapshot(cmd),
+            "restore" => self.cmd_restore(cmd),
             other => Err(BatchError::new(
                 "unknown_command",
                 format!("unknown command `{other}`"),
@@ -617,6 +673,75 @@ impl BatchEngine {
             ("cons", Json::from(cons_name)),
             ("holds", Json::from(!steps.is_empty())),
             ("steps", Json::Arr(steps)),
+        ]))
+    }
+
+    /// Resolves the target file for a `snapshot`/`restore` command: the
+    /// client's `path` if allowed, else the engine's configured default.
+    fn snapshot_target(&self, cmd: &Json, what: &str) -> Result<PathBuf, BatchError> {
+        match cmd.get("path") {
+            Some(p) => {
+                let p = p
+                    .as_str()
+                    .ok_or_else(|| bad_request(format!("{what}: `path` must be a string")))?;
+                if !self.client_snapshot_paths {
+                    return Err(bad_request(format!(
+                        "{what}: client-chosen paths are disabled; omit `path` to use the \
+                         server's snapshot file"
+                    )));
+                }
+                Ok(PathBuf::from(p))
+            }
+            None => self.snapshot_path.clone().ok_or_else(|| {
+                bad_request(format!("{what}: no `path` given and no default configured"))
+            }),
+        }
+    }
+
+    /// Maps the snapshot error taxonomy onto stable protocol codes: file
+    /// system failures are `io`, torn/tampered snapshots are
+    /// `snapshot_corrupt`, and precondition violations are `bad_request`.
+    fn snapshot_error(err: SnapshotError) -> BatchError {
+        let code = match &err {
+            SnapshotError::Io(_) => "io",
+            SnapshotError::Corrupt { .. } => "snapshot_corrupt",
+            SnapshotError::State { .. } => "bad_request",
+        };
+        BatchError::new(code, err.to_string())
+    }
+
+    /// `{"cmd":"snapshot"[,"path":…]}` — atomically persist the solved
+    /// form. The response reports the file and its size.
+    fn cmd_snapshot(&mut self, cmd: &Json) -> Result<Json, BatchError> {
+        let path = self.snapshot_target(cmd, "snapshot")?;
+        let bytes = self
+            .snapshot_to_returning(&path)
+            .map_err(Self::snapshot_error)?;
+        if let Some(hook) = &self.snapshot_hook {
+            (hook.0)(&bytes);
+        }
+        Ok(obj([
+            ("ok", Json::from("snapshot")),
+            ("path", Json::from(path.display().to_string().as_str())),
+            ("bytes", Json::from(bytes.len())),
+        ]))
+    }
+
+    /// `{"cmd":"restore"[,"path":…]}` — replace the session with a
+    /// snapshotted solved form. On any failure (missing file, corruption,
+    /// open epochs) the session is left exactly as it was.
+    fn cmd_restore(&mut self, cmd: &Json) -> Result<Json, BatchError> {
+        let path = self.snapshot_target(cmd, "restore")?;
+        self.restore_from(&path).map_err(Self::snapshot_error)?;
+        Ok(obj([
+            ("ok", Json::from("restore")),
+            ("path", Json::from(path.display().to_string().as_str())),
+            (
+                "constraints",
+                Json::from(self.session.system().constraints().len()),
+            ),
+            ("vars", Json::from(self.session.stats().vars)),
+            ("consistent", Json::from(self.session.is_consistent())),
         ]))
     }
 
@@ -1004,6 +1129,185 @@ mod tests {
         assert!(r.get("annotations").unwrap().as_u64().unwrap() > 0);
         assert!(r.get("max_lower_bounds_per_var").unwrap().as_u64().unwrap() > 0);
         assert!(r.get("max_upper_bounds_per_var").is_some());
+    }
+
+    #[test]
+    fn limits_min_with_covers_every_edge() {
+        let unset = Limits::default();
+        // all-None on both sides stays all-None.
+        assert!(unset.min_with(&unset).is_unset());
+        let tight = Limits {
+            max_steps: Some(1),
+            max_millis: Some(2),
+            max_terms: Some(3),
+            max_entries: Some(4),
+        };
+        // An unset side imposes nothing, in either direction.
+        for combined in [unset.min_with(&tight), tight.min_with(&unset)] {
+            assert_eq!(combined.max_steps, Some(1));
+            assert_eq!(combined.max_millis, Some(2));
+            assert_eq!(combined.max_terms, Some(3));
+            assert_eq!(combined.max_entries, Some(4));
+            assert!(!combined.is_unset());
+        }
+        // Element-wise minimum on every field, whichever side is tighter.
+        let looser = Limits {
+            max_steps: Some(100),
+            max_millis: Some(1), // tighter than `tight` on this axis only
+            max_terms: None,
+            max_entries: Some(400),
+        };
+        let combined = tight.min_with(&looser);
+        assert_eq!(combined.max_steps, Some(1));
+        assert_eq!(combined.max_millis, Some(1));
+        assert_eq!(combined.max_terms, Some(3));
+        assert_eq!(combined.max_entries, Some(4));
+        assert_eq!(
+            looser.min_with(&tight).max_millis,
+            Some(1),
+            "min_with must be symmetric"
+        );
+        // Zero is a valid (maximally tight) cap, not an unset marker.
+        let zero = Limits {
+            max_steps: Some(0),
+            ..Limits::default()
+        };
+        assert!(!zero.is_unset());
+        assert_eq!(tight.min_with(&zero).max_steps, Some(0));
+    }
+
+    #[test]
+    fn zero_step_cap_blocks_every_add_until_lifted() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        e.set_caps(EngineCaps {
+            max_steps: Some(0),
+            ..EngineCaps::default()
+        });
+        // A client asking for *more* budget cannot escape the zero cap.
+        run(&mut e, r#"{"cmd":"limits","max_steps":5}"#);
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        e.set_caps(EngineCaps::unlimited());
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+    }
+
+    #[test]
+    fn caps_and_limits_tighten_per_axis_not_wholesale() {
+        // The server caps terms; the client caps steps; the effective
+        // budget honors both axes at once.
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        e.set_caps(EngineCaps {
+            max_terms: Some(1),
+            ..EngineCaps::default()
+        });
+        run(&mut e, r#"{"cmd":"limits","max_steps":100000}"#);
+        // Exceeding the *server's* term cap trips even though the client
+        // never mentioned terms (the add interns a source and a variable).
+        let r = run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        assert_eq!(error_code(&r), Some("budget_exhausted"));
+        assert_eq!(
+            r.get("error").unwrap().get("reason").unwrap().as_str(),
+            Some("memory"),
+            "term-cap interrupts report the memory reason code"
+        );
+    }
+
+    #[test]
+    fn snapshot_and_restore_commands_round_trip_in_band() {
+        let dir = std::env::temp_dir().join(format!("rasc-batch-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("inband.snap");
+        let path_json = Json::Str(path.display().to_string()).render();
+
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        let r = run(
+            &mut e,
+            &format!(r#"{{"cmd":"snapshot","path":{path_json}}}"#),
+        );
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("snapshot"));
+        assert!(r.get("bytes").unwrap().as_u64().unwrap() > 0);
+
+        // Diverge, then restore back to the snapshotted state.
+        run(&mut e, r#"{"cmd":"add","lhs":"X","rhs":"Y"}"#);
+        let r = run(
+            &mut e,
+            &format!(r#"{{"cmd":"restore","path":{path_json}}}"#),
+        );
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("restore"));
+        assert_eq!(r.get("constraints").unwrap().as_u64(), Some(1));
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+        );
+        assert_eq!(error_code(&r), Some("unknown_variable"));
+        let r = run(
+            &mut e,
+            r#"{"cmd":"query","kind":"occurs","var":"X","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_command_errors_are_typed_and_stable() {
+        let dir = std::env::temp_dir().join(format!("rasc-batch-snaperr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut e = engine();
+        // No path and no default: bad_request.
+        let r = run(&mut e, r#"{"cmd":"snapshot"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+        let r = run(&mut e, r#"{"cmd":"restore"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+        // Missing file: io.
+        let absent = Json::Str(dir.join("absent.snap").display().to_string()).render();
+        let r = run(&mut e, &format!(r#"{{"cmd":"restore","path":{absent}}}"#));
+        assert_eq!(error_code(&r), Some("io"));
+        // Torn file: snapshot_corrupt — and the session survives.
+        let torn = dir.join("torn.snap");
+        let full = e.snapshot_bytes().unwrap();
+        std::fs::write(&torn, &full[..full.len() - 3]).unwrap();
+        let torn_json = Json::Str(torn.display().to_string()).render();
+        let r = run(
+            &mut e,
+            &format!(r#"{{"cmd":"restore","path":{torn_json}}}"#),
+        );
+        assert_eq!(error_code(&r), Some("snapshot_corrupt"));
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("stats"));
+        // Client paths can be disabled; the default path still works and
+        // the snapshot hook observes the bytes.
+        let seen = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let seen_in_hook = std::sync::Arc::clone(&seen);
+        e.set_client_snapshot_paths(false);
+        e.set_snapshot_path(dir.join("default.snap"));
+        e.set_snapshot_hook(move |bytes| {
+            seen_in_hook.store(bytes.len() as u64, std::sync::atomic::Ordering::SeqCst);
+        });
+        let elsewhere = Json::Str(dir.join("elsewhere.snap").display().to_string()).render();
+        let r = run(
+            &mut e,
+            &format!(r#"{{"cmd":"snapshot","path":{elsewhere}}}"#),
+        );
+        assert_eq!(error_code(&r), Some("bad_request"));
+        let r = run(&mut e, r#"{"cmd":"snapshot"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("snapshot"));
+        assert_eq!(
+            r.get("bytes").unwrap().as_u64(),
+            Some(seen.load(std::sync::atomic::Ordering::SeqCst))
+        );
+        // Restoring with an open epoch is refused as bad_request.
+        run(&mut e, r#"{"cmd":"push"}"#);
+        let r = run(&mut e, r#"{"cmd":"restore"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+        run(&mut e, r#"{"cmd":"pop"}"#);
+        let r = run(&mut e, r#"{"cmd":"restore"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("restore"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 mod batch;
 pub mod json;
 mod session;
+mod snapshot;
 mod stream;
 
 pub use batch::{BatchEngine, EngineCaps};

@@ -1,0 +1,506 @@
+//! Crash-safe persistence for sessions and batch engines.
+//!
+//! Builds on the `rasc-core` snapshot container (magic + version +
+//! checksummed sections) and adds the engine layer:
+//!
+//! * [`Session::snapshot_to`] / [`Session::restore_from`] — persist and
+//!   reload a solved form (algebra + solver state). The query cache is
+//!   deliberately *not* serialized; a restored session starts cold and
+//!   repopulates it on demand.
+//! * [`BatchEngine::snapshot_to`] / [`BatchEngine::restore_from`] — the
+//!   same, plus an `ENGN` section carrying the protocol's name tables
+//!   (alphabet symbols, constructor and variable name→id maps) so a
+//!   restored engine answers queries by the same names the client used.
+//!
+//! Every path-based write goes through `write_atomic` (temp file, fsync,
+//! rename), so a crash mid-checkpoint leaves the previous snapshot
+//! intact. Every load validates before it mutates: a corrupt or
+//! mismatched snapshot leaves the engine exactly as it was and returns a
+//! typed [`SnapshotError`].
+//!
+//! Observability: writes record `snap.write.micros` and `snap.bytes`;
+//! restores record `snap.restore.micros`; every rejected-corrupt load
+//! bumps `snap.corrupt_rejected`.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::Path;
+use std::time::Instant;
+
+use rasc_core::algebra::Algebra;
+use rasc_core::snapshot::{
+    read_snapshot_file, write_atomic, ByteWriter, SnapshotReader, SnapshotWriter, TAG_ENGINE,
+};
+use rasc_core::{ConsId, SnapshotAlgebra, SnapshotError, System, VarId};
+
+use crate::batch::BatchEngine;
+use crate::session::Session;
+
+/// Micros elapsed since `start`, saturating into a `u64`.
+fn micros_since(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Records the write-side metrics for a successful snapshot.
+fn note_write(start: Instant, bytes: u64) {
+    rasc_obs::histogram("snap.write.micros", micros_since(start));
+    rasc_obs::histogram("snap.bytes", bytes);
+}
+
+/// Records restore metrics: duration on success, a rejection counter when
+/// the snapshot was detected as corrupt.
+fn note_restore<T>(start: Instant, result: &Result<T, SnapshotError>) {
+    match result {
+        Ok(_) => rasc_obs::histogram("snap.restore.micros", micros_since(start)),
+        Err(SnapshotError::Corrupt { .. }) => rasc_obs::counter("snap.corrupt_rejected", 1),
+        Err(_) => {}
+    }
+}
+
+impl<A: Algebra + SnapshotAlgebra> Session<A> {
+    /// Serializes the session's solved form (algebra + solver state) as a
+    /// snapshot container. Fails with [`SnapshotError::State`] while facts
+    /// are pending or an epoch is open.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        self.system().snapshot_bytes()
+    }
+
+    /// Atomically writes the session's snapshot to `path` (temp file,
+    /// fsync, rename); returns the snapshot size in bytes.
+    pub fn snapshot_to(&self, path: &Path) -> Result<u64, SnapshotError> {
+        let start = Instant::now();
+        let bytes = self.snapshot_bytes()?;
+        write_atomic(path, &bytes)?;
+        let n = bytes.len() as u64;
+        note_write(start, n);
+        Ok(n)
+    }
+
+    /// Streams the session's snapshot to an arbitrary writer (no
+    /// atomicity — the caller owns durability); returns the byte count.
+    /// This is the surface the fault-injection harness drives with short
+    /// writes and `ENOSPC`.
+    pub fn snapshot_to_writer(&self, out: &mut dyn Write) -> Result<u64, SnapshotError> {
+        let start = Instant::now();
+        let bytes = self.snapshot_bytes()?;
+        out.write_all(&bytes)?;
+        out.flush()?;
+        let n = bytes.len() as u64;
+        note_write(start, n);
+        Ok(n)
+    }
+
+    /// Rebuilds a session from snapshot bytes. The query cache starts
+    /// cold; everything else (solved form, interned names, statistics)
+    /// matches the snapshotted session exactly.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Session<A>, SnapshotError> {
+        let start = Instant::now();
+        let result = System::restore_bytes(bytes).map(Session::from_system);
+        note_restore(start, &result);
+        result
+    }
+
+    /// Rebuilds a session from a snapshot file. Missing or unreadable
+    /// files are [`SnapshotError::Io`]; torn or tampered contents are
+    /// [`SnapshotError::Corrupt`].
+    pub fn restore_from(path: &Path) -> Result<Session<A>, SnapshotError> {
+        let bytes = read_snapshot_file(path)?;
+        Self::restore_bytes(&bytes)
+    }
+}
+
+impl BatchEngine {
+    /// Serializes the engine: the session's solved form plus an `ENGN`
+    /// section with the alphabet and the constructor/variable name maps.
+    pub fn snapshot_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        let mut snap = SnapshotWriter::new();
+        self.session.system().snapshot_sections(&mut snap)?;
+        let mut w = ByteWriter::new();
+        w.seq_len(self.sigma.len());
+        for sym in self.sigma.symbols() {
+            w.str(self.sigma.name(sym));
+        }
+        // Name maps are hash-ordered in memory; serialize sorted by id so
+        // snapshots of equal engines are byte-identical.
+        let mut cons: Vec<(&String, u32)> = self
+            .cons
+            .iter()
+            .map(|(name, id)| (name, id.index() as u32))
+            .collect();
+        cons.sort_by_key(|&(_, id)| id);
+        w.seq_len(cons.len());
+        for (name, id) in cons {
+            w.str(name);
+            w.u32(id);
+        }
+        let mut vars: Vec<(&String, u32)> = self
+            .vars
+            .iter()
+            .map(|(name, id)| (name, id.index() as u32))
+            .collect();
+        vars.sort_by_key(|&(_, id)| id);
+        w.seq_len(vars.len());
+        for (name, id) in vars {
+            w.str(name);
+            w.u32(id);
+        }
+        snap.section(TAG_ENGINE, w);
+        Ok(snap.finish())
+    }
+
+    /// Atomically writes the engine's snapshot to `path`; returns the
+    /// snapshot size in bytes.
+    pub fn snapshot_to(&self, path: &Path) -> Result<u64, SnapshotError> {
+        self.snapshot_to_returning(path).map(|b| b.len() as u64)
+    }
+
+    /// Like [`BatchEngine::snapshot_to`] but hands back the serialized
+    /// bytes (the serve layer reuses them as its warm-start base image).
+    pub(crate) fn snapshot_to_returning(&self, path: &Path) -> Result<Vec<u8>, SnapshotError> {
+        let start = Instant::now();
+        let bytes = self.snapshot_bytes()?;
+        write_atomic(path, &bytes)?;
+        note_write(start, bytes.len() as u64);
+        Ok(bytes)
+    }
+
+    /// Streams the engine's snapshot to an arbitrary writer (no
+    /// atomicity); returns the byte count.
+    pub fn snapshot_to_writer(&self, out: &mut dyn Write) -> Result<u64, SnapshotError> {
+        let start = Instant::now();
+        let bytes = self.snapshot_bytes()?;
+        out.write_all(&bytes)?;
+        out.flush()?;
+        let n = bytes.len() as u64;
+        note_write(start, n);
+        Ok(n)
+    }
+
+    /// Replaces the engine's session and name maps with the snapshotted
+    /// state. Validates *everything* before mutating: on any error the
+    /// engine is untouched. The client-set `limits`, embedder caps,
+    /// cancellation token, and clock all survive the restore — they are
+    /// connection state, not solved-form state.
+    ///
+    /// The snapshot's alphabet must match this engine's (same names, same
+    /// order); a snapshot taken under a different property machine
+    /// configuration is rejected with [`SnapshotError::State`].
+    pub fn restore_bytes(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let start = Instant::now();
+        let result = self.restore_validated(bytes);
+        note_restore(start, &result);
+        result
+    }
+
+    /// Restores the engine from a snapshot file.
+    pub fn restore_from(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        let bytes = read_snapshot_file(path)?;
+        self.restore_bytes(&bytes)
+    }
+
+    fn restore_validated(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        if self.session.epoch_depth() != 0 {
+            return Err(SnapshotError::state(format!(
+                "cannot restore with {} open epoch(s); pop or commit them first",
+                self.session.epoch_depth()
+            )));
+        }
+        let reader = SnapshotReader::parse(bytes)?;
+
+        // Decode and validate the ENGN name tables first — it is the
+        // cheapest section and catches cross-configuration restores
+        // before the solved form is rebuilt.
+        let mut r = reader.section(TAG_ENGINE)?;
+        let n_syms = r.seq_len()?;
+        let mut snap_alphabet = Vec::with_capacity(n_syms);
+        for _ in 0..n_syms {
+            snap_alphabet.push(r.str()?);
+        }
+        let names = read_name_map(&mut r, "constructor")?;
+        let var_names = read_name_map(&mut r, "variable")?;
+        r.finish()?;
+
+        let engine_alphabet: Vec<&str> = self.sigma.symbols().map(|s| self.sigma.name(s)).collect();
+        if snap_alphabet != engine_alphabet {
+            return Err(SnapshotError::state(format!(
+                "snapshot alphabet [{}] does not match engine alphabet [{}]",
+                snap_alphabet.join(","),
+                engine_alphabet.join(",")
+            )));
+        }
+
+        let sys = System::restore_sections(&reader)?;
+        let stats = sys.stats();
+        let mut cons = HashMap::with_capacity(names.len());
+        for (name, id) in names {
+            if id as usize >= stats.constructors {
+                return Err(SnapshotError::corrupt(format!(
+                    "constructor map entry `{name}` has id {id} but only {} constructors",
+                    stats.constructors
+                )));
+            }
+            if cons
+                .insert(name.clone(), ConsId::from_index(id as usize))
+                .is_some()
+            {
+                return Err(SnapshotError::corrupt(format!(
+                    "duplicate constructor map entry `{name}`"
+                )));
+            }
+        }
+        let mut vars = HashMap::with_capacity(var_names.len());
+        for (name, id) in var_names {
+            if id as usize >= stats.vars {
+                return Err(SnapshotError::corrupt(format!(
+                    "variable map entry `{name}` has id {id} but only {} variables",
+                    stats.vars
+                )));
+            }
+            if vars
+                .insert(name.clone(), VarId::from_index(id as usize))
+                .is_some()
+            {
+                return Err(SnapshotError::corrupt(format!(
+                    "duplicate variable map entry `{name}`"
+                )));
+            }
+        }
+
+        // All validation passed — commit the restore.
+        let mut session = Session::from_system(sys);
+        // The batch engine invariant: provenance is recorded for every
+        // constraint added from here on, so `explain` keeps working.
+        session.system_mut().enable_provenance();
+        self.session = session;
+        self.cons = cons;
+        self.vars = vars;
+        Ok(())
+    }
+}
+
+/// Reads a `(name, id)` map section fragment, rejecting duplicate ids.
+fn read_name_map(
+    r: &mut rasc_core::snapshot::ByteReader<'_>,
+    what: &str,
+) -> Result<Vec<(String, u32)>, SnapshotError> {
+    let n = r.seq_len()?;
+    let mut out: Vec<(String, u32)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let id = r.u32()?;
+        if out.iter().any(|&(_, seen)| seen == id) {
+            return Err(SnapshotError::corrupt(format!(
+                "duplicate {what} id {id} in name map"
+            )));
+        }
+        out.push((name, id));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use rasc_automata::{Alphabet, Dfa};
+    use rasc_core::algebra::MonoidAlgebra;
+    use rasc_core::{SetExpr, SnapshotError};
+
+    use crate::json::Json;
+    use crate::{BatchEngine, Session};
+
+    fn engine() -> BatchEngine {
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let machine = Dfa::one_bit(&sigma, g, k);
+        BatchEngine::new(sigma, &machine)
+    }
+
+    fn run(e: &mut BatchEngine, line: &str) -> Json {
+        Json::parse(&e.handle_line(line).expect("a response")).expect("valid JSON response")
+    }
+
+    fn loaded_engine() -> BatchEngine {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(
+            &mut e,
+            r#"{"cmd":"declare","cons":"pair","signature":"++"}"#,
+        );
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair(X,X)","rhs":"P"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"pair^-1(P)","rhs":"Y"}"#);
+        e
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rasc-inc-snap-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn engine_restore_preserves_the_full_query_surface() {
+        let e = loaded_engine();
+        let bytes = e.snapshot_bytes().unwrap();
+        let mut back = engine();
+        back.restore_bytes(&bytes).unwrap();
+        // Solver-state stats match exactly (cache counters are ephemeral
+        // and start cold after a restore, so they are compared separately).
+        let restored_stats = run(&mut back, r#"{"cmd":"stats"}"#);
+        let fresh_stats = run(&mut loaded_engine(), r#"{"cmd":"stats"}"#);
+        for key in [
+            "vars",
+            "constructors",
+            "constraints",
+            "edges",
+            "lower_bounds",
+            "upper_bounds",
+            "annotations",
+            "clashes",
+            "consistent",
+            "epoch_depth",
+        ] {
+            assert_eq!(restored_stats.get(key), fresh_stats.get(key), "{key}");
+        }
+        assert_eq!(restored_stats.get("cache_hits").unwrap().as_u64(), Some(0));
+        for query in [
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+            r#"{"cmd":"query","kind":"anns","var":"Y","cons":"c"}"#,
+            r#"{"cmd":"query","kind":"nonempty","var":"P"}"#,
+            r#"{"cmd":"explain","var":"Y","cons":"c"}"#,
+        ] {
+            let mut fresh = loaded_engine();
+            assert_eq!(
+                run(&mut back, query).render(),
+                run(&mut fresh, query).render(),
+                "restored engine diverges on {query}"
+            );
+        }
+        // The restored engine keeps working: new adds and epochs compose.
+        run(&mut back, r#"{"cmd":"push"}"#);
+        let r = run(&mut back, r#"{"cmd":"add","lhs":"Y","rhs":"Z"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        let r = run(
+            &mut back,
+            r#"{"cmd":"query","kind":"occurs","var":"Z","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        run(&mut back, r#"{"cmd":"pop"}"#);
+        // And explain still works for constraints added *after* restore.
+        run(&mut back, r#"{"cmd":"add","lhs":"Y","rhs":"W"}"#);
+        let r = run(&mut back, r#"{"cmd":"explain","var":"W","cons":"c"}"#);
+        assert_eq!(r.get("holds").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn engine_snapshots_are_deterministic() {
+        let a = loaded_engine().snapshot_bytes().unwrap();
+        let b = loaded_engine().snapshot_bytes().unwrap();
+        assert_eq!(a, b, "equal engines must serialize identically");
+    }
+
+    #[test]
+    fn corrupt_and_mismatched_snapshots_leave_the_engine_untouched() {
+        let e = loaded_engine();
+        let bytes = e.snapshot_bytes().unwrap();
+
+        // Truncations and bit flips are typed corruption errors.
+        let mut back = loaded_engine();
+        let before = run(&mut back, r#"{"cmd":"stats"}"#).render();
+        assert!(matches!(
+            back.restore_bytes(&bytes[..bytes.len() / 2]),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            back.restore_bytes(&flipped),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+        assert_eq!(
+            run(&mut back, r#"{"cmd":"stats"}"#).render(),
+            before,
+            "failed restore must not disturb the engine"
+        );
+
+        // A session-level snapshot has no ENGN section.
+        let session_only = e.session().snapshot_bytes().unwrap();
+        let err = back.restore_bytes(&session_only).unwrap_err();
+        assert!(err.to_string().contains("ENGN"), "{err}");
+
+        // A snapshot from a different alphabet is a state error.
+        let mut other_sigma = Alphabet::new();
+        let a = other_sigma.intern("a");
+        let b = other_sigma.intern("b");
+        let machine = Dfa::one_bit(&other_sigma, a, b);
+        let mut other = BatchEngine::new(other_sigma, &machine);
+        assert!(matches!(
+            other.restore_bytes(&bytes),
+            Err(SnapshotError::State { .. })
+        ));
+
+        // Restoring over open epochs is refused before any parsing.
+        let mut open = loaded_engine();
+        run(&mut open, r#"{"cmd":"push"}"#);
+        assert!(matches!(
+            open.restore_bytes(&bytes),
+            Err(SnapshotError::State { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_file_round_trip_is_atomic_and_typed() {
+        let dir = temp_dir("engine");
+        let path = dir.join("engine.snap");
+        let e = loaded_engine();
+        let n = e.snapshot_to(&path).unwrap();
+        assert_eq!(n, std::fs::metadata(&path).unwrap().len());
+        // No temp file is left behind by a successful write.
+        assert!(!dir.join("engine.snap.tmp").exists());
+        let mut back = engine();
+        back.restore_from(&path).unwrap();
+        let r = run(
+            &mut back,
+            r#"{"cmd":"query","kind":"occurs","var":"Y","cons":"c"}"#,
+        );
+        assert_eq!(r.get("result").unwrap().as_bool(), Some(true));
+        // Missing files are Io, not Corrupt.
+        assert!(matches!(
+            back.restore_from(&dir.join("absent.snap")),
+            Err(SnapshotError::Io(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_round_trips_through_writer_and_file() {
+        let dir = temp_dir("session");
+        let path = dir.join("session.snap");
+        let mut sigma = Alphabet::new();
+        let g = sigma.intern("g");
+        let k = sigma.intern("k");
+        let mut s: Session<MonoidAlgebra> =
+            Session::new(MonoidAlgebra::new(&Dfa::one_bit(&sigma, g, k)));
+        let c = s.constructor("c", &[]);
+        let x = s.var("X");
+        let fg = s.system_mut().algebra_mut().word(&[g]);
+        s.add_ann(SetExpr::cons(c, []), SetExpr::var(x), fg)
+            .unwrap();
+
+        // Writer and file paths produce the same bytes.
+        let mut streamed = Vec::new();
+        let n = s.snapshot_to_writer(&mut streamed).unwrap();
+        assert_eq!(n as usize, streamed.len());
+        let written = s.snapshot_to(&path).unwrap();
+        assert_eq!(written, n);
+        assert_eq!(std::fs::read(&path).unwrap(), streamed);
+
+        let back: Session<MonoidAlgebra> = Session::restore_from(&path).unwrap();
+        assert!(back.system().lower_bound_annotations(x, c).len() == 1);
+        assert_eq!(back.stats().vars, s.stats().vars);
+        // The restored cache is cold.
+        assert_eq!(back.cache_stats().hits, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

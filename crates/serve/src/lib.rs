@@ -17,10 +17,18 @@
 //!   ([`rasc_inc::EngineCaps`]) wired into every engine, plus a
 //!   [`rasc_core::CancelToken`] per connection so a stalled drain can
 //!   interrupt in-flight solves, which roll back transactionally.
-//! * **Graceful shutdown** — via [`ServerHandle::shutdown`] or the
-//!   in-band `{"cmd":"shutdown"}` admin command: the accept loop stops,
-//!   in-flight requests finish and their responses flush, then
-//!   connections close and workers join.
+//! * **Graceful shutdown** — via [`ServerHandle::shutdown`], the in-band
+//!   `{"cmd":"shutdown"}` admin command, or an external shutdown flag
+//!   ([`ServeConfig::shutdown_flag`], wired to SIGINT/SIGTERM by the
+//!   CLI): the accept loop stops, in-flight requests finish and their
+//!   responses flush, then connections close and workers join.
+//! * **Persistence & warm restart** — with [`ServeConfig::snapshot_dir`]
+//!   set, the server loads `<dir>/current.snap` as the base image every
+//!   connection's session restores from, routes in-band
+//!   `{"cmd":"snapshot"}` commands there (client-chosen paths are
+//!   disabled), and checkpoints the latest base again on graceful
+//!   shutdown. Corrupt snapshots are detected (checksums) and rejected
+//!   — the server starts cold instead of serving a torn solved form.
 //! * **Observability** — `rasc-obs` counters
 //!   (`serve.connections.opened/closed`, `serve.requests`,
 //!   `serve.rejected.overload`), a `serve.request.micros` latency

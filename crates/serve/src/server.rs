@@ -4,12 +4,14 @@
 use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rasc_automata::{Alphabet, Dfa};
+use rasc_core::snapshot::{read_snapshot_file, write_atomic, SnapshotReader};
 use rasc_core::{CancelToken, Clock};
 use rasc_inc::json::{obj, Json};
 use rasc_inc::{BatchEngine, EngineCaps};
@@ -54,6 +56,18 @@ pub struct ServeConfig {
     /// Whether the in-band `{"cmd":"shutdown"}` admin command initiates a
     /// graceful drain (the protocol answers `unknown_command` when off).
     pub allow_shutdown_command: bool,
+    /// Warm-restart directory. When set, the server loads
+    /// `<dir>/current.snap` at startup as the base image every new
+    /// connection's session restores from, routes the in-band
+    /// `{"cmd":"snapshot"}` command to that file (client-chosen paths are
+    /// disabled), and checkpoints the latest base image there again on
+    /// graceful shutdown. A corrupt base file is rejected with a
+    /// `snap.corrupt_rejected` counter and the server starts cold.
+    pub snapshot_dir: Option<PathBuf>,
+    /// External shutdown request polled by the accept loop (the CLI wires
+    /// its SIGINT/SIGTERM handler here): setting it true initiates the
+    /// same graceful drain as [`ServerHandle::begin_shutdown`].
+    pub shutdown_flag: Option<Arc<AtomicBool>>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +81,8 @@ impl Default for ServeConfig {
             sink: None,
             clock: None,
             allow_shutdown_command: true,
+            snapshot_dir: None,
+            shutdown_flag: None,
         }
     }
 }
@@ -103,10 +119,24 @@ struct Shared {
     connections: AtomicU64,
     requests: AtomicU64,
     rejected: AtomicU64,
+    /// Warm-restart file (`<snapshot_dir>/current.snap`) when persistence
+    /// is configured.
+    snapshot_path: Option<PathBuf>,
+    /// The latest durable base image: loaded from disk at startup,
+    /// refreshed by every in-band `snapshot` command, restored into each
+    /// new connection's engine, and checkpointed on graceful shutdown.
+    snapshot: Mutex<Option<Arc<Vec<u8>>>>,
 }
 
 impl Shared {
     fn is_draining(&self) -> bool {
+        // An externally wired shutdown flag (the CLI's signal handler)
+        // requests the same graceful drain as ServerHandle::begin_shutdown.
+        if let Some(flag) = &self.config.shutdown_flag {
+            if flag.load(Ordering::SeqCst) {
+                self.draining.store(true, Ordering::SeqCst);
+            }
+        }
         self.draining.load(Ordering::SeqCst)
     }
 }
@@ -181,6 +211,17 @@ impl Server {
         // Queue capacity matches the admission cap, so a connection that
         // passed admission is never refused by the pool.
         let pool = ThreadPool::new(config.threads, config.max_connections.max(1));
+        let snapshot_path = match &config.snapshot_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(dir.join("current.snap"))
+            }
+            None => None,
+        };
+        let snapshot = snapshot_path
+            .as_deref()
+            .filter(|p| p.exists())
+            .and_then(load_base_image);
         let shared = Arc::new(Shared {
             sigma,
             dfa: machine.clone(),
@@ -194,6 +235,8 @@ impl Server {
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            snapshot_path,
+            snapshot: Mutex::new(snapshot),
         });
         Ok(Server {
             listener,
@@ -271,6 +314,15 @@ impl Server {
             })
         });
         pool.drain();
+        // Checkpoint the latest base image before declaring the drain
+        // complete, so the next `rasc serve --snapshot-dir` warm-starts
+        // from the state the in-band `snapshot` commands last captured.
+        if let (Some(path), Some(bytes)) = (&shared.snapshot_path, lock(&shared.snapshot).clone()) {
+            match write_atomic(path, &bytes) {
+                Ok(()) => obs::counter("serve.checkpoints", 1),
+                Err(_) => obs::counter("serve.checkpoint_failures", 1),
+            }
+        }
         *lock(&shared.done) = true;
         shared.done_cv.notify_all();
         if let Some(w) = watchdog {
@@ -289,6 +341,24 @@ impl Server {
         let handle = self.handle();
         let join = std::thread::spawn(move || self.run());
         (handle, join)
+    }
+}
+
+/// Reads and container-validates a warm-restart base image. A torn or
+/// tampered file is rejected (counted as `snap.corrupt_rejected`) so the
+/// server starts cold rather than serving a mis-restored solved form;
+/// an unreadable file likewise degrades to a cold start.
+fn load_base_image(path: &std::path::Path) -> Option<Arc<Vec<u8>>> {
+    let bytes = match read_snapshot_file(path) {
+        Ok(b) => b,
+        Err(_) => return None,
+    };
+    match SnapshotReader::parse(&bytes) {
+        Ok(_) => Some(Arc::new(bytes)),
+        Err(_) => {
+            obs::counter("snap.corrupt_rejected", 1);
+            None
+        }
     }
 }
 
@@ -385,6 +455,27 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let cancel = CancelToken::new();
     engine.set_cancel(cancel.clone());
     lock(&shared.cancels).insert(conn_id, cancel);
+
+    if let Some(path) = &shared.snapshot_path {
+        // Persistence: snapshot/restore target the server's file only
+        // (remote clients must not choose filesystem paths), in-band
+        // snapshots refresh the shared base image, and each connection
+        // warm-starts from the latest base. A base that fails deep
+        // validation leaves the engine cold — never half-restored.
+        engine.set_snapshot_path(path.clone());
+        engine.set_client_snapshot_paths(false);
+        let base_image = Arc::clone(shared);
+        engine.set_snapshot_hook(move |bytes| {
+            *lock(&base_image.snapshot) = Some(Arc::new(bytes.to_vec()));
+        });
+        let base = lock(&shared.snapshot).clone();
+        if let Some(bytes) = base {
+            match engine.restore_bytes(&bytes) {
+                Ok(()) => obs::counter("serve.warm_starts", 1),
+                Err(_) => obs::counter("serve.warm_start_failures", 1),
+            }
+        }
+    }
 
     // One request line at a time. The buffer persists across read
     // timeouts (a timed-out `read_line` keeps what it already consumed),

@@ -9,7 +9,9 @@
 //! rasc cfg        --program FILE [--dot]
 //! rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]
 //! rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits SPEC]
-//!                 [--max-connections N] [--trace FILE] [--profile]
+//!                 [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile]
+//! rasc snapshot   --spec FILE --out SNAP [--input FILE]
+//! rasc restore    --spec FILE --snapshot SNAP [--input FILE]
 //! ```
 //!
 //! `check` verifies a §8-syntax property specification against a MiniImp
@@ -26,7 +28,15 @@
 //! `--max-connections` caps admission, and `--limits
 //! steps=N,millis=N,terms=N,entries=N` sets server-wide per-request
 //! resource caps. The server drains gracefully when any client sends
-//! `{"cmd":"shutdown"}`; `--trace`/`--profile` work as in `batch`.
+//! `{"cmd":"shutdown"}` or on SIGINT/SIGTERM; with `--snapshot-dir DIR`
+//! it warm-starts every connection from `DIR/current.snap`, routes
+//! in-band `{"cmd":"snapshot"}` commands there, and checkpoints on
+//! graceful shutdown. `--trace`/`--profile` work as in `batch`.
+//!
+//! `snapshot` runs a batch command stream and then persists the solved
+//! form to a crash-safe snapshot file; `restore` reloads such a file and
+//! runs a (typically query-only) stream against it without re-solving —
+//! the warm-restart path.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -64,6 +74,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "cfg" => cfg_cmd(&opts),
         "batch" => batch(&opts),
         "serve" => serve(&opts),
+        "snapshot" => snapshot_cmd(&opts),
+        "restore" => restore_cmd(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -81,7 +93,9 @@ fn usage() -> String {
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
      rasc cfg        --program FILE [--dot]\n  \
      rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)\n  \
-     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--trace FILE] [--profile]"
+     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile]\n  \
+     rasc snapshot   --spec FILE --out SNAP [--input FILE]   (run a command stream, then persist the solved form)\n  \
+     rasc restore    --spec FILE --snapshot SNAP [--input FILE]   (reload a solved form, then run a command stream)"
         .to_owned()
 }
 
@@ -120,7 +134,9 @@ fn arity(cmd: &str, name: &str) -> usize {
     match name {
         "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
         "trace" if cmd == "batch" || cmd == "serve" => 1,
-        "addr" | "threads" | "limits" | "max-connections" if cmd == "serve" => 1,
+        "addr" | "threads" | "limits" | "max-connections" | "snapshot-dir" if cmd == "serve" => 1,
+        "out" if cmd == "snapshot" => 1,
+        "snapshot" if cmd == "restore" => 1,
         "alias" => 2,
         _ => 0,
     }
@@ -442,6 +458,13 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(spec) = opts.value("limits") {
         config.caps = parse_limits(spec)?;
     }
+    if let Some(dir) = opts.value("snapshot-dir") {
+        config.snapshot_dir = Some(std::path::PathBuf::from(dir));
+    }
+    // SIGINT/SIGTERM request the same graceful drain as the in-band
+    // shutdown command: stop accepting, finish in-flight requests,
+    // checkpoint if --snapshot-dir is set, then exit cleanly.
+    config.shutdown_flag = signals::install();
 
     let setup = ObsSetup::from_opts(opts);
     config.sink = setup.sink.clone();
@@ -462,6 +485,112 @@ fn serve(opts: &Opts) -> Result<(), String> {
     );
 
     setup.finish(opts)
+}
+
+/// Graceful-shutdown signal wiring for `rasc serve`.
+///
+/// The handler only flips an atomic flag — the one operation that is
+/// async-signal-safe — and the serve layer's accept loop polls it. The
+/// raw `signal(2)` FFI lives here, in the binary, because every library
+/// crate in the workspace is `#![forbid(unsafe_code)]`.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Installs SIGINT/SIGTERM handlers and returns the flag they set.
+    pub fn install() -> Option<Arc<AtomicBool>> {
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        unsafe {
+            signal(SIGINT, on_signal as *const () as usize);
+            signal(SIGTERM, on_signal as *const () as usize);
+        }
+        Some(flag)
+    }
+}
+
+/// On non-Unix targets signals are not wired; ^C terminates the process
+/// the default way and no graceful checkpoint happens.
+#[cfg(not(unix))]
+mod signals {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    pub fn install() -> Option<Arc<AtomicBool>> {
+        None
+    }
+}
+
+/// `rasc snapshot`: run a batch command stream (responses to stdout,
+/// exactly as `rasc batch`), then atomically persist the session's solved
+/// form to `--out`.
+fn snapshot_cmd(opts: &Opts) -> Result<(), String> {
+    let spec_text = read(opts.required("spec")?)?;
+    let out_path = opts.required("out")?.to_owned();
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+
+    let mut engine = rasc::inc::BatchEngine::new(sigma, &dfa);
+    let stdout = std::io::stdout();
+    let out = stdout.lock();
+    let result = match opts.value("input") {
+        Some(path) => engine.run_stream(read(path)?.as_bytes(), out),
+        None => {
+            let stdin = std::io::stdin();
+            engine.run_stream(stdin.lock(), out)
+        }
+    };
+    result.map_err(|e| e.to_string())?;
+
+    let bytes = engine
+        .snapshot_to(std::path::Path::new(&out_path))
+        .map_err(|e| e.to_string())?;
+    eprintln!("rasc: wrote {bytes}-byte snapshot to {out_path}");
+    Ok(())
+}
+
+/// `rasc restore`: reload a snapshot into a fresh session (no
+/// re-solving) and run a command stream — typically queries — against it.
+fn restore_cmd(opts: &Opts) -> Result<(), String> {
+    let spec_text = read(opts.required("spec")?)?;
+    let snap_path = opts.required("snapshot")?.to_owned();
+    let spec = PropertySpec::parse(&spec_text).map_err(|e| e.to_string())?;
+    let (sigma, dfa) = spec.compile();
+
+    let mut engine = rasc::inc::BatchEngine::new(sigma, &dfa);
+    engine
+        .restore_from(std::path::Path::new(&snap_path))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "rasc: restored {} constraints from {snap_path}",
+        engine.session().system().constraints().len()
+    );
+
+    let stdout = std::io::stdout();
+    let out = stdout.lock();
+    let result = match opts.value("input") {
+        Some(path) => engine.run_stream(read(path)?.as_bytes(), out),
+        None => {
+            let stdin = std::io::stdin();
+            engine.run_stream(stdin.lock(), out)
+        }
+    };
+    result.map_err(|e| e.to_string())
 }
 
 /// Parses `--limits steps=N,millis=N,terms=N,entries=N` (any subset).

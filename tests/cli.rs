@@ -204,7 +204,7 @@ fn batch_runs_an_incremental_session() {
     assert!(ok, "{text}");
     let lines: Vec<&str> = text.lines().collect();
     // One response per non-comment line of the script.
-    assert_eq!(lines.len(), 21, "{text}");
+    assert_eq!(lines.len(), 24, "{text}");
     assert!(
         lines[5].contains(r#""result":true"#),
         "pc reaches Exec accepting: {text}"
@@ -256,23 +256,50 @@ fn batch_runs_an_incremental_session() {
         lines[20].contains(r#""ok":"stats""#) && lines[20].contains(r#""fuel_spent""#),
         "{text}"
     );
+    // Persistence tail: snapshot, restore, and the round-tripped query.
+    assert!(
+        lines[21].contains(r#""ok":"snapshot""#) && lines[21].contains(r#""bytes""#),
+        "{text}"
+    );
+    assert!(
+        lines[22].contains(r#""ok":"restore""#) && lines[22].contains(r#""consistent":true"#),
+        "{text}"
+    );
+    assert!(
+        lines[23].contains(r#""result":true"#),
+        "the restored solved form answers without replay: {text}"
+    );
 }
 
 #[test]
 fn batch_trace_writes_a_valid_chrome_trace() {
     let dir = std::env::temp_dir().join("rasc_cli_trace_test");
-    std::fs::create_dir_all(&dir).unwrap();
+    // The session script snapshots to `target/session.snap` relative to
+    // its working directory; an isolated cwd keeps this run from racing
+    // the plain batch test over the same file.
+    std::fs::create_dir_all(dir.join("target")).unwrap();
     let trace_path = dir.join("session_trace.json");
-    let (ok, text) = rasc(&[
-        "batch",
-        "--spec",
-        "assets/specs/privilege.spec",
-        "--input",
-        "assets/batch/session.jsonl",
-        "--trace",
-        trace_path.to_str().unwrap(),
-        "--profile",
-    ]);
+    let manifest = env!("CARGO_MANIFEST_DIR");
+    let out = Command::new(env!("CARGO_BIN_EXE_rasc"))
+        .args([
+            "batch",
+            "--spec",
+            &format!("{manifest}/assets/specs/privilege.spec"),
+            "--input",
+            &format!("{manifest}/assets/batch/session.jsonl"),
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--profile",
+        ])
+        .current_dir(&dir)
+        .output()
+        .expect("binary runs");
+    let ok = out.status.success();
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ok, "{text}");
     // --trace reports what it wrote; --profile prints the event summary.
     assert!(text.contains("trace events"), "{text}");
@@ -328,6 +355,153 @@ fn batch_flushes_each_response_while_stdin_stays_open() {
     drop(stdin);
     reader.join().unwrap();
     assert!(child.wait().unwrap().success());
+}
+
+#[test]
+fn snapshot_and_restore_subcommands_round_trip() {
+    let dir = std::env::temp_dir().join("rasc_cli_snapshot_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let build = dir.join("build.jsonl");
+    std::fs::write(
+        &build,
+        concat!(
+            "{\"cmd\":\"declare\",\"cons\":\"pc\"}\n",
+            "{\"cmd\":\"add\",\"lhs\":\"pc\",\"rhs\":\"Main\",\"ann\":[\"seteuid_zero\",\"execl\"]}\n",
+        ),
+    )
+    .unwrap();
+    let snap = dir.join("cli.snap");
+
+    let (ok, text) = rasc(&[
+        "snapshot",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--input",
+        build.to_str().unwrap(),
+        "--out",
+        snap.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("-byte snapshot to"), "{text}");
+    assert!(snap.exists());
+
+    // `rasc restore` answers queries from the solved form — no replay.
+    let query = dir.join("query.jsonl");
+    std::fs::write(
+        &query,
+        "{\"cmd\":\"query\",\"kind\":\"occurs\",\"var\":\"Main\",\"cons\":\"pc\"}\n",
+    )
+    .unwrap();
+    let (ok, text) = rasc(&[
+        "restore",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--snapshot",
+        snap.to_str().unwrap(),
+        "--input",
+        query.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert!(text.contains("restored 1 constraints"), "{text}");
+    assert!(text.contains(r#""result":true"#), "{text}");
+
+    // A torn snapshot is refused with the typed corruption error, not a
+    // panic or a silent mis-restore.
+    let torn = dir.join("torn.snap");
+    let bytes = std::fs::read(&snap).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    let (ok, text) = rasc(&[
+        "restore",
+        "--spec",
+        "assets/specs/privilege.spec",
+        "--snapshot",
+        torn.to_str().unwrap(),
+        "--input",
+        query.to_str().unwrap(),
+    ]);
+    assert!(!ok, "a torn snapshot must fail the restore: {text}");
+    assert!(text.contains("corrupt"), "{text}");
+}
+
+/// The batch protocol's error codes are a stable API surface — drivers
+/// and the server's clients match on them. This pins every code the
+/// README documents, including the snapshot taxonomy.
+#[test]
+fn batch_error_codes_are_stable() {
+    use std::io::Write;
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join("rasc_cli_codes_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let torn = dir.join("torn.snap");
+    std::fs::write(&torn, b"RASCSNAP\x01not a real snapshot").unwrap();
+    let missing = dir.join("does_not_exist.snap");
+    let _ = std::fs::remove_file(&missing);
+
+    let script: Vec<(String, &str)> = vec![
+        ("not json at all".into(), "malformed_json"),
+        (r#"{"cmd":"frobnicate"}"#.into(), "unknown_command"),
+        (r#"{"cmd":"add","lhs":"pc"}"#.into(), "bad_request"),
+        (r#"{"cmd":"declare","cons":"pc"}"#.into(), "ok"),
+        (
+            r#"{"cmd":"add","lhs":"pc","rhs":"V","ann":["no_such_symbol"]}"#.into(),
+            "unknown_symbol",
+        ),
+        (
+            r#"{"cmd":"query","kind":"occurs","var":"Missing","cons":"pc"}"#.into(),
+            "unknown_variable",
+        ),
+        (r#"{"cmd":"add","lhs":"pc","rhs":"Main"}"#.into(), "ok"),
+        (
+            r#"{"cmd":"query","kind":"occurs","var":"Main","cons":"zork"}"#.into(),
+            "unknown_constructor",
+        ),
+        (r#"{"cmd":"pop"}"#.into(), "no_open_epoch"),
+        (r#"{"cmd":"snapshot"}"#.into(), "bad_request"),
+        (
+            format!(r#"{{"cmd":"restore","path":"{}"}}"#, missing.display()),
+            "io",
+        ),
+        (
+            format!(r#"{{"cmd":"restore","path":"{}"}}"#, torn.display()),
+            "snapshot_corrupt",
+        ),
+        (r#"{"cmd":"limits","max_steps":1}"#.into(), "ok"),
+        (
+            r#"{"cmd":"add","lhs":"Main","rhs":"Tail","ann":["execl"]}"#.into(),
+            "budget_exhausted",
+        ),
+    ];
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rasc"))
+        .args(["batch", "--spec", "assets/specs/privilege.spec"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for (line, _) in &script {
+            writeln!(stdin, "{line}").unwrap();
+        }
+    }
+    let out = child.wait_with_output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(out.status.success(), "{text}");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), script.len(), "{text}");
+    for (i, (line, want)) in script.iter().enumerate() {
+        if *want == "ok" {
+            assert!(lines[i].contains(r#""ok":"#), "{line} -> {}", lines[i]);
+        } else {
+            assert!(
+                lines[i].contains(&format!(r#""code":"{want}""#)),
+                "stable code `{want}` for `{line}` -> {}",
+                lines[i]
+            );
+        }
+    }
 }
 
 #[test]

@@ -1,0 +1,423 @@
+//! Fault-injection property tests for the snapshot subsystem:
+//!
+//! * **Restore equals replay** — serializing a solved session and
+//!   restoring it must reproduce every observable query (occurrence
+//!   annotations, emptiness, acceptance, partial matches, consistency),
+//!   and the restored session must stay usable: adding more constraints
+//!   converges to the same fixpoint as an uninterrupted session.
+//! * **Crash recovery is last-durable-or-typed-error** — for every IO
+//!   fault the atomic write protocol can suffer (short write, ENOSPC,
+//!   crash before/after rename, torn file, bit rot), recovery either
+//!   yields exactly the last durable snapshot's observables or a clean
+//!   typed [`SnapshotError`]. No panics, no silently divergent restores.
+//!
+//! Observables are compared through the same semantic signatures the
+//! governor fault suite uses (sorted renderings, never hash order), and
+//! IO faults come from the deterministic [`IoFaultPlan`] machinery in
+//! `rasc_devtools`, so every failure replays bit-for-bit from a seed.
+
+use rasc::automata::{Alphabet, Dfa, SymbolId};
+use rasc::constraints::algebra::{Algebra, MonoidAlgebra};
+use rasc::constraints::snapshot::{read_snapshot_file, write_atomic};
+use rasc::constraints::{ConsId, SetExpr, SnapshotError, System, VarId, Variance};
+use rasc::Session;
+use rasc_devtools::{
+    forall, prop_assert, prop_assert_eq, Config, FaultyWriter, IoFaultKind, IoFaultPlan, Rng,
+};
+
+const N_VARS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum RandCon {
+    Edge(usize, usize, Option<u8>),
+    Const(usize, Option<u8>),
+    Wrap(usize, usize), // o(v1) ⊆ v2
+    Proj(usize, usize), // o⁻¹(v1) ⊆ v2
+    Sink(usize, usize), // v1 ⊆ o(v2)
+}
+
+fn arb_sym(rng: &mut Rng) -> Option<u8> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..2) as u8)
+    } else {
+        None
+    }
+}
+
+fn arb_con(rng: &mut Rng) -> RandCon {
+    let v = |rng: &mut Rng| rng.gen_range(0..N_VARS);
+    match rng.gen_range(0..12) {
+        0..=4 => {
+            let (a, b) = (v(rng), v(rng));
+            let s = arb_sym(rng);
+            RandCon::Edge(a, b, s)
+        }
+        5 | 6 => {
+            let a = v(rng);
+            let s = arb_sym(rng);
+            RandCon::Const(a, s)
+        }
+        7 | 8 => RandCon::Wrap(v(rng), v(rng)),
+        9 | 10 => RandCon::Proj(v(rng), v(rng)),
+        _ => RandCon::Sink(v(rng), v(rng)),
+    }
+}
+
+fn arb_cons(rng: &mut Rng, lo: usize, hi: usize) -> Vec<RandCon> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_con(rng)).collect()
+}
+
+fn machine() -> (Alphabet, Dfa) {
+    // Odd number of `a`, ending in `b` — 4-state minimal machine.
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let re = rasc::automata::Regex::parse("b* a (b | a b* a)* b+", &sigma).unwrap();
+    let dfa = re.compile(&sigma);
+    (sigma, dfa)
+}
+
+struct Shape {
+    vars: Vec<VarId>,
+    probe: ConsId,
+    o: ConsId,
+}
+
+fn declare(sys: &mut System<MonoidAlgebra>) -> Shape {
+    let vars = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    let o = sys.constructor("o", &[Variance::Covariant]);
+    Shape { vars, probe, o }
+}
+
+/// Adds one random constraint directly to a system (no solve).
+fn apply(sys: &mut System<MonoidAlgebra>, shape: &Shape, syms: &[SymbolId], c: &RandCon) {
+    let ann = |sys: &mut System<MonoidAlgebra>, s: &Option<u8>| match s {
+        Some(i) => sys.algebra_mut().word(&[syms[*i as usize]]),
+        None => sys.algebra().identity(),
+    };
+    match *c {
+        RandCon::Edge(a, b, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(SetExpr::var(shape.vars[a]), SetExpr::var(shape.vars[b]), w)
+                .unwrap();
+        }
+        RandCon::Const(v, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(
+                SetExpr::cons(shape.probe, []),
+                SetExpr::var(shape.vars[v]),
+                w,
+            )
+            .unwrap();
+        }
+        RandCon::Wrap(a, b) => {
+            sys.add(
+                SetExpr::cons_vars(shape.o, [shape.vars[a]]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Proj(a, b) => {
+            sys.add(
+                SetExpr::proj(shape.o, 0, shape.vars[a]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Sink(a, b) => {
+            sys.add(
+                SetExpr::var(shape.vars[a]),
+                SetExpr::cons_vars(shape.o, [shape.vars[b]]),
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Per-variable semantic observation: sorted probe occurrence annotations
+/// (rendered), emptiness, `o`-acceptance, partially matched occurrences —
+/// plus global consistency.
+type Signature = (Vec<(Vec<String>, bool, bool, Vec<String>)>, bool);
+
+fn session_signature(s: &mut Session<MonoidAlgebra>, shape: &Shape) -> Signature {
+    let per_var = shape
+        .vars
+        .iter()
+        .map(|&v| {
+            let mut occ: Vec<String> = s
+                .occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            occ.sort();
+            let nonempty = s.nonempty(v);
+            let o_reaches = s.occurs_accepting(v, shape.o);
+            let mut pn: Vec<String> = s
+                .pn_occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            pn.sort();
+            (occ, nonempty, o_reaches, pn)
+        })
+        .collect();
+    (per_var, s.is_consistent())
+}
+
+/// Builds a solved session from a constraint list.
+fn build(dfa: &Dfa, syms: &[SymbolId], cons: &[RandCon]) -> (Session<MonoidAlgebra>, Shape) {
+    let mut sess = Session::new(MonoidAlgebra::new(dfa));
+    let shape = declare(sess.system_mut());
+    for c in cons {
+        apply(sess.system_mut(), &shape, syms, c);
+    }
+    sess.system_mut().solve();
+    (sess, shape)
+}
+
+/// Names are diagnostics only at the `System` layer, so a restored
+/// session is queried through the same dense ids `declare` handed out
+/// (vars `0..N_VARS`, then `probe`, then `o`) rather than re-declared.
+fn restored_shape() -> Shape {
+    Shape {
+        vars: (0..N_VARS).map(VarId::from_index).collect(),
+        probe: ConsId::from_index(0),
+        o: ConsId::from_index(1),
+    }
+}
+
+fn restored_signature(bytes: &[u8]) -> Result<Signature, SnapshotError> {
+    let mut sess = Session::<MonoidAlgebra>::restore_bytes(bytes)?;
+    let shape = restored_shape();
+    Ok(session_signature(&mut sess, &shape))
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rasc-prop-snap-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn restore_equals_replay_on_the_full_query_surface() {
+    forall(
+        "restore_equals_replay_on_the_full_query_surface",
+        Config::cases(64),
+        |rng| (arb_cons(rng, 1, 24), arb_cons(rng, 0, 8)),
+        |(cons, extra)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+
+            let (mut original, shape) = build(&dfa, &syms, cons);
+            let want = session_signature(&mut original, &shape);
+            let bytes = original.snapshot_bytes().expect("solved session snapshots");
+
+            // Restore reproduces every observable...
+            let mut restored = Session::<MonoidAlgebra>::restore_bytes(&bytes)
+                .expect("round trip of a valid snapshot");
+            let shape_r = restored_shape();
+            prop_assert_eq!(
+                restored.system().num_vars(),
+                original.system().num_vars(),
+                "restored variable table diverged"
+            );
+            let got = session_signature(&mut restored, &shape_r);
+            prop_assert_eq!(&got, &want, "restore diverged from the snapshotted session");
+
+            // ...and serialization is deterministic: the restored session
+            // re-snapshots to byte-identical output.
+            let again = restored
+                .snapshot_bytes()
+                .expect("restored session snapshots");
+            prop_assert_eq!(&again, &bytes, "snapshot bytes are not deterministic");
+
+            // The restored session stays usable: growing it converges to
+            // the same fixpoint as replaying everything from scratch.
+            for c in extra {
+                apply(restored.system_mut(), &shape_r, &syms, c);
+            }
+            restored.system_mut().solve();
+            let grown = session_signature(&mut restored, &shape_r);
+
+            let all: Vec<RandCon> = cons.iter().chain(extra).cloned().collect();
+            let (mut replay, shape_p) = build(&dfa, &syms, &all);
+            let want_grown = session_signature(&mut replay, &shape_p);
+            prop_assert_eq!(
+                &grown,
+                &want_grown,
+                "post-restore growth diverged from replay"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn corrupted_snapshots_are_rejected_never_misrestored() {
+    forall(
+        "corrupted_snapshots_are_rejected_never_misrestored",
+        Config::cases(64),
+        |rng| {
+            let cons = arb_cons(rng, 1, 16);
+            let plans: Vec<IoFaultPlan> = (0..rng.gen_range(1..4))
+                .map(|_| IoFaultPlan::arbitrary(rng, 4096))
+                .collect();
+            (cons, plans)
+        },
+        |(cons, plans)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            let (original, _) = build(&dfa, &syms, cons);
+            let bytes = original.snapshot_bytes().expect("solved session snapshots");
+            let want = restored_signature(&bytes).expect("pristine bytes restore");
+
+            for plan in plans {
+                let Some(mangled) = plan.corrupt(&bytes) else {
+                    continue;
+                };
+                if mangled == *bytes {
+                    continue; // truncation past the end is a no-op
+                }
+                // A torn or bit-rotted snapshot must surface as a typed
+                // corruption error — or, if the checksums somehow still
+                // pass, restore to exactly the original observables.
+                // Silent divergence is the one forbidden outcome.
+                match restored_signature(&mangled) {
+                    Err(SnapshotError::Corrupt { .. }) => {}
+                    Err(other) => {
+                        prop_assert!(
+                            false,
+                            "corruption {plan:?} yielded non-corruption error {other:?}"
+                        );
+                    }
+                    Ok(sig) => {
+                        prop_assert_eq!(
+                            &sig,
+                            &want,
+                            "corruption {plan:?} silently restored divergent state"
+                        );
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn crash_recovery_yields_last_durable_snapshot_or_typed_error() {
+    let dir = temp_dir("crash");
+    forall(
+        "crash_recovery_yields_last_durable_snapshot_or_typed_error",
+        Config::cases(48),
+        |rng| {
+            (
+                arb_cons(rng, 1, 12),
+                arb_cons(rng, 1, 8),
+                IoFaultPlan::arbitrary(rng, 4096),
+            )
+        },
+        |(base, extra, plan)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+
+            // The last durable snapshot: `base` constraints, written
+            // atomically and fully fsynced.
+            let (old_sess, _) = build(&dfa, &syms, base);
+            let old_bytes = old_sess.snapshot_bytes().expect("solved session snapshots");
+            let want_old = restored_signature(&old_bytes).expect("durable bytes restore");
+
+            // The snapshot being written when the fault strikes.
+            let all: Vec<RandCon> = base.iter().chain(extra).cloned().collect();
+            let (new_sess, _) = build(&dfa, &syms, &all);
+            let new_bytes = new_sess.snapshot_bytes().expect("solved session snapshots");
+            let want_new = restored_signature(&new_bytes).expect("new bytes restore");
+
+            let target = dir.join(format!("case-{:x}.snap", plan.at_byte));
+            write_atomic(&target, &old_bytes).expect("seeding the durable snapshot");
+
+            if plan.fails_write() {
+                // The device fails mid-write: the writer must surface a
+                // typed IO error and the durable snapshot on disk must
+                // be untouched. (A fault offset past the snapshot's end
+                // never fires — the write then simply completes.)
+                let mut sink = FaultyWriter::new(Vec::new(), *plan);
+                match new_sess.snapshot_to_writer(&mut sink) {
+                    Err(SnapshotError::Io(_)) => {
+                        prop_assert!(sink.tripped(), "Io error without the fault firing");
+                    }
+                    Err(other) => {
+                        prop_assert!(false, "write fault surfaced as {other:?}, not Io");
+                    }
+                    Ok(_) => {
+                        prop_assert!(
+                            plan.at_byte >= new_bytes.len(),
+                            "in-range write fault {plan:?} did not fail the snapshot"
+                        );
+                    }
+                }
+                let on_disk = read_snapshot_file(&target).expect("durable target readable");
+                prop_assert_eq!(&on_disk, &old_bytes, "failed write touched the target");
+                prop_assert_eq!(
+                    &restored_signature(&on_disk).expect("durable bytes restore"),
+                    &want_old,
+                    "recovery after failed write lost the durable snapshot"
+                );
+            } else if let Some((target_state, tmp_state)) =
+                plan.crash_state(Some(&old_bytes), &new_bytes)
+            {
+                // Crash around the rename: materialize exactly the
+                // on-disk world the protocol can leave behind.
+                match target_state {
+                    Some(contents) => std::fs::write(&target, contents).unwrap(),
+                    None => {
+                        let _ = std::fs::remove_file(&target);
+                    }
+                }
+                let tmp = target.with_extension("snap.tmp");
+                match &tmp_state {
+                    Some(contents) => std::fs::write(&tmp, contents).unwrap(),
+                    None => {
+                        let _ = std::fs::remove_file(&tmp);
+                    }
+                }
+
+                // Recovery reads the target — never the tmp — and must
+                // see exactly one of the two committed worlds.
+                let recovered = read_snapshot_file(&target)
+                    .expect("crash states always leave a readable target");
+                let sig = restored_signature(&recovered)
+                    .expect("crash states always leave a valid target");
+                let expect = match plan.kind {
+                    IoFaultKind::CrashBeforeRename => &want_old,
+                    _ => &want_new,
+                };
+                prop_assert_eq!(&sig, expect, "crash recovery saw a third world ({plan:?})");
+
+                // A stray tmp is either a complete new snapshot or torn;
+                // restoring it must never panic or silently diverge.
+                if let Some(stray) = tmp_state {
+                    match restored_signature(&stray) {
+                        Err(SnapshotError::Corrupt { .. }) => {}
+                        Err(other) => {
+                            prop_assert!(false, "stray tmp gave non-corruption error {other:?}");
+                        }
+                        Ok(sig) => prop_assert_eq!(
+                            &sig,
+                            &want_new,
+                            "complete stray tmp diverged from the new snapshot"
+                        ),
+                    }
+                }
+            }
+
+            let _ = std::fs::remove_file(&target);
+            let _ = std::fs::remove_file(target.with_extension("snap.tmp"));
+            Ok(())
+        },
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

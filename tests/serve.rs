@@ -1,6 +1,7 @@
 //! Integration tests for `rasc-serve`: concurrent loopback clients,
-//! hostile input over TCP, admission control, and graceful shutdown
-//! with a request deterministically in flight.
+//! hostile input over TCP, admission control, graceful shutdown with a
+//! request deterministically in flight, and crash-safe warm restart
+//! from a snapshot directory.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -327,4 +328,154 @@ fn graceful_shutdown_drains_the_in_flight_request() {
         TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
         "a drained server must not accept new connections"
     );
+}
+
+fn snapshot_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rasc-serve-snap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn snapshot_dir_warm_restarts_across_server_generations() {
+    let dir = snapshot_temp_dir("warm");
+
+    // Generation 1: build state, capture it with the in-band command.
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+    assert!(c
+        .roundtrip(r#"{"cmd":"add","lhs":"pc","rhs":"Main","ann":["g"]}"#)
+        .contains(r#""ok":"add""#));
+
+    // Remote clients must not choose filesystem paths on the server.
+    let r = c.roundtrip(r#"{"cmd":"snapshot","path":"/tmp/evil.snap"}"#);
+    let parsed = Json::parse(&r).expect("valid JSON");
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "client-chosen snapshot paths must be refused in serve mode: {r}"
+    );
+
+    let r = c.roundtrip(r#"{"cmd":"snapshot"}"#);
+    assert!(
+        r.contains(r#""ok":"snapshot""#) && r.contains("current.snap"),
+        "{r}"
+    );
+    handle.shutdown();
+    join.join().expect("server joins");
+    assert!(
+        dir.join("current.snap").exists(),
+        "graceful shutdown must leave a checkpoint"
+    );
+
+    // Generation 2: a fresh server over the same directory warm-starts
+    // every new connection from the captured solved form — names,
+    // constraints, and annotations all answer without replay.
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    let r = c.roundtrip(r#"{"cmd":"query","kind":"occurs","var":"Main","cons":"pc"}"#);
+    assert!(
+        r.contains(r#""result":true"#),
+        "warm restart lost the solved form: {r}"
+    );
+    // The restored session keeps growing like any other.
+    assert!(c
+        .roundtrip(r#"{"cmd":"add","lhs":"pc","rhs":"Other","ann":["g"]}"#)
+        .contains(r#""ok":"add""#));
+    let r = c.roundtrip(r#"{"cmd":"query","kind":"occurs","var":"Other","cons":"pc"}"#);
+    assert!(r.contains(r#""result":true"#), "{r}");
+
+    handle.shutdown();
+    join.join().expect("server joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_base_image_degrades_to_a_cold_start() {
+    let dir = snapshot_temp_dir("corrupt");
+    std::fs::write(dir.join("current.snap"), b"RASCSNAP\x01torn-to-bits").expect("seed");
+
+    // Binding must neither panic nor serve the torn image.
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    let r = c.roundtrip(r#"{"cmd":"query","kind":"occurs","var":"Main","cons":"pc"}"#);
+    assert!(
+        r.contains(r#""code":"unknown_constructor""#) || r.contains(r#""code":"unknown_variable""#),
+        "a corrupt base image must yield a cold start, not a mis-restore: {r}"
+    );
+    // The connection is fully usable; an explicit in-band restore of the
+    // torn file reports the typed corruption error.
+    let r = c.roundtrip(r#"{"cmd":"restore"}"#);
+    let parsed = Json::parse(&r).expect("valid JSON");
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("snapshot_corrupt"),
+        "{r}"
+    );
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+
+    handle.shutdown();
+    join.join().expect("server joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn external_shutdown_flag_drains_and_checkpoints() {
+    let dir = snapshot_temp_dir("flag");
+    let flag = Arc::new(AtomicBool::new(false));
+    let (handle, join) = spawn_server(ServeConfig {
+        poll_millis: 5,
+        snapshot_dir: Some(dir.clone()),
+        shutdown_flag: Some(Arc::clone(&flag)),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    let mut c = Client::connect(addr);
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+    assert!(c
+        .roundtrip(r#"{"cmd":"add","lhs":"pc","rhs":"Main","ann":["g"]}"#)
+        .contains(r#""ok":"add""#));
+    assert!(c
+        .roundtrip(r#"{"cmd":"snapshot"}"#)
+        .contains(r#""ok":"snapshot""#));
+
+    // Raising the externally wired flag (the CLI's SIGINT/SIGTERM
+    // handler) initiates the same graceful drain as the admin command.
+    flag.store(true, Ordering::SeqCst);
+    assert!(handle.is_draining());
+    assert_eq!(c.recv(), None, "drained connections close");
+    join.join().expect("server joins");
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+        "a signal-drained server must stop accepting"
+    );
+    assert!(
+        dir.join("current.snap").exists(),
+        "signal-driven shutdown must still checkpoint"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
