@@ -5,9 +5,12 @@
 //! solve boundaries, so a wired-up-but-discarding subscriber may add at
 //! most 5% to solve time.
 //!
-//! Emits `BENCH_observability.json` with the medians and the ratio, and
-//! exits non-zero when the guard is violated. A third, informational row
-//! measures a real recording subscriber (`Recorder`).
+//! Emits `BENCH_observability.json` with the medians and the ratios, and
+//! exits non-zero when the guard is violated. The same ≤5% budget is
+//! enforced for [`rasc_obs::MetricsRegistry`] — the aggregating sink
+//! `rasc serve` keeps permanently installed — since its hot path is a
+//! shard lookup plus one relaxed atomic add. A further, informational
+//! row measures a real recording subscriber (`Recorder`).
 //!
 //! Usage: `observability [out.json]`.
 
@@ -20,7 +23,7 @@ use rasc_core::algebra::MonoidAlgebra;
 use rasc_core::{SetExpr, System};
 use rasc_devtools::bench;
 use rasc_inc::json::{obj, Json};
-use rasc_obs::{scoped, EventSink, NoopSink, Recorder};
+use rasc_obs::{scoped, EventSink, MetricsRegistry, NoopSink, Recorder};
 
 /// Builds and fully solves the workload, returning the probe answer so
 /// the optimizer keeps the work.
@@ -56,6 +59,12 @@ fn main() {
     let noop = bench("noop sink", min_iters, min_time, || {
         scoped(Arc::new(NoopSink), || solve_once(&machine, &wl))
     });
+    let registry_sink: Arc<MetricsRegistry> = Arc::new(MetricsRegistry::new());
+    let registry = bench("metrics registry", min_iters, min_time, || {
+        scoped(Arc::clone(&registry_sink) as Arc<dyn EventSink>, || {
+            solve_once(&machine, &wl)
+        })
+    });
     let recorder_sink: Arc<Recorder> = Arc::new(Recorder::new());
     let recording = bench("recorder", min_iters, min_time, || {
         scoped(Arc::clone(&recorder_sink) as Arc<dyn EventSink>, || {
@@ -64,14 +73,16 @@ fn main() {
     });
 
     let ratio = noop.median_ns / baseline.median_ns;
+    let registry_ratio = registry.median_ns / baseline.median_ns;
     let recorder_ratio = recording.median_ns / baseline.median_ns;
     for (label, stats, r) in [
         ("no sink", &baseline, 1.0),
         ("noop sink", &noop, ratio),
+        ("metrics registry", &registry, registry_ratio),
         ("recorder", &recording, recorder_ratio),
     ] {
         println!(
-            "{label:>10}: median {:.3} ms over {} iters ({:.3}x baseline)",
+            "{label:>16}: median {:.3} ms over {} iters ({:.3}x baseline)",
             stats.median_ns / 1e6,
             stats.iters,
             r
@@ -85,8 +96,10 @@ fn main() {
         ("edges", Json::from(wl.edges.len())),
         ("baseline_median_ns", Json::Num(baseline.median_ns)),
         ("noop_sink_median_ns", Json::Num(noop.median_ns)),
+        ("metrics_registry_median_ns", Json::Num(registry.median_ns)),
         ("recorder_median_ns", Json::Num(recording.median_ns)),
         ("noop_overhead_ratio", Json::Num(ratio)),
+        ("metrics_registry_overhead_ratio", Json::Num(registry_ratio)),
         ("recorder_overhead_ratio", Json::Num(recorder_ratio)),
         ("max_allowed_ratio", Json::Num(1.05)),
     ]);
@@ -97,5 +110,10 @@ fn main() {
         ratio <= 1.05,
         "a NoopSink subscriber may add at most 5% to solve time \
          (got {ratio:.3}x baseline)"
+    );
+    assert!(
+        registry_ratio <= 1.05,
+        "the aggregating MetricsRegistry must fit the same 5% budget \
+         (got {registry_ratio:.3}x baseline)"
     );
 }

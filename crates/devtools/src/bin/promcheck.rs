@@ -1,0 +1,68 @@
+//! CI gate: validates a Prometheus text-exposition page scraped from
+//! `rasc serve --admin-addr` (or any `rasc_obs::MetricsRegistry` user)
+//! against the exposition format.
+//!
+//! Usage: `promcheck FILE…` — exits non-zero on the first invalid file
+//! and prints a per-file family/sample summary otherwise. Pass
+//! `--require NAME` to additionally fail unless sample `NAME` is present
+//! (CI uses it to prove a scrape actually saw request traffic).
+
+use std::process::ExitCode;
+
+use rasc_devtools::validate_prometheus;
+
+fn main() -> ExitCode {
+    let mut required: Vec<String> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--require" {
+            match args.next() {
+                Some(name) => required.push(name),
+                None => {
+                    eprintln!("promcheck: --require needs a sample name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: promcheck [--require SAMPLE]... FILE...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("promcheck: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match validate_prometheus(&text) {
+            Ok(s) => {
+                for name in &required {
+                    match s.values.get(name) {
+                        Some(v) => println!("{path}: {name} = {v}"),
+                        None => {
+                            eprintln!("promcheck: `{path}` has no sample `{name}`");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let (counters, gauges, histograms) = s.families;
+                println!(
+                    "{path}: ok — {} samples ({counters} counters, {gauges} gauges, \
+                     {histograms} histograms)",
+                    s.samples
+                );
+            }
+            Err(msg) => {
+                eprintln!("promcheck: `{path}` is not a valid exposition page: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -17,7 +17,9 @@
 //! * [`hostile`] — adversarial batch-protocol line generation, shared by
 //!   the stdin and TCP fuzz suites;
 //! * [`validate_chrome_trace`] — schema checker for the Chrome
-//!   trace-event files `rasc_obs::ChromeTraceSink` writes.
+//!   trace-event files `rasc_obs::ChromeTraceSink` writes;
+//! * [`validate_prometheus`] — checker for the Prometheus text
+//!   exposition pages the `rasc serve --admin-addr` endpoint emits.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,6 +28,7 @@ mod bench;
 mod fault;
 mod faultio;
 pub mod hostile;
+mod promcheck;
 mod prop;
 mod rng;
 mod trace_check;
@@ -33,6 +36,7 @@ mod trace_check;
 pub use bench::{bench, bench_secs, BenchStats, Bencher};
 pub use fault::{FaultKind, FaultPlan, SteppedClock};
 pub use faultio::{FaultyWriter, IoFaultKind, IoFaultPlan};
+pub use promcheck::{validate_prometheus, PromSummary};
 pub use prop::{forall, Config, Shrink, Unshrunk};
 pub use rng::Rng;
 pub use trace_check::{validate_chrome_trace, TraceSummary};

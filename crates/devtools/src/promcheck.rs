@@ -1,0 +1,283 @@
+//! Prometheus text-exposition validation, for the admin-endpoint
+//! integration tests and the CI scrape job.
+//!
+//! Checks the subset of the text exposition format (version 0.0.4) that
+//! `rasc_obs::MetricsSnapshot::to_prometheus` emits and that a
+//! Prometheus scraper requires to ingest a page at all:
+//!
+//! * every line is a `# TYPE <name> <counter|gauge|histogram>` /
+//!   `# HELP` comment or a `<name>[{labels}] <value>` sample;
+//! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`;
+//! * every sample belongs to a preceding `# TYPE` family (counters via
+//!   their `_total` suffix, histograms via `_bucket`/`_sum`/`_count`);
+//! * histogram bucket series are cumulative (non-decreasing in `le`
+//!   order), end with an `le="+Inf"` bucket, and agree with `_count`;
+//! * no metric name is declared twice and no sample is duplicated.
+
+use std::collections::BTreeMap;
+
+/// What [`validate_prometheus`] saw in a well-formed exposition page.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromSummary {
+    /// `# TYPE` families declared, by kind: `(counters, gauges, histograms)`.
+    pub families: (usize, usize, usize),
+    /// Total sample lines.
+    pub samples: usize,
+    /// Every non-bucket sample value by full sample name (including
+    /// `_total`/`_sum`/`_count` suffixes), so callers can assert on e.g.
+    /// `serve_requests_total`.
+    pub values: BTreeMap<String, f64>,
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_alphabetic() || first == '_' || first == ':')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+/// Per-histogram bucket bookkeeping while scanning its sample lines.
+#[derive(Debug, Default)]
+struct HistState {
+    last_cumulative: Option<u64>,
+    saw_inf: Option<u64>,
+    count: Option<u64>,
+}
+
+/// Validates `text` as a Prometheus text exposition page; returns a
+/// summary of the families and samples seen, or a message pinpointing
+/// the first violation.
+pub fn validate_prometheus(text: &str) -> Result<PromSummary, String> {
+    let mut families: BTreeMap<String, Kind> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistState> = BTreeMap::new();
+    let mut summary = PromSummary::default();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: `# TYPE` without a metric name"))?;
+                    if !valid_name(name) {
+                        return Err(format!("line {n}: bad metric name `{name}`"));
+                    }
+                    let kind = match parts.next() {
+                        Some("counter") => Kind::Counter,
+                        Some("gauge") => Kind::Gauge,
+                        Some("histogram") => Kind::Histogram,
+                        other => {
+                            return Err(format!("line {n}: bad metric type {other:?}"));
+                        }
+                    };
+                    if families.insert(name.to_owned(), kind).is_some() {
+                        return Err(format!("line {n}: metric `{name}` declared twice"));
+                    }
+                    match kind {
+                        Kind::Counter => summary.families.0 += 1,
+                        Kind::Gauge => summary.families.1 += 1,
+                        Kind::Histogram => {
+                            summary.families.2 += 1;
+                            hists.insert(name.to_owned(), HistState::default());
+                        }
+                    }
+                }
+                Some("HELP") => {} // free-form; nothing to check
+                _ => return Err(format!("line {n}: unrecognized comment `{line}`")),
+            }
+            continue;
+        }
+        // A sample: `name value` or `name{labels} value`.
+        let (name_part, value_part) = match line.find([' ', '\t']) {
+            Some(i) if !line[..i].contains('{') => (&line[..i], line[i..].trim()),
+            _ => {
+                let close = line
+                    .find('}')
+                    .ok_or_else(|| format!("line {n}: malformed sample `{line}`"))?;
+                (&line[..=close], line[close + 1..].trim())
+            }
+        };
+        let (name, labels) = match name_part.split_once('{') {
+            Some((n_, l)) => (
+                n_,
+                Some(
+                    l.strip_suffix('}')
+                        .ok_or_else(|| format!("line {n}: unterminated labels in `{line}`"))?,
+                ),
+            ),
+            None => (name_part, None),
+        };
+        if !valid_name(name) {
+            return Err(format!("line {n}: bad metric name `{name}`"));
+        }
+        let value: f64 = if value_part == "+Inf" {
+            f64::INFINITY
+        } else {
+            value_part
+                .parse()
+                .map_err(|_| format!("line {n}: bad sample value `{value_part}`"))?
+        };
+        summary.samples += 1;
+        // Resolve the family this sample belongs to.
+        let family = if let Some(base) = name.strip_suffix("_bucket") {
+            let Some(Kind::Histogram) = families.get(base).copied() else {
+                return Err(format!("line {n}: `{name}` has no histogram family"));
+            };
+            let labels =
+                labels.ok_or_else(|| format!("line {n}: `{name}` bucket without `le` label"))?;
+            let le = labels
+                .split(',')
+                .find_map(|kv| kv.trim().strip_prefix("le="))
+                .map(|v| v.trim_matches('"'))
+                .ok_or_else(|| format!("line {n}: `{name}` bucket without `le` label"))?;
+            let cumulative = value as u64;
+            let Some(state) = hists.get_mut(base) else {
+                return Err(format!("line {n}: `{name}` has no histogram family"));
+            };
+            if let Some(prev) = state.last_cumulative {
+                if cumulative < prev {
+                    return Err(format!(
+                        "line {n}: `{name}` bucket series not cumulative ({cumulative} < {prev})"
+                    ));
+                }
+            }
+            state.last_cumulative = Some(cumulative);
+            if le == "+Inf" {
+                if state.saw_inf.is_some() {
+                    return Err(format!("line {n}: `{name}` has two +Inf buckets"));
+                }
+                state.saw_inf = Some(cumulative);
+            } else if le.parse::<f64>().is_err() {
+                return Err(format!("line {n}: `{name}` has bad le boundary `{le}`"));
+            }
+            base.to_owned()
+        } else if let Some(base) = name.strip_suffix("_sum") {
+            if families.get(base) == Some(&Kind::Histogram) {
+                base.to_owned()
+            } else {
+                name.to_owned()
+            }
+        } else if let Some(base) = name.strip_suffix("_count") {
+            if families.get(base) == Some(&Kind::Histogram) {
+                if let Some(state) = hists.get_mut(base) {
+                    state.count = Some(value as u64);
+                }
+                base.to_owned()
+            } else {
+                name.to_owned()
+            }
+        } else {
+            name.to_owned()
+        };
+        if !families.contains_key(&family) && !families.contains_key(name) {
+            return Err(format!("line {n}: sample `{name}` has no `# TYPE` family"));
+        }
+        if !name.ends_with("_bucket") {
+            let key = match labels {
+                Some(l) => format!("{name}{{{l}}}"),
+                None => name.to_owned(),
+            };
+            if summary.values.insert(key, value).is_some() {
+                return Err(format!("line {n}: duplicate sample `{name}`"));
+            }
+        }
+    }
+    for (name, state) in &hists {
+        let inf = state
+            .saw_inf
+            .ok_or_else(|| format!("histogram `{name}` has no +Inf bucket"))?;
+        let count = state
+            .count
+            .ok_or_else(|| format!("histogram `{name}` has no `_count` sample"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram `{name}`: +Inf bucket {inf} disagrees with _count {count}"
+            ));
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_a_well_formed_page() {
+        let page = "\
+# TYPE serve_requests_total counter
+serve_requests_total 42
+# TYPE serve_inflight gauge
+serve_inflight 3
+# TYPE serve_request_micros histogram
+serve_request_micros_bucket{le=\"127\"} 1
+serve_request_micros_bucket{le=\"255\"} 2
+serve_request_micros_bucket{le=\"+Inf\"} 2
+serve_request_micros_sum 300
+serve_request_micros_count 2
+";
+        let s = validate_prometheus(page).unwrap();
+        assert_eq!(s.families, (1, 1, 1));
+        assert_eq!(s.values["serve_requests_total"], 42.0);
+        assert_eq!(s.values["serve_request_micros_count"], 2.0);
+    }
+
+    #[test]
+    fn rejects_violations() {
+        for (page, why) in [
+            ("serve_requests_total 1\n", "sample with no family"),
+            ("# TYPE x counter\nx_total nope\n", "bad value"),
+            ("# TYPE 9x counter\n", "bad name"),
+            ("# TYPE x counter\n# TYPE x counter\n", "declared twice"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"3\"} 2\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+                "+Inf disagrees with count",
+            ),
+            (
+                "# TYPE h histogram\nh_sum 1\nh_count 0\n",
+                "missing +Inf bucket",
+            ),
+            (
+                "# TYPE x counter\nx_total 1\nx_total 2\n",
+                "duplicate sample",
+            ),
+        ] {
+            assert!(validate_prometheus(page).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn accepts_registry_output_end_to_end() {
+        let reg = rasc_obs::MetricsRegistry::new();
+        reg.counter("serve.requests", 7);
+        reg.gauge("serve.inflight", 2);
+        for v in [0u64, 1, 5, 130, 70_000] {
+            reg.histogram("serve.request.micros", v);
+        }
+        use rasc_obs::EventSink as _;
+        reg.span_begin("serve.connection");
+        reg.span_end("serve.connection");
+        let s = validate_prometheus(&reg.render_prometheus()).unwrap();
+        assert_eq!(s.values["serve_requests_total"], 7.0);
+        assert_eq!(s.values["serve_request_micros_count"], 5.0);
+        assert_eq!(s.values["serve_connection_spans_total"], 1.0);
+    }
+}

@@ -46,7 +46,11 @@
 //!   constraint it came from. Provenance recording is always on for
 //!   batch sessions.
 //! * `stats` — solver statistics (including budget fuel, interruptions,
-//!   and cycle-search depth-limit hits) plus cache counters.
+//!   and cycle-search depth-limit hits) plus cache counters. An optional
+//!   `scope` selects `"session"` (the default: whole-session totals) or
+//!   `"request"` (deltas since the embedder's last
+//!   [`BatchEngine::begin_request`] boundary — what one request cost);
+//!   any other scope is a `bad_request`.
 //! * `snapshot` / `restore` — persist the session's solved form to a
 //!   crash-safe snapshot file and reload one. `path` selects the file;
 //!   omitted, the engine's configured default path (set by the embedder,
@@ -58,7 +62,10 @@
 //! Error codes: `malformed_json`, `bad_request`, `unknown_command`,
 //! `unknown_symbol`, `unknown_constructor`, `unknown_variable`,
 //! `already_declared`, `no_open_epoch`, `constraint_rejected`,
-//! `budget_exhausted`, `snapshot_corrupt`, `io`, `internal`.
+//! `budget_exhausted`, `snapshot_corrupt`, `io`, `internal`. When the
+//! embedder has set a request id ([`BatchEngine::begin_request`]), error
+//! responses additionally carry a top-level `"req"` field correlating the
+//! error with the embedder's spans and slow-query-log lines.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -213,6 +220,46 @@ pub struct BatchEngine {
     /// `snapshot` command (the serve layer refreshes its warm-start base
     /// image here).
     snapshot_hook: Option<SnapshotHook>,
+    /// The embedder-assigned id of the request being handled; echoed as a
+    /// top-level `"req"` field on error responses so operators can join
+    /// protocol errors against spans and slow-query-log lines.
+    request_id: Option<u64>,
+    /// Engine figures captured at the last [`BatchEngine::begin_request`]
+    /// boundary; `{"cmd":"stats","scope":"request"}` reports deltas
+    /// against it.
+    request_base: RequestStats,
+}
+
+/// Point-in-time engine figures cheap enough to sample around every
+/// request: the serve layer's slow-query log and the
+/// `{"cmd":"stats","scope":"request"}` command both diff two of these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Worklist fuel charged against limited budgets so far.
+    pub fuel_spent: u64,
+    /// Worklist facts processed so far (including duplicates).
+    pub facts_processed: u64,
+    /// Open epoch depth right now.
+    pub epoch_depth: usize,
+    /// Incremental-cache hits so far.
+    pub cache_hits: u64,
+    /// Incremental-cache misses so far.
+    pub cache_misses: u64,
+}
+
+impl RequestStats {
+    /// The change from `base` to `self`, saturating at zero: a rolled-back
+    /// epoch can move the session's counters *backwards* past the request
+    /// boundary, and a delta must never underflow into nonsense.
+    pub fn delta_since(&self, base: &RequestStats) -> RequestStats {
+        RequestStats {
+            fuel_spent: self.fuel_spent.saturating_sub(base.fuel_spent),
+            facts_processed: self.facts_processed.saturating_sub(base.facts_processed),
+            epoch_depth: self.epoch_depth,
+            cache_hits: self.cache_hits.saturating_sub(base.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(base.cache_misses),
+        }
+    }
 }
 
 /// The callable a [`SnapshotHook`] wraps: serialized snapshot bytes in,
@@ -254,6 +301,8 @@ impl BatchEngine {
             snapshot_path: None,
             client_snapshot_paths: true,
             snapshot_hook: None,
+            request_id: None,
+            request_base: RequestStats::default(),
         }
     }
 
@@ -306,6 +355,30 @@ impl BatchEngine {
         self.snapshot_hook = Some(SnapshotHook(Box::new(hook)));
     }
 
+    /// Marks the start of a new request: records `id` (echoed as `"req"`
+    /// on error responses; `None` clears it) and snapshots the engine
+    /// figures that `{"cmd":"stats","scope":"request"}` reports deltas
+    /// against. The serve layer calls this once per request line.
+    pub fn begin_request(&mut self, id: Option<u64>) {
+        self.request_id = id;
+        self.request_base = self.request_stats();
+    }
+
+    /// The engine figures a per-request delta is computed from — cheap
+    /// enough to sample around every request (used by the serve layer's
+    /// slow-query log).
+    pub fn request_stats(&self) -> RequestStats {
+        let s = self.session.stats();
+        let c = self.session.cache_stats();
+        RequestStats {
+            fuel_spent: u64::try_from(s.fuel_spent).unwrap_or(u64::MAX),
+            facts_processed: u64::try_from(s.facts_processed).unwrap_or(u64::MAX),
+            epoch_depth: self.session.epoch_depth(),
+            cache_hits: c.hits,
+            cache_misses: c.misses,
+        }
+    }
+
     /// Handles one input line; `None` for blank/comment lines, otherwise
     /// exactly one JSON response line. Never panics and never aborts the
     /// stream, whatever the input.
@@ -335,6 +408,16 @@ impl BatchEngine {
             Err(msg) => {
                 BatchError::new("malformed_json", format!("malformed JSON: {msg}")).render()
             }
+        };
+        // Stamp error responses with the embedder's request id so a
+        // protocol error in a server log can be joined against the span
+        // and slow-query-log entries for the same request.
+        let response = match (self.request_id, response) {
+            (Some(id), Json::Obj(mut fields)) if fields.iter().any(|(k, _)| k == "error") => {
+                fields.push(("req".to_owned(), Json::from(id)));
+                Json::Obj(fields)
+            }
+            (_, r) => r,
         };
         Some(response.render())
     }
@@ -367,7 +450,7 @@ impl BatchEngine {
             }
             "query" => self.query(cmd),
             "explain" => self.explain(cmd),
-            "stats" => Ok(self.stats()),
+            "stats" => self.cmd_stats(cmd),
             "snapshot" => self.cmd_snapshot(cmd),
             "restore" => self.cmd_restore(cmd),
             other => Err(BatchError::new(
@@ -745,6 +828,38 @@ impl BatchEngine {
         ]))
     }
 
+    /// `{"cmd":"stats"}` / `{"cmd":"stats","scope":"session"|"request"}`.
+    /// The default `session` scope reports whole-session totals (the
+    /// historical shape); `request` reports deltas since the last
+    /// [`BatchEngine::begin_request`] boundary.
+    fn cmd_stats(&self, cmd: &Json) -> Result<Json, BatchError> {
+        match cmd.get("scope") {
+            None => Ok(self.stats()),
+            Some(scope) => match scope.as_str() {
+                Some("session") => Ok(self.stats()),
+                Some("request") => {
+                    let d = self.request_stats().delta_since(&self.request_base);
+                    let mut fields = vec![
+                        ("ok", Json::from("stats")),
+                        ("scope", Json::from("request")),
+                        ("fuel_spent", Json::from(d.fuel_spent)),
+                        ("facts_processed", Json::from(d.facts_processed)),
+                        ("epoch_depth", Json::from(d.epoch_depth)),
+                        ("cache_hits", Json::from(d.cache_hits)),
+                        ("cache_misses", Json::from(d.cache_misses)),
+                    ];
+                    if let Some(id) = self.request_id {
+                        fields.push(("req", Json::from(id)));
+                    }
+                    Ok(obj(fields))
+                }
+                _ => Err(bad_request(
+                    "stats: `scope` must be \"session\" or \"request\"",
+                )),
+            },
+        }
+    }
+
     fn stats(&self) -> Json {
         let s = self.session.stats();
         let c = self.session.cache_stats();
@@ -1108,6 +1223,68 @@ mod tests {
         assert_eq!(error_code(&r), Some("unknown_constructor"));
         let r = run(&mut e, r#"{"cmd":"explain","var":"Y"}"#);
         assert_eq!(error_code(&r), Some("bad_request"));
+    }
+
+    #[test]
+    fn stats_request_scope_reports_deltas_and_rejects_bad_scopes() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"limits","max_steps":100000}"#);
+        e.begin_request(Some(7));
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        let r = run(&mut e, r#"{"cmd":"stats","scope":"request"}"#);
+        assert_eq!(r.get("ok").unwrap().as_str(), Some("stats"));
+        assert_eq!(r.get("scope").unwrap().as_str(), Some("request"));
+        assert_eq!(r.get("req").unwrap().as_u64(), Some(7));
+        assert!(r.get("fuel_spent").unwrap().as_u64().unwrap() > 0);
+        // A fresh boundary zeroes the deltas.
+        e.begin_request(Some(8));
+        let r = run(&mut e, r#"{"cmd":"stats","scope":"request"}"#);
+        assert_eq!(r.get("fuel_spent").unwrap().as_u64(), Some(0));
+        // `session` scope keeps the historical shape; totals persist.
+        let r = run(&mut e, r#"{"cmd":"stats","scope":"session"}"#);
+        assert!(r.get("fuel_spent").unwrap().as_u64().unwrap() > 0);
+        assert!(r.get("vars").is_some());
+        // Unknown or non-string scopes are rejected in-band.
+        let r = run(&mut e, r#"{"cmd":"stats","scope":"bogus"}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+        let r = run(&mut e, r#"{"cmd":"stats","scope":3}"#);
+        assert_eq!(error_code(&r), Some("bad_request"));
+    }
+
+    #[test]
+    fn error_responses_carry_the_request_id_when_set() {
+        let mut e = engine();
+        let r = run(&mut e, r#"{"cmd":"nope"}"#);
+        assert!(r.get("req").is_none(), "no id set: no req field");
+        e.begin_request(Some(42));
+        let r = run(&mut e, r#"{"cmd":"nope"}"#);
+        assert_eq!(error_code(&r), Some("unknown_command"));
+        assert_eq!(r.get("req").unwrap().as_u64(), Some(42));
+        // Success responses stay unchanged.
+        let r = run(&mut e, r#"{"cmd":"stats"}"#);
+        assert!(r.get("req").is_none());
+        e.begin_request(None);
+        let r = run(&mut e, r#"{"cmd":"nope"}"#);
+        assert!(r.get("req").is_none(), "cleared id: no req field");
+    }
+
+    #[test]
+    fn request_stats_deltas_saturate_across_rollback() {
+        let mut e = engine();
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        run(&mut e, r#"{"cmd":"limits","max_steps":100000}"#);
+        run(&mut e, r#"{"cmd":"push"}"#);
+        run(&mut e, r#"{"cmd":"add","lhs":"c","rhs":"X","ann":["g"]}"#);
+        // Boundary taken *after* the epoch's work…
+        e.begin_request(None);
+        let base_fuel = e.request_stats().fuel_spent;
+        assert!(base_fuel > 0);
+        // …then the epoch rolls back, moving fuel_spent backwards.
+        run(&mut e, r#"{"cmd":"pop"}"#);
+        let d = e.request_stats().delta_since(&e.request_base);
+        assert_eq!(d.fuel_spent, 0, "saturates instead of underflowing");
+        assert_eq!(d.epoch_depth, 0);
     }
 
     #[test]

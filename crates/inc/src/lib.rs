@@ -20,5 +20,5 @@ mod session;
 mod snapshot;
 mod stream;
 
-pub use batch::{BatchEngine, EngineCaps};
+pub use batch::{BatchEngine, EngineCaps, RequestStats};
 pub use session::{CacheStats, Session};

@@ -73,10 +73,19 @@ struct Inner {
 /// A sink accumulating Chrome trace events in memory; render the
 /// finished trace with [`ChromeTraceSink::render`] and load the file in
 /// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+///
+/// Arm [`ChromeTraceSink::save_on_drop`] to guarantee a complete,
+/// Perfetto-loadable file even when the session panics or is cancelled
+/// mid-trace: the destructor renders whatever was recorded (the JSON
+/// array is always closed because rendering happens from memory, never
+/// by incremental appends).
 #[derive(Debug)]
 pub struct ChromeTraceSink {
     clock: Arc<dyn TimeSource>,
     inner: Mutex<Inner>,
+    /// When set, the destructor writes the rendered trace here unless
+    /// [`ChromeTraceSink::save`] already wrote this run's trace.
+    drop_path: Mutex<Option<std::path::PathBuf>>,
 }
 
 impl Default for ChromeTraceSink {
@@ -99,6 +108,17 @@ impl ChromeTraceSink {
         ChromeTraceSink {
             clock,
             inner: Mutex::new(Inner::default()),
+            drop_path: Mutex::new(None),
+        }
+    }
+
+    /// Arms the sink to write the rendered trace to `path` when it is
+    /// dropped, unless an explicit [`ChromeTraceSink::save`] happens
+    /// first. This is the crash-safety net for `--trace`: a panicking or
+    /// cancelled session still leaves a loadable trace behind.
+    pub fn save_on_drop(&self, path: std::path::PathBuf) {
+        if let Ok(mut slot) = self.drop_path.lock() {
+            *slot = Some(path);
         }
     }
 
@@ -162,9 +182,28 @@ impl ChromeTraceSink {
         out
     }
 
-    /// Renders and writes the trace to `path`.
+    /// Renders and writes the trace to `path`. Disarms a pending
+    /// [`ChromeTraceSink::save_on_drop`] so the trace is not rewritten
+    /// (possibly after further events) when the sink drops.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Ok(mut slot) = self.drop_path.lock() {
+            *slot = None;
+        }
         std::fs::write(path, self.render())
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        let path = match self.drop_path.lock() {
+            Ok(mut slot) => slot.take(),
+            Err(mut poisoned) => poisoned.get_mut().take(),
+        };
+        if let Some(path) = path {
+            // Destructors must not panic and may run during unwinding;
+            // a failed write is silently dropped (best effort).
+            let _ = std::fs::write(path, self.render());
+        }
     }
 }
 
@@ -241,5 +280,43 @@ mod tests {
     #[test]
     fn escapes_are_applied() {
         assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+
+    #[test]
+    fn armed_sink_writes_trace_on_drop_even_with_open_spans() {
+        let dir = std::env::temp_dir().join(format!("rasc-chrome-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropped.json");
+        let _ = std::fs::remove_file(&path);
+        {
+            let sink = ChromeTraceSink::with_time_source(Arc::new(TickClock::new()));
+            sink.save_on_drop(path.clone());
+            sink.span_begin("interrupted");
+            sink.counter("facts", 1);
+            // Dropped with the span still open (a cancelled session).
+        }
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"traceEvents\":["), "{json}");
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"), "{json}");
+        assert!(json.contains("\"name\":\"interrupted\""), "{json}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn explicit_save_disarms_the_drop_write() {
+        let dir = std::env::temp_dir().join(format!("rasc-chrome-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let saved = dir.join("saved.json");
+        let armed = dir.join("armed.json");
+        let _ = std::fs::remove_file(&armed);
+        {
+            let sink = ChromeTraceSink::with_time_source(Arc::new(TickClock::new()));
+            sink.save_on_drop(armed.clone());
+            sink.counter("facts", 1);
+            sink.save(&saved).unwrap();
+        }
+        assert!(saved.exists());
+        assert!(!armed.exists(), "drop must not rewrite after explicit save");
+        let _ = std::fs::remove_file(&saved);
     }
 }

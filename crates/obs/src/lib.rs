@@ -19,6 +19,10 @@
 //!
 //! * [`Recorder`] — in-memory counters/histograms/span tallies, queryable
 //!   afterwards (used by the stats-reconciliation property tests);
+//! * [`MetricsRegistry`] — lock-free aggregation (atomic counters,
+//!   gauges, log₂-bucket histograms with p50/p90/p99 estimates) with
+//!   Prometheus-text and JSON exposition, the backing store of the
+//!   `rasc serve --admin-addr` telemetry endpoint;
 //! * [`JsonLinesSink`] — one JSON object per event, streamed to any
 //!   `io::Write`;
 //! * [`ChromeTraceSink`] — Chrome trace-event JSON loadable in Perfetto /
@@ -50,12 +54,17 @@
 
 mod chrome;
 mod jsonl;
+mod metrics;
 mod recorder;
 mod scope;
 mod sink;
 
 pub use chrome::{ChromeTraceSink, TickClock, TimeSource, WallClock};
 pub use jsonl::JsonLinesSink;
+pub use metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, MetricsRegistry,
+    MetricsSnapshot, HISTOGRAM_BUCKETS,
+};
 pub use recorder::{HistogramSummary, Recorder};
-pub use scope::{counter, histogram, is_active, scoped, span, ScopedSink, Span};
+pub use scope::{counter, gauge, histogram, is_active, scoped, span, ScopedSink, Span};
 pub use sink::{EventSink, Fanout, NoopSink};

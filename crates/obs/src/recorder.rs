@@ -21,6 +21,7 @@ pub struct HistogramSummary {
 #[derive(Debug, Default)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, HistogramSummary>,
     /// Completed spans per name.
     spans: BTreeMap<&'static str, u64>,
@@ -66,6 +67,11 @@ impl Recorder {
                 .map(|(&k, &v)| (k.to_owned(), v))
                 .collect()
         })
+    }
+
+    /// The last value set for gauge `name`, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<u64> {
+        self.with_inner(|i| i.gauges.get(name).copied())
     }
 
     /// The summary of histogram `name`, if any samples were recorded.
@@ -140,6 +146,12 @@ impl EventSink for Recorder {
     fn counter(&self, name: &'static str, delta: u64) {
         self.with_inner(|i| {
             *i.counters.entry(name).or_insert(0) += delta;
+        });
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        self.with_inner(|i| {
+            i.gauges.insert(name, value);
         });
     }
 

@@ -111,6 +111,15 @@ pub fn histogram(name: &'static str, value: u64) {
     dispatch(|s| s.histogram(name, value));
 }
 
+/// Sets gauge `name` to `value` on the installed sink (last write wins).
+#[inline]
+pub fn gauge(name: &'static str, value: u64) {
+    if ACTIVE.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    dispatch(|s| s.gauge(name, value));
+}
+
 /// Opens a span: emits `span_begin(name)` now and `span_end(name)` when
 /// the returned guard drops. When no sink is active at open time the
 /// guard is inert (no end event is emitted even if a sink appears

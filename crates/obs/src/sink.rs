@@ -20,6 +20,13 @@ pub trait EventSink: Send + Sync + fmt::Debug {
     fn counter(&self, name: &'static str, delta: u64);
     /// One sampled value for histogram `name`.
     fn histogram(&self, name: &'static str, value: u64);
+    /// Gauge `name` set to `value` (last write wins; not monotone).
+    ///
+    /// Default-implemented as a no-op so pre-existing sinks that have no
+    /// use for point-in-time levels keep compiling unchanged.
+    fn gauge(&self, name: &'static str, value: u64) {
+        let _ = (name, value);
+    }
 }
 
 /// A sink that discards every event.
@@ -73,6 +80,12 @@ impl EventSink for Fanout {
     fn histogram(&self, name: &'static str, value: u64) {
         for s in &self.sinks {
             s.histogram(name, value);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        for s in &self.sinks {
+            s.gauge(name, value);
         }
     }
 }

@@ -31,9 +31,21 @@
 //!   — the server starts cold instead of serving a torn solved form.
 //! * **Observability** — `rasc-obs` counters
 //!   (`serve.connections.opened/closed`, `serve.requests`,
-//!   `serve.rejected.overload`), a `serve.request.micros` latency
-//!   histogram, and per-connection/per-request spans, delivered to any
+//!   `serve.rejected.overload`), `serve.request.micros` latency
+//!   histograms (also recorded for shed load, tagged by outcome), and
+//!   per-connection/per-request spans, delivered to an internal
+//!   [`rasc_obs::MetricsRegistry`] and fanned out to any additional
 //!   [`rasc_obs::EventSink`] given in [`ServeConfig::sink`].
+//! * **Telemetry plane** — with [`ServeConfig::admin_addr`] set, a
+//!   std-only HTTP listener on its own thread answers `GET /metrics`
+//!   (Prometheus text exposition), `GET /stats` (JSON with p50/p90/p99
+//!   estimates from log₂-bucket histograms), and `GET /healthz`
+//!   (warm/cold start, uptime, in-flight requests, snapshot checkpoint
+//!   age). With [`ServeConfig::slow_millis`] set, every request at or
+//!   over the threshold is appended to a [`SlowLog`] as one JSON line —
+//!   request id, command, latency, fuel spent, epoch depth, outcome —
+//!   and request ids are correlated across spans, slow-log lines, and
+//!   the `"req"` field on in-band error responses.
 //!
 //! The protocol itself — commands, structured error codes, the guarantee
 //! that no input line ever kills a session — is exactly `rasc batch`'s;
@@ -58,8 +70,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admin;
 mod pool;
 mod server;
 
+pub use admin::SlowLog;
 pub use pool::{Overloaded, ThreadPool};
 pub use server::{ServeConfig, ServeReport, Server, ServerHandle};

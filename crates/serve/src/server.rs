@@ -15,8 +15,9 @@ use rasc_core::snapshot::{read_snapshot_file, write_atomic, SnapshotReader};
 use rasc_core::{CancelToken, Clock};
 use rasc_inc::json::{obj, Json};
 use rasc_inc::{BatchEngine, EngineCaps};
-use rasc_obs::{self as obs, EventSink, ScopedSink};
+use rasc_obs::{self as obs, EventSink, Fanout, MetricsRegistry, MetricsSnapshot, ScopedSink};
 
+use crate::admin::{run_admin, ContentType, SlowLog};
 use crate::pool::ThreadPool;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -68,6 +69,23 @@ pub struct ServeConfig {
     /// its SIGINT/SIGTERM handler here): setting it true initiates the
     /// same graceful drain as [`ServerHandle::begin_shutdown`].
     pub shutdown_flag: Option<Arc<AtomicBool>>,
+    /// Address of the admin telemetry listener (`rasc serve
+    /// --admin-addr`). When set, the server answers `GET /metrics`
+    /// (Prometheus text exposition), `GET /stats` (JSON with p50/p90/p99
+    /// latency estimates), and `GET /healthz` (uptime, warm/cold start,
+    /// in-flight requests, snapshot checkpoint age) from an internal
+    /// [`MetricsRegistry`] that aggregates every `serve.*`/`snap.*`
+    /// event. The listener runs on its own thread and never touches the
+    /// solver.
+    pub admin_addr: Option<String>,
+    /// Slow-query threshold in milliseconds: any request whose handling
+    /// latency reaches it is appended to the slow-query log as one JSON
+    /// line (request id, command, latency, fuel spent, epoch depth,
+    /// outcome). `None` disables the log.
+    pub slow_millis: Option<u64>,
+    /// Destination of the slow-query log. `None` with
+    /// [`ServeConfig::slow_millis`] set defaults to stderr.
+    pub slow_log: Option<Arc<SlowLog>>,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +101,9 @@ impl Default for ServeConfig {
             allow_shutdown_command: true,
             snapshot_dir: None,
             shutdown_flag: None,
+            admin_addr: None,
+            slow_millis: None,
+            slow_log: None,
         }
     }
 }
@@ -126,9 +147,73 @@ struct Shared {
     /// refreshed by every in-band `snapshot` command, restored into each
     /// new connection's engine, and checkpointed on graceful shutdown.
     snapshot: Mutex<Option<Arc<Vec<u8>>>>,
+    /// Aggregated telemetry behind the admin endpoint. Always present;
+    /// it is installed (fanned out with [`ServeConfig::sink`]) on every
+    /// worker so `serve.*` counters and latency histograms accumulate
+    /// here whether or not an admin listener is configured.
+    metrics: Arc<MetricsRegistry>,
+    /// The sink every server thread installs: the metrics registry,
+    /// fanned out with the embedder's [`ServeConfig::sink`] if any.
+    effective_sink: Arc<dyn EventSink>,
+    /// Resolved admin listener address (port 0 resolved), when configured.
+    admin_addr: Option<SocketAddr>,
+    /// Monotone request-id source shared by every connection.
+    next_req: AtomicU64,
+    /// Requests currently being handled (the `/healthz` in-flight gauge).
+    inflight: AtomicUsize,
+    /// Server start time (the `/healthz` uptime origin).
+    started: Instant,
+    /// Whether startup restored a warm base image (`/healthz`).
+    warm_start: bool,
+    /// When the base image was last made durable: the startup load or the
+    /// most recent in-band `snapshot` command (`/healthz` checkpoint age).
+    last_checkpoint: Mutex<Option<Instant>>,
 }
 
 impl Shared {
+    /// Routes one admin request path to its response body.
+    fn admin_route(&self, path: &str) -> Option<(ContentType, String)> {
+        match path {
+            "/metrics" => Some((ContentType::PromText, self.metrics.render_prometheus())),
+            "/stats" => Some((ContentType::Json, self.metrics.render_json())),
+            "/healthz" => Some((ContentType::Json, self.health_json())),
+            _ => None,
+        }
+    }
+
+    /// The `/healthz` body: liveness plus the operational facts a probe
+    /// wants before routing traffic here.
+    fn health_json(&self) -> String {
+        let uptime = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let checkpoint_age = lock(&self.last_checkpoint)
+            .map(|t| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX));
+        obj([
+            ("ok", Json::from(true)),
+            ("draining", Json::from(self.is_draining())),
+            ("warm_start", Json::from(self.warm_start)),
+            ("uptime_millis", Json::from(uptime)),
+            (
+                "inflight_requests",
+                Json::from(self.inflight.load(Ordering::SeqCst)),
+            ),
+            (
+                "active_connections",
+                Json::from(self.active.load(Ordering::SeqCst)),
+            ),
+            ("requests", Json::from(self.requests.load(Ordering::SeqCst))),
+            (
+                "connections",
+                Json::from(self.connections.load(Ordering::SeqCst)),
+            ),
+            ("rejected", Json::from(self.rejected.load(Ordering::SeqCst))),
+            (
+                "checkpoint_age_millis",
+                checkpoint_age.map_or(Json::Null, Json::from),
+            ),
+        ])
+        .render()
+    }
+
     fn is_draining(&self) -> bool {
         // An externally wired shutdown flag (the CLI's signal handler)
         // requests the same graceful drain as ServerHandle::begin_shutdown.
@@ -183,6 +268,19 @@ impl ServerHandle {
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
     }
+
+    /// The admin telemetry listener's resolved address, when configured
+    /// (useful with an `--admin-addr` port of 0).
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.shared.admin_addr
+    }
+
+    /// A point-in-time copy of the server's aggregated metrics — what
+    /// `GET /metrics` and `GET /stats` render, available in-process for
+    /// embedders and tests.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
 }
 
 /// A concurrent JSON-lines constraint-solving server: one
@@ -191,6 +289,8 @@ impl ServerHandle {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
+    /// Admin telemetry listener, bound when `--admin-addr` is configured.
+    admin_listener: Option<TcpListener>,
     addr: SocketAddr,
     shared: Arc<Shared>,
     pool: ThreadPool,
@@ -222,6 +322,29 @@ impl Server {
             .as_deref()
             .filter(|p| p.exists())
             .and_then(load_base_image);
+        let warm_start = snapshot.is_some();
+        // Bind the admin listener here so port 0 resolves before run()
+        // and a bad --admin-addr fails loudly at startup, not mid-serve.
+        let admin_listener = match &config.admin_addr {
+            Some(spec) => Some(TcpListener::bind(spec.as_str())?),
+            None => None,
+        };
+        let admin_addr = match &admin_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let mut config = config;
+        if config.slow_millis.is_some() && config.slow_log.is_none() {
+            config.slow_log = Some(Arc::new(SlowLog::stderr()));
+        }
+        let metrics = Arc::new(MetricsRegistry::new());
+        let effective_sink: Arc<dyn EventSink> = match &config.sink {
+            Some(user) => Arc::new(Fanout::new(vec![
+                Arc::clone(&metrics) as Arc<dyn EventSink>,
+                Arc::clone(user),
+            ])),
+            None => Arc::clone(&metrics) as Arc<dyn EventSink>,
+        };
         let shared = Arc::new(Shared {
             sigma,
             dfa: machine.clone(),
@@ -237,9 +360,18 @@ impl Server {
             rejected: AtomicU64::new(0),
             snapshot_path,
             snapshot: Mutex::new(snapshot),
+            metrics,
+            effective_sink,
+            admin_addr,
+            next_req: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            started: Instant::now(),
+            warm_start,
+            last_checkpoint: Mutex::new(warm_start.then(Instant::now)),
         });
         Ok(Server {
             listener,
+            admin_listener,
             addr,
             shared,
             pool,
@@ -267,17 +399,29 @@ impl Server {
     pub fn run(self) -> io::Result<ServeReport> {
         let Server {
             listener,
+            admin_listener,
             addr: _,
             shared,
             pool,
         } = self;
-        let _sink_guard = shared
-            .config
-            .sink
-            .as_ref()
-            .map(|s| ScopedSink::install(Arc::clone(s)));
+        let _sink_guard = ScopedSink::install(Arc::clone(&shared.effective_sink));
         listener.set_nonblocking(true)?;
         let poll = Duration::from_millis(shared.config.poll_millis.max(1));
+        // The admin plane answers scrapes from the registry on its own
+        // thread; it stops once the drain begins.
+        let admin_thread = admin_listener.map(|l| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                let drain_check = Arc::clone(&shared);
+                let route_shared = Arc::clone(&shared);
+                run_admin(
+                    l,
+                    poll,
+                    move || drain_check.is_draining(),
+                    move |path| route_shared.admin_route(path),
+                );
+            })
+        });
         while !shared.is_draining() {
             match listener.accept() {
                 Ok((stream, _peer)) => admit(&shared, &pool, stream),
@@ -319,7 +463,10 @@ impl Server {
         // from the state the in-band `snapshot` commands last captured.
         if let (Some(path), Some(bytes)) = (&shared.snapshot_path, lock(&shared.snapshot).clone()) {
             match write_atomic(path, &bytes) {
-                Ok(()) => obs::counter("serve.checkpoints", 1),
+                Ok(()) => {
+                    obs::counter("serve.checkpoints", 1);
+                    *lock(&shared.last_checkpoint) = Some(Instant::now());
+                }
                 Err(_) => obs::counter("serve.checkpoint_failures", 1),
             }
         }
@@ -327,6 +474,9 @@ impl Server {
         shared.done_cv.notify_all();
         if let Some(w) = watchdog {
             let _ = w.join();
+        }
+        if let Some(a) = admin_thread {
+            let _ = a.join();
         }
         Ok(ServeReport {
             connections: shared.connections.load(Ordering::SeqCst),
@@ -377,7 +527,15 @@ fn admit(shared: &Arc<Shared>, pool: &ThreadPool, stream: TcpStream) {
     if shared.active.load(Ordering::SeqCst) >= shared.config.max_connections {
         shared.rejected.fetch_add(1, Ordering::SeqCst);
         obs::counter("serve.rejected.overload", 1);
+        // Shed load still shows up in the latency aggregates (tagged by
+        // outcome), not just the overload counter — otherwise a p99 read
+        // from /metrics silently excludes exactly the requests that were
+        // turned away.
+        let started = Instant::now();
         reject_overloaded(stream);
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        obs::histogram("serve.request.micros", micros);
+        obs::histogram("serve.request.micros.overload", micros);
         return;
     }
     shared.active.fetch_add(1, Ordering::SeqCst);
@@ -427,11 +585,7 @@ fn is_shutdown_command(line: &str) -> bool {
 }
 
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _sink_guard = shared
-        .config
-        .sink
-        .as_ref()
-        .map(|s| ScopedSink::install(Arc::clone(s)));
+    let _sink_guard = ScopedSink::install(Arc::clone(&shared.effective_sink));
     let _span = obs::span("serve.connection");
     obs::counter("serve.connections.opened", 1);
     shared.connections.fetch_add(1, Ordering::SeqCst);
@@ -467,6 +621,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         let base_image = Arc::clone(shared);
         engine.set_snapshot_hook(move |bytes| {
             *lock(&base_image.snapshot) = Some(Arc::new(bytes.to_vec()));
+            *lock(&base_image.last_checkpoint) = Some(Instant::now());
         });
         let base = lock(&shared.snapshot).clone();
         if let Some(bytes) = base {
@@ -487,7 +642,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             Ok(0) => break, // client closed
             Ok(_) => {
                 let request = std::mem::take(&mut line);
-                if !serve_request(shared, &mut engine, &request, &mut writer) {
+                if !serve_request(shared, &mut engine, conn_id, &request, &mut writer) {
                     break;
                 }
                 // Finish the request just answered, then close: a drain
@@ -510,11 +665,58 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     obs::counter("serve.connections.closed", 1);
 }
 
+/// Captures the first bytes of the response flowing through it, so the
+/// serving loop can classify the outcome (ok vs typed error) and quote
+/// the error code in the slow-query log without re-parsing or buffering
+/// the whole response.
+struct ResponseTee<'a, W: Write> {
+    inner: &'a mut W,
+    prefix: Vec<u8>,
+    cap: usize,
+}
+
+impl<W: Write> Write for ResponseTee<'_, W> {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(data)?;
+        let room = self.cap.saturating_sub(self.prefix.len());
+        self.prefix.extend_from_slice(&data[..n.min(room)]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Pulls `"code":"…"` out of a captured error-response prefix.
+fn error_code_from_prefix(prefix: &str) -> &str {
+    let Some(rest) = prefix.split_once("\"code\":\"").map(|(_, r)| r) else {
+        return "unknown";
+    };
+    rest.split('"').next().unwrap_or("unknown")
+}
+
+/// Decrements the in-flight gauge when a request finishes (also on
+/// unwind, so `/healthz` never reports phantom in-flight work).
+struct InflightGuard<'a>(&'a Shared);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let now = self
+            .0
+            .inflight
+            .fetch_sub(1, Ordering::SeqCst)
+            .saturating_sub(1);
+        obs::gauge("serve.inflight", u64::try_from(now).unwrap_or(u64::MAX));
+    }
+}
+
 /// Handles one request line; returns `false` when the connection should
 /// close (client gone, or a shutdown command was honored).
 fn serve_request<W: Write>(
     shared: &Arc<Shared>,
     engine: &mut BatchEngine,
+    conn_id: u64,
     request: &str,
     writer: &mut W,
 ) -> bool {
@@ -531,14 +733,71 @@ fn serve_request<W: Write>(
         shared.draining.store(true, Ordering::SeqCst);
         return false;
     }
+    let req_id = shared.next_req.fetch_add(1, Ordering::SeqCst) + 1;
+    engine.begin_request(Some(req_id));
+    let before = engine.request_stats();
+    let inflight = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+    obs::gauge(
+        "serve.inflight",
+        u64::try_from(inflight).unwrap_or(u64::MAX),
+    );
+    let _inflight = InflightGuard(shared);
     let _span = obs::span("serve.request");
+    // The id gauge rides inside the span, correlating trace events with
+    // slow-log lines and the `"req"` field on error responses.
+    obs::gauge("serve.request.id", req_id);
     let started = Instant::now();
-    match engine.handle_framed_line(request, writer) {
+    let mut tee = ResponseTee {
+        inner: writer,
+        prefix: Vec::new(),
+        cap: 256,
+    };
+    let handled = engine.handle_framed_line(request, &mut tee);
+    let prefix = String::from_utf8_lossy(&tee.prefix).into_owned();
+    match handled {
         Ok(true) => {
             shared.requests.fetch_add(1, Ordering::SeqCst);
             obs::counter("serve.requests", 1);
             let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
             obs::histogram("serve.request.micros", micros);
+            let errored = prefix.starts_with("{\"error\"");
+            if errored {
+                obs::counter("serve.requests.errors", 1);
+                obs::histogram("serve.request.micros.error", micros);
+            } else {
+                obs::histogram("serve.request.micros.ok", micros);
+            }
+            if let (Some(threshold), Some(log)) =
+                (shared.config.slow_millis, &shared.config.slow_log)
+            {
+                if micros >= threshold.saturating_mul(1000) {
+                    obs::counter("serve.slow_requests", 1);
+                    let after = engine.request_stats();
+                    let delta = after.delta_since(&before);
+                    let cmd = Json::parse(request.trim())
+                        .ok()
+                        .and_then(|j| j.get("cmd").and_then(Json::as_str).map(str::to_owned))
+                        .unwrap_or_else(|| "<malformed>".to_owned());
+                    let outcome = if errored {
+                        format!("error:{}", error_code_from_prefix(&prefix))
+                    } else {
+                        "ok".to_owned()
+                    };
+                    log.record(
+                        &obj([
+                            ("slow", Json::from(true)),
+                            ("req", Json::from(req_id)),
+                            ("conn", Json::from(conn_id)),
+                            ("cmd", Json::Str(cmd)),
+                            ("micros", Json::from(micros)),
+                            ("fuel", Json::from(delta.fuel_spent)),
+                            ("epoch_depth", Json::from(after.epoch_depth)),
+                            ("outcome", Json::Str(outcome)),
+                        ])
+                        .render(),
+                    );
+                }
+            }
             true
         }
         Ok(false) => true, // blank/comment line

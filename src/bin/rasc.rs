@@ -10,6 +10,8 @@
 //! rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]
 //! rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits SPEC]
 //!                 [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile]
+//!                 [--admin-addr HOST:PORT] [--slow-millis N]
+//! rasc stats      --addr HOST:PORT [--metrics] [--watch SECS]
 //! rasc snapshot   --spec FILE --out SNAP [--input FILE]
 //! rasc restore    --spec FILE --snapshot SNAP [--input FILE]
 //! ```
@@ -32,6 +34,15 @@
 //! it warm-starts every connection from `DIR/current.snap`, routes
 //! in-band `{"cmd":"snapshot"}` commands there, and checkpoints on
 //! graceful shutdown. `--trace`/`--profile` work as in `batch`.
+//! `--admin-addr` opens the telemetry plane — an HTTP listener
+//! answering `GET /metrics` (Prometheus text), `GET /stats` (JSON
+//! with quantile estimates), and `GET /healthz` — and `--slow-millis N`
+//! appends every request at or over N milliseconds to a slow-query log
+//! on stderr (one JSON line per slow request).
+//!
+//! `stats` polls a running server's admin endpoint: it prints the
+//! `GET /stats` JSON body (or the raw `/metrics` exposition page with
+//! `--metrics`) once, or repeatedly every `--watch SECS` seconds.
 //!
 //! `snapshot` runs a batch command stream and then persists the solved
 //! form to a crash-safe snapshot file; `restore` reloads such a file and
@@ -74,6 +85,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "cfg" => cfg_cmd(&opts),
         "batch" => batch(&opts),
         "serve" => serve(&opts),
+        "stats" => stats_cmd(&opts),
         "snapshot" => snapshot_cmd(&opts),
         "restore" => restore_cmd(&opts),
         "help" | "--help" | "-h" => {
@@ -93,7 +105,8 @@ fn usage() -> String {
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
      rasc cfg        --program FILE [--dot]\n  \
      rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)\n  \
-     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile]\n  \
+     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile] [--admin-addr HOST:PORT] [--slow-millis N]\n  \
+     rasc stats      --addr HOST:PORT [--metrics] [--watch SECS]   (poll a running server's admin endpoint)\n  \
      rasc snapshot   --spec FILE --out SNAP [--input FILE]   (run a command stream, then persist the solved form)\n  \
      rasc restore    --spec FILE --snapshot SNAP [--input FILE]   (reload a solved form, then run a command stream)"
         .to_owned()
@@ -134,7 +147,14 @@ fn arity(cmd: &str, name: &str) -> usize {
     match name {
         "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
         "trace" if cmd == "batch" || cmd == "serve" => 1,
-        "addr" | "threads" | "limits" | "max-connections" | "snapshot-dir" if cmd == "serve" => 1,
+        "threads" | "limits" | "max-connections" | "snapshot-dir" | "admin-addr"
+        | "slow-millis"
+            if cmd == "serve" =>
+        {
+            1
+        }
+        "addr" if cmd == "serve" || cmd == "stats" => 1,
+        "watch" if cmd == "stats" => 1,
         "out" if cmd == "snapshot" => 1,
         "snapshot" if cmd == "restore" => 1,
         "alias" => 2,
@@ -364,9 +384,15 @@ impl ObsSetup {
 
         use rasc::obs;
 
-        let chrome = opts
-            .value("trace")
-            .map(|_| Arc::new(obs::ChromeTraceSink::new()));
+        // Arm save-on-drop immediately: if the workload panics or the
+        // process unwinds before `finish`, the partial trace is still
+        // written as a well-formed (Perfetto-loadable) JSON array. The
+        // explicit `save` in `finish` disarms it.
+        let chrome = opts.value("trace").map(|path| {
+            let sink = Arc::new(obs::ChromeTraceSink::new());
+            sink.save_on_drop(std::path::PathBuf::from(path));
+            sink
+        });
         let recorder = opts.flag("profile").then(|| Arc::new(obs::Recorder::new()));
         let mut sinks: Vec<Arc<dyn obs::EventSink>> = Vec::new();
         if let Some(c) = &chrome {
@@ -461,6 +487,15 @@ fn serve(opts: &Opts) -> Result<(), String> {
     if let Some(dir) = opts.value("snapshot-dir") {
         config.snapshot_dir = Some(std::path::PathBuf::from(dir));
     }
+    if let Some(spec) = opts.value("admin-addr") {
+        config.admin_addr = Some(spec.to_owned());
+    }
+    if let Some(v) = opts.value("slow-millis") {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("--slow-millis expects a non-negative integer, got `{v}`"))?;
+        config.slow_millis = Some(n);
+    }
     // SIGINT/SIGTERM request the same graceful drain as the in-band
     // shutdown command: stop accepting, finish in-flight requests,
     // checkpoint if --snapshot-dir is set, then exit cleanly.
@@ -478,6 +513,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
         config.threads,
         config.max_connections
     );
+    if let Some(admin) = server.handle().admin_addr() {
+        eprintln!("rasc: admin endpoint on http://{admin} (/metrics, /stats, /healthz)");
+    }
     let report = server.run().map_err(|e| e.to_string())?;
     eprintln!(
         "rasc: drained — {} connections, {} requests, {} rejected",
@@ -485,6 +523,63 @@ fn serve(opts: &Opts) -> Result<(), String> {
     );
 
     setup.finish(opts)
+}
+
+/// `rasc stats`: poll a running server's admin endpoint over plain
+/// HTTP/1.1 (no client library — the endpoint speaks the minimal subset
+/// a raw `TcpStream` exchange needs). Prints the `GET /stats` JSON body,
+/// or the raw Prometheus exposition page with `--metrics`; with
+/// `--watch SECS` it re-polls forever at that interval.
+fn stats_cmd(opts: &Opts) -> Result<(), String> {
+    let addr = opts.required("addr")?;
+    let path = if opts.flag("metrics") {
+        "/metrics"
+    } else {
+        "/stats"
+    };
+    let watch: Option<u64> = opts
+        .value("watch")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("--watch expects a number of seconds, got `{v}`"))
+        })
+        .transpose()?;
+    loop {
+        let body = http_get(addr, path)?;
+        println!("{}", body.trim_end());
+        match watch {
+            Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs.max(1))),
+            None => return Ok(()),
+        }
+    }
+}
+
+/// One `GET` against the admin endpoint: connect, send the request,
+/// read to EOF (the server answers `Connection: close`), strip the
+/// header block, and fail unless the status line says 200.
+fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| format!("cannot send request to `{addr}`: {e}"))?;
+    let mut raw = String::new();
+    stream
+        .read_to_string(&mut raw)
+        .map_err(|e| format!("cannot read response from `{addr}`: {e}"))?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response from `{addr}`"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("`{addr}{path}` answered `{status}`"));
+    }
+    Ok(body.to_owned())
 }
 
 /// Graceful-shutdown signal wiring for `rasc serve`.

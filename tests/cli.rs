@@ -204,7 +204,7 @@ fn batch_runs_an_incremental_session() {
     assert!(ok, "{text}");
     let lines: Vec<&str> = text.lines().collect();
     // One response per non-comment line of the script.
-    assert_eq!(lines.len(), 24, "{text}");
+    assert_eq!(lines.len(), 25, "{text}");
     assert!(
         lines[5].contains(r#""result":true"#),
         "pc reaches Exec accepting: {text}"
@@ -268,6 +268,13 @@ fn batch_runs_an_incremental_session() {
     assert!(
         lines[23].contains(r#""result":true"#),
         "the restored solved form answers without replay: {text}"
+    );
+    // Telemetry tail: the request-scoped stats read.
+    assert!(
+        lines[24].contains(r#""ok":"stats""#)
+            && lines[24].contains(r#""scope":"request""#)
+            && lines[24].contains(r#""fuel_spent""#),
+        "{text}"
     );
 }
 
@@ -457,6 +464,9 @@ fn batch_error_codes_are_stable() {
             "unknown_constructor",
         ),
         (r#"{"cmd":"pop"}"#.into(), "no_open_epoch"),
+        (r#"{"cmd":"stats","scope":"request"}"#.into(), "ok"),
+        (r#"{"cmd":"stats","scope":"bogus"}"#.into(), "bad_request"),
+        (r#"{"cmd":"stats","scope":7}"#.into(), "bad_request"),
         (r#"{"cmd":"snapshot"}"#.into(), "bad_request"),
         (
             format!(r#"{{"cmd":"restore","path":"{}"}}"#, missing.display()),

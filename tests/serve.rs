@@ -1,7 +1,9 @@
 //! Integration tests for `rasc-serve`: concurrent loopback clients,
 //! hostile input over TCP, admission control, graceful shutdown with a
-//! request deterministically in flight, and crash-safe warm restart
-//! from a snapshot directory.
+//! request deterministically in flight, crash-safe warm restart from a
+//! snapshot directory, and the admin telemetry plane (`/metrics`,
+//! `/stats`, `/healthz`, the slow-query log, request-id correlation,
+//! and the `rasc stats` poller).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -478,4 +480,294 @@ fn external_shutdown_flag_drains_and_checkpoints() {
         "signal-driven shutdown must still checkpoint"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One raw HTTP exchange against the admin endpoint: returns the status
+/// line and the body after the header block.
+fn admin_exchange(addr: SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect admin");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut raw = String::new();
+    use std::io::Read;
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header block");
+    let status = head.lines().next().unwrap_or("").to_owned();
+    (status, body.to_owned())
+}
+
+fn admin_get(addr: SocketAddr, path: &str) -> (String, String) {
+    admin_exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+#[test]
+fn metrics_scrape_matches_client_side_request_count_exactly() {
+    let (handle, join) = spawn_server(ServeConfig {
+        threads: 4,
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+    let admin = handle.admin_addr().expect("admin listener is configured");
+
+    // A fleet of clients issues a known number of requests, counted
+    // client-side; joining the workers quiesces the server.
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 6;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                assert!(c
+                    .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+                    .contains(r#""ok":"declare""#));
+                for j in 0..PER_CLIENT - 2 {
+                    let r = c.roundtrip(&format!(
+                        r#"{{"cmd":"add","lhs":"pc","rhs":"V{i}_{j}","ann":["g"]}}"#
+                    ));
+                    assert!(r.contains(r#""ok":"add""#), "{r}");
+                }
+                assert!(c
+                    .roundtrip(r#"{"cmd":"stats"}"#)
+                    .contains(r#""ok":"stats""#));
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("client");
+    }
+
+    let (status, page) = admin_get(admin, "/metrics");
+    assert!(status.contains(" 200 "), "{status}");
+    let summary = rasc_devtools::validate_prometheus(&page)
+        .unwrap_or_else(|e| panic!("scrape must be a valid exposition page: {e}\n{page}"));
+    assert_eq!(
+        summary.values.get("serve_requests_total").copied(),
+        Some((CLIENTS * PER_CLIENT) as f64),
+        "scraped request count must equal the client-side count exactly:\n{page}"
+    );
+    assert_eq!(
+        summary.values.get("serve_request_micros_count").copied(),
+        Some((CLIENTS * PER_CLIENT) as f64),
+        "every request must land in the latency histogram:\n{page}"
+    );
+    assert_eq!(
+        summary
+            .values
+            .get("serve_connections_opened_total")
+            .copied(),
+        Some(CLIENTS as f64),
+        "{page}"
+    );
+
+    // The in-process snapshot agrees with the scraped page.
+    let snap = handle.metrics_snapshot();
+    assert_eq!(
+        snap.counters.get("serve.requests").copied(),
+        Some((CLIENTS * PER_CLIENT) as u64)
+    );
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+#[test]
+fn admin_endpoint_serves_stats_and_healthz_and_rejects_the_rest() {
+    let (handle, join) = spawn_server(ServeConfig {
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    });
+    let admin = handle.admin_addr().expect("admin listener is configured");
+
+    let mut c = Client::connect(handle.addr());
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+
+    // /healthz: a cold-started, non-draining server with no checkpoint.
+    let (status, body) = admin_get(admin, "/healthz");
+    assert!(status.contains(" 200 "), "{status}");
+    let health = Json::parse(&body).expect("healthz is valid JSON");
+    assert_eq!(health.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(health.get("draining").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        health.get("warm_start").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert!(health.get("uptime_millis").is_some(), "{body}");
+    assert_eq!(
+        health.get("checkpoint_age_millis"),
+        Some(&Json::Null),
+        "no snapshot dir, so no checkpoint age: {body}"
+    );
+
+    // /stats: the JSON rendering of the same registry the scrape reads.
+    let (status, body) = admin_get(admin, "/stats");
+    assert!(status.contains(" 200 "), "{status}");
+    let stats = Json::parse(&body).expect("stats is valid JSON");
+    assert!(
+        stats.get("counters").is_some() && stats.get("histograms").is_some(),
+        "{body}"
+    );
+
+    // Query strings are stripped before routing.
+    let (status, _) = admin_get(admin, "/metrics?format=prometheus");
+    assert!(status.contains(" 200 "), "{status}");
+
+    // Unknown paths 404; non-GET methods 405; both leave the server up.
+    let (status, _) = admin_get(admin, "/nope");
+    assert!(status.contains(" 404 "), "{status}");
+    let (status, _) = admin_exchange(
+        admin,
+        "POST /metrics HTTP/1.1\r\nHost: test\r\nContent-Length: 0\r\n\r\n",
+    );
+    assert!(status.contains(" 405 "), "{status}");
+    let (status, _) = admin_get(admin, "/healthz");
+    assert!(status.contains(" 200 "), "{status}");
+
+    handle.shutdown();
+    join.join().expect("server joins");
+}
+
+/// A `Write` handing every byte to a shared buffer — lets a test read
+/// back what the server's [`rasc::serve::SlowLog`] wrote.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn slow_log_records_requests_with_correlated_ids() {
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    let (handle, join) = spawn_server(ServeConfig {
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        // A zero-millisecond threshold makes every request "slow", so the
+        // log's shape is testable without timing games.
+        slow_millis: Some(0),
+        slow_log: Some(Arc::new(rasc::serve::SlowLog::to_writer(Box::new(
+            buf.clone(),
+        )))),
+        ..ServeConfig::default()
+    });
+
+    let mut c = Client::connect(handle.addr());
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+    // An erroring request: its response must carry the request id, and
+    // its slow-log line must record the error outcome.
+    let r = c.roundtrip(r#"{"cmd":"stats","scope":"bogus"}"#);
+    let parsed = Json::parse(&r).expect("valid JSON");
+    assert_eq!(
+        parsed
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request"),
+        "{r}"
+    );
+    let err_req = parsed
+        .get("req")
+        .and_then(Json::as_u64)
+        .expect("error responses carry the request id");
+
+    handle.shutdown();
+    join.join().expect("server joins");
+
+    let logged = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 log");
+    let lines: Vec<Json> = logged
+        .lines()
+        .map(|l| Json::parse(l).expect("slow-log lines are valid JSON"))
+        .collect();
+    assert_eq!(lines.len(), 2, "both requests were slow at 0ms:\n{logged}");
+    for line in &lines {
+        assert_eq!(line.get("slow").and_then(Json::as_bool), Some(true));
+        assert!(line.get("micros").is_some(), "{logged}");
+        assert!(line.get("fuel").is_some(), "{logged}");
+        assert!(line.get("epoch_depth").is_some(), "{logged}");
+        assert!(line.get("conn").is_some(), "{logged}");
+    }
+    assert_eq!(
+        lines[0].get("cmd").and_then(Json::as_str),
+        Some("declare"),
+        "{logged}"
+    );
+    assert_eq!(
+        lines[0].get("outcome").and_then(Json::as_str),
+        Some("ok"),
+        "{logged}"
+    );
+    assert_eq!(
+        lines[1].get("cmd").and_then(Json::as_str),
+        Some("stats"),
+        "{logged}"
+    );
+    assert_eq!(
+        lines[1].get("outcome").and_then(Json::as_str),
+        Some("error:bad_request"),
+        "{logged}"
+    );
+    // Correlation: the slow-log line for the failing request names the
+    // same id the in-band error response carried.
+    assert_eq!(
+        lines[1].get("req").and_then(Json::as_u64),
+        Some(err_req),
+        "slow-log and error-response request ids must correlate:\n{logged}"
+    );
+}
+
+#[test]
+fn rasc_stats_cli_polls_the_admin_endpoint() {
+    let (handle, join) = spawn_server(ServeConfig {
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    });
+    let admin = handle.admin_addr().expect("admin listener is configured");
+
+    let mut c = Client::connect(handle.addr());
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+
+    let bin = env!("CARGO_BIN_EXE_rasc");
+    let out = std::process::Command::new(bin)
+        .args(["stats", "--addr", &admin.to_string()])
+        .output()
+        .expect("run rasc stats");
+    assert!(out.status.success(), "{out:?}");
+    let body = String::from_utf8(out.stdout).expect("utf8");
+    let stats = Json::parse(body.trim()).expect("rasc stats prints the /stats JSON");
+    assert!(
+        stats
+            .get("counters")
+            .and_then(|cs| cs.get("serve.requests"))
+            .is_some(),
+        "{body}"
+    );
+
+    let out = std::process::Command::new(bin)
+        .args(["stats", "--addr", &admin.to_string(), "--metrics"])
+        .output()
+        .expect("run rasc stats --metrics");
+    assert!(out.status.success(), "{out:?}");
+    let page = String::from_utf8(out.stdout).expect("utf8");
+    rasc_devtools::validate_prometheus(&page)
+        .unwrap_or_else(|e| panic!("rasc stats --metrics must print a valid page: {e}\n{page}"));
+
+    handle.shutdown();
+    join.join().expect("server joins");
 }
