@@ -1,0 +1,160 @@
+//! Copy-on-write fork vs per-connection restore on dense
+//! regular-reachability digraphs: a solved base session is serialized
+//! once, then brought up per "connection" either by deserializing the
+//! whole solved form (`Session::restore_bytes` — what `rasc-serve` did
+//! for every accepted connection) or by decoding once into a frozen
+//! [`rasc_core::BaseSystem`] and forking copy-on-write
+//! (`Session::fork_from` — what the server does now).
+//!
+//! Restore is linear in the solved form; a fork is a handful of `Arc`
+//! bumps plus per-variable bookkeeping, so the gap widens with base
+//! size. Also reports per-connection resident overhead: the RSS delta of
+//! holding [`FLEET`] live sessions built each way (Linux `/proc`, best
+//! effort — reported, not enforced).
+//!
+//! Emits `BENCH_cow.json` (one row per rung, 2k → 32k constraints) and
+//! enforces the acceptance bound: at the largest rung the fork must be
+//! at least 5× faster than the per-connection restore.
+//!
+//! Usage: `cow_fork [out.json]`.
+
+use std::time::Duration;
+
+use rasc_automata::{adversarial_machine, Dfa};
+use rasc_bench::constraints_workload::{dense, EdgeListWorkload};
+use rasc_core::algebra::MonoidAlgebra;
+use rasc_core::{BaseSystem, SetExpr, System, VarId};
+use rasc_devtools::bench;
+use rasc_inc::json::{obj, Json};
+use rasc_inc::Session;
+
+/// Concurrent sessions held live for the resident-overhead measurement.
+const FLEET: usize = 64;
+
+fn build_solved(machine: &Dfa, wl: &EdgeListWorkload) -> Session<MonoidAlgebra> {
+    let mut sys = System::new(MonoidAlgebra::new(machine));
+    let vars: Vec<VarId> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[wl.source]))
+        .expect("well-formed");
+    for (from, to, word) in &wl.edges {
+        let ann = sys.algebra_mut().word(word);
+        sys.add_ann(SetExpr::var(vars[*from]), SetExpr::var(vars[*to]), ann)
+            .expect("well-formed");
+    }
+    Session::from_system(sys)
+}
+
+/// Resident set size in KiB, from `/proc/self/statm` (0 where absent).
+#[cfg(target_os = "linux")]
+fn resident_kb() -> u64 {
+    let statm = std::fs::read_to_string("/proc/self/statm").unwrap_or_default();
+    let pages: u64 = statm
+        .split_whitespace()
+        .nth(1)
+        .and_then(|f| f.parse().ok())
+        .unwrap_or(0);
+    pages * 4096 / 1024
+}
+
+#[cfg(not(target_os = "linux"))]
+fn resident_kb() -> u64 {
+    0
+}
+
+/// RSS growth per session, holding `FLEET` of them live at once.
+fn fleet_overhead_kb(make: impl Fn() -> Session<MonoidAlgebra>) -> u64 {
+    let before = resident_kb();
+    let fleet: Vec<Session<MonoidAlgebra>> = (0..FLEET).map(|_| make()).collect();
+    let after = resident_kb();
+    drop(fleet);
+    after.saturating_sub(before) / FLEET as u64
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_cow.json".to_owned());
+    let (sigma, machine) = adversarial_machine(4);
+
+    println!("rasc-inc: copy-on-write fork vs per-connection restore");
+    println!(
+        "{:>12} {:>8} {:>14} {:>12} {:>9} {:>12} {:>12}",
+        "graph", "edges", "restore (ms)", "fork (ms)", "speedup", "rss/conn", "rss/conn"
+    );
+    println!(
+        "{:>12} {:>8} {:>14} {:>12} {:>9} {:>12} {:>12}",
+        "", "", "", "", "", "restore(KB)", "fork(KB)"
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut last_speedup = 0.0_f64;
+    // out_degree * n_vars edges per rung: 2k → 8k → 32k constraints.
+    let shapes = [(125usize, 16usize), (500, 16), (2000, 16)];
+    for (i, &(n_vars, out_degree)) in shapes.iter().enumerate() {
+        let wl = dense(n_vars, out_degree, &sigma, 7 + i as u64);
+        let sink = VarId::from_index(wl.sink);
+
+        // The durable artifact, serialized once; the frozen base is the
+        // decode-once product the server shares across connections.
+        let solved = build_solved(&machine, &wl);
+        let bytes = solved.snapshot_bytes().expect("solved session snapshots");
+        let base: BaseSystem<MonoidAlgebra> = solved.into_base().expect("solved session freezes");
+
+        // Per-connection restore: deserialize the solved form and answer.
+        let restore = bench("restore", 5, Duration::from_millis(400), || {
+            let mut sess = Session::<MonoidAlgebra>::restore_bytes(&bytes).expect("valid snapshot");
+            sess.nonempty(sink)
+        });
+
+        // Copy-on-write fork: alias the frozen base and answer.
+        let fork = bench("fork", 5, Duration::from_millis(400), || {
+            let mut sess = Session::fork_from(&base);
+            sess.nonempty(sink)
+        });
+
+        let restore_rss = fleet_overhead_kb(|| {
+            Session::<MonoidAlgebra>::restore_bytes(&bytes).expect("valid snapshot")
+        });
+        let fork_rss = fleet_overhead_kb(|| Session::fork_from(&base));
+
+        let speedup = restore.median_ns / fork.median_ns;
+        last_speedup = speedup;
+        println!(
+            "{:>12} {:>8} {:>14.3} {:>12.4} {:>8.1}x {:>12} {:>12}",
+            format!("{n_vars}x{out_degree}"),
+            wl.edges.len(),
+            restore.median_ns / 1e6,
+            fork.median_ns / 1e6,
+            speedup,
+            restore_rss,
+            fork_rss
+        );
+        rows.push(obj([
+            ("n_vars", Json::from(n_vars)),
+            ("out_degree", Json::from(out_degree)),
+            ("constraints", Json::from(wl.edges.len())),
+            ("snapshot_bytes", Json::from(bytes.len())),
+            ("restore_median_ns", Json::Num(restore.median_ns)),
+            ("fork_median_ns", Json::Num(fork.median_ns)),
+            ("speedup", Json::Num(speedup)),
+            ("restore_rss_per_conn_kb", Json::from(restore_rss)),
+            ("fork_rss_per_conn_kb", Json::from(fork_rss)),
+        ]));
+    }
+
+    let report = obj([
+        ("bench", Json::from("cow_fork_vs_restore")),
+        ("machine", Json::from("adversarial(4)")),
+        ("fleet", Json::from(FLEET)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, report.render() + "\n").expect("write report");
+    println!("wrote {out_path}");
+
+    assert!(
+        last_speedup >= 5.0,
+        "a copy-on-write fork must be ≥5× faster than a per-connection \
+         restore at the largest rung (got {last_speedup:.1}×)"
+    );
+}

@@ -22,12 +22,26 @@
 //!   (the old per-`HashMap` iteration order was stable only within one map
 //!   instance).
 //!
+//! # Copy-on-write layering
+//!
+//! An [`AnnMap`] is two layers: an optional immutable **base**
+//! (`Arc`-shared between every session forked from the same solved form)
+//! and a mutable **overlay** recording only the entries added since the
+//! fork. Reads merge both layers; writes touch only the overlay. A map
+//! that never forked simply has no base layer, so the single-session hot
+//! path pays one `Option` check per operation. [`AnnMap::freeze`] flattens
+//! the overlay onto the base (reusing the `Arc` untouched when the overlay
+//! is empty), which is how a solved system becomes a new shareable base.
+//!
 //! Rollback discipline: epoch undo removes entries in exact reverse
 //! insertion order, so [`AnnMap::remove`] looks the log up from the back —
 //! O(1) on that path — and the log returns byte-identically to its
-//! pre-epoch sequence.
+//! pre-epoch sequence. Epochs can only open *after* a fork (a base is
+//! always a fixpoint with no epochs), so every journaled removal names an
+//! overlay entry; the base layer is never mutated.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::algebra::AnnId;
 
@@ -39,7 +53,7 @@ pub(crate) const ANNSET_PROMOTE_LEN: usize = 16;
 
 /// A set of interned annotations with tiered membership and deterministic
 /// (sorted) iteration order.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct AnnSet {
     /// Always sorted and duplicate-free; the source of truth.
     sorted: Vec<AnnId>,
@@ -49,9 +63,7 @@ pub(crate) struct AnnSet {
 
 impl AnnSet {
     /// Tiered membership: O(1) above the promote threshold, O(log n)
-    /// binary search below. (The solver's dedupe path uses the same tiers
-    /// inside [`AnnSet::insert`]; this standalone probe serves tests.)
-    #[cfg(test)]
+    /// binary search below.
     pub(crate) fn contains(&self, a: AnnId) -> bool {
         match &self.hash {
             Some(h) => h.contains(&a),
@@ -125,38 +137,73 @@ impl AnnSet {
     }
 }
 
-/// A solved-form category for one variable: per-key [`AnnSet`]s plus the
-/// flat entry log the propagation cursors iterate. See the module docs.
-#[derive(Debug)]
-pub(crate) struct AnnMap<K> {
+/// The dense single-layer storage: entry log plus per-key sets. One of
+/// these is either an [`AnnMap`]'s private overlay or its `Arc`-shared
+/// immutable base.
+#[derive(Debug, Clone)]
+struct AnnMapCore<K> {
     /// Live `(key, ann)` entries in insertion order.
     entries: Vec<(K, AnnId)>,
     index: HashMap<K, AnnSet>,
 }
 
-impl<K> Default for AnnMap<K> {
+impl<K> Default for AnnMapCore<K> {
     fn default() -> Self {
-        AnnMap {
+        AnnMapCore {
             entries: Vec::new(),
             index: HashMap::new(),
         }
     }
 }
 
+/// A solved-form category for one variable: per-key [`AnnSet`]s plus the
+/// flat entry log the propagation cursors iterate, layered as an optional
+/// shared base plus a private overlay. See the module docs.
+#[derive(Debug, Clone)]
+pub(crate) struct AnnMap<K> {
+    /// The immutable shared layer (entries present at fork time).
+    base: Option<Arc<AnnMapCore<K>>>,
+    /// The mutable layer recording everything added since the fork.
+    over: AnnMapCore<K>,
+}
+
+impl<K> Default for AnnMap<K> {
+    fn default() -> Self {
+        AnnMap {
+            base: None,
+            over: AnnMapCore::default(),
+        }
+    }
+}
+
 impl<K: Copy + Eq + std::hash::Hash> AnnMap<K> {
-    /// Inserts `(key, a)`; returns whether the entry is new. `on_new_key`
-    /// fires when this is the key's first live annotation (the hook that
-    /// maintains secondary indexes, e.g. the per-constructor buckets).
+    fn base_entries(&self) -> &[(K, AnnId)] {
+        self.base.as_deref().map_or(&[], |b| &b.entries)
+    }
+
+    /// Entries in the shared base layer (0 when never forked).
+    pub(crate) fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.entries.len())
+    }
+
+    /// Inserts `(key, a)`; returns whether the entry is new (across both
+    /// layers). `on_new_key` fires when this is the key's first live
+    /// annotation in *either* layer (the hook that maintains secondary
+    /// indexes, e.g. the per-constructor buckets).
     pub(crate) fn insert_with<F: FnOnce()>(&mut self, key: K, a: AnnId, on_new_key: F) -> bool {
-        let set = self.index.entry(key).or_default();
+        let in_base = self.base.as_deref().and_then(|b| b.index.get(&key));
+        if in_base.is_some_and(|s| s.contains(a)) {
+            return false;
+        }
+        let set = self.over.index.entry(key).or_default();
         let was_empty = set.is_empty();
         if !set.insert(a) {
             return false;
         }
-        if was_empty {
+        if was_empty && in_base.is_none() {
             on_new_key();
         }
-        self.entries.push((key, a));
+        self.over.entries.push((key, a));
         true
     }
 
@@ -165,24 +212,38 @@ impl<K: Copy + Eq + std::hash::Hash> AnnMap<K> {
         self.insert_with(key, a, || {})
     }
 
-    /// Removes `(key, a)`; returns whether an entry was removed.
-    /// `on_key_emptied` fires when the key's last annotation left.
+    /// Removes `(key, a)` from the overlay; returns whether an entry was
+    /// removed. `on_key_emptied` fires when the key's last annotation left
+    /// both layers. The base layer is immutable: removal of a base entry
+    /// is a no-op by construction (epoch undo only ever names entries
+    /// inserted after the fork, which all live in the overlay).
     ///
     /// Epoch rollback removes entries in exact reverse insertion order, so
     /// the back-to-front log scan terminates immediately on that path.
     pub(crate) fn remove_with<F: FnOnce()>(&mut self, key: K, a: AnnId, on_key_emptied: F) -> bool {
-        let Some(set) = self.index.get_mut(&key) else {
+        let Some(set) = self.over.index.get_mut(&key) else {
             return false;
         };
         if !set.remove(a) {
             return false;
         }
         if set.is_empty() {
-            self.index.remove(&key);
-            on_key_emptied();
+            self.over.index.remove(&key);
+            let in_base = self
+                .base
+                .as_deref()
+                .is_some_and(|b| b.index.contains_key(&key));
+            if !in_base {
+                on_key_emptied();
+            }
         }
-        if let Some(pos) = self.entries.iter().rposition(|&(k, x)| k == key && x == a) {
-            self.entries.remove(pos);
+        if let Some(pos) = self
+            .over
+            .entries
+            .iter()
+            .rposition(|&(k, x)| k == key && x == a)
+        {
+            self.over.entries.remove(pos);
         }
         true
     }
@@ -192,43 +253,120 @@ impl<K: Copy + Eq + std::hash::Hash> AnnMap<K> {
         self.remove_with(key, a, || {})
     }
 
-    /// Membership test: O(1)/O(log n) via the key's [`AnnSet`].
+    /// Membership test across both layers: O(1)/O(log n) via the key's
+    /// [`AnnSet`]s.
     #[cfg(test)]
     pub(crate) fn contains(&self, key: K, a: AnnId) -> bool {
-        self.index.get(&key).is_some_and(|s| s.contains(a))
+        self.over.index.get(&key).is_some_and(|s| s.contains(a))
+            || self
+                .base
+                .as_deref()
+                .and_then(|b| b.index.get(&key))
+                .is_some_and(|s| s.contains(a))
     }
 
-    /// Total live entries across all keys — O(1).
+    /// Total live entries across all keys and both layers — O(1).
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.base_len() + self.over.entries.len()
     }
 
-    /// The flat entry log, insertion-ordered. Propagation cursors index
-    /// into this slice one step at a time instead of cloning it.
-    pub(crate) fn entries(&self) -> &[(K, AnnId)] {
-        &self.entries
+    /// The `i`-th entry of the merged log: base entries first (in their
+    /// insertion order), then overlay entries. Propagation cursors index
+    /// through this one step at a time instead of cloning the category;
+    /// appends during the walk land in the overlay and are still visited.
+    pub(crate) fn entry(&self, i: usize) -> Option<(K, AnnId)> {
+        let nb = self.base_len();
+        if i < nb {
+            self.base.as_deref().map(|b| b.entries[i])
+        } else {
+            self.over.entries.get(i - nb).copied()
+        }
     }
 
-    /// The annotation set of one key (sorted), if live.
-    pub(crate) fn get(&self, key: K) -> Option<&AnnSet> {
-        self.index.get(&key)
+    /// The merged entry log, insertion-ordered (base first, then overlay).
+    pub(crate) fn iter_entries(&self) -> impl Iterator<Item = (K, AnnId)> + '_ {
+        self.base_entries()
+            .iter()
+            .copied()
+            .chain(self.over.entries.iter().copied())
+    }
+
+    /// The (up to two) annotation sets recorded for `key`: the base
+    /// layer's set, then the overlay's. The two are disjoint by
+    /// construction (inserts dedupe across layers), so chaining them
+    /// enumerates each annotation exactly once.
+    pub(crate) fn sets(&self, key: K) -> impl Iterator<Item = &AnnSet> {
+        self.base
+            .as_deref()
+            .and_then(|b| b.index.get(&key))
+            .into_iter()
+            .chain(self.over.index.get(&key))
+    }
+
+    /// Whether `key` has any live annotation in either layer.
+    #[cfg(test)]
+    pub(crate) fn has_key(&self, key: K) -> bool {
+        self.over.index.contains_key(&key)
+            || self
+                .base
+                .as_deref()
+                .is_some_and(|b| b.index.contains_key(&key))
     }
 
     /// Iterates `(key, sorted annotations)` groups (hash order; use
-    /// [`AnnMap::entries`] where determinism matters).
+    /// [`AnnMap::iter_entries`] where determinism matters). A key with
+    /// annotations in both layers yields **twice**, with disjoint sets —
+    /// callers enumerating `(key, ann)` pairs see each pair exactly once.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (&K, &AnnSet)> {
-        self.index.iter()
+        self.base
+            .as_deref()
+            .map(|b| b.index.iter())
+            .into_iter()
+            .flatten()
+            .chain(self.over.index.iter())
+    }
+
+    /// Flattens the overlay onto the base, leaving an empty overlay over
+    /// one immutable `Arc`-shared layer — the shape [`AnnMap::clone`]
+    /// shares in O(1). When the overlay is already empty the existing base
+    /// `Arc` is reused untouched; the merged entry log keeps base entries
+    /// first, so freezing never reorders what [`AnnMap::iter_entries`]
+    /// (and therefore snapshot bytes) observe.
+    pub(crate) fn freeze(&mut self) {
+        if self.over.entries.is_empty() && self.over.index.is_empty() {
+            return;
+        }
+        let mut core = match self.base.take() {
+            Some(b) => Arc::try_unwrap(b).unwrap_or_else(|arc| (*arc).clone()),
+            None => AnnMapCore::default(),
+        };
+        let over = std::mem::take(&mut self.over);
+        for (k, set) in over.index {
+            match core.index.entry(k) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for &a in set.as_slice() {
+                        e.get_mut().insert(a);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(set);
+                }
+            }
+        }
+        core.entries.extend(over.entries);
+        self.base = Some(Arc::new(core));
     }
 }
 
 impl<K: Copy + Eq + Ord + std::hash::Hash> AnnMap<K> {
-    /// Bulk-loads an insertion-ordered entry log into an empty map.
-    /// Structurally identical to replaying [`AnnMap::insert_with`] entry by
-    /// entry, but groups entries with one key sort instead of paying one
-    /// hash probe plus one sorted-vec shift per entry — the snapshot
-    /// *restore* hot path, where the whole solved form streams back in at
-    /// once. `on_new_key` fires once per distinct key, in first-appearance
-    /// order (the same order incremental inserts would have fired it).
+    /// Bulk-loads an insertion-ordered entry log into an empty map (the
+    /// overlay of a map with no base). Structurally identical to replaying
+    /// [`AnnMap::insert_with`] entry by entry, but groups entries with one
+    /// key sort instead of paying one hash probe plus one sorted-vec shift
+    /// per entry — the snapshot *restore* hot path, where the whole solved
+    /// form streams back in at once. `on_new_key` fires once per distinct
+    /// key, in first-appearance order (the same order incremental inserts
+    /// would have fired it).
     ///
     /// Returns `false` on a duplicate `(key, ann)` pair; the map contents
     /// are unspecified after a failure (restore discards the system), but
@@ -238,7 +376,9 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> AnnMap<K> {
         entries: Vec<(K, AnnId)>,
         mut on_new_key: F,
     ) -> bool {
-        debug_assert!(self.entries.is_empty() && self.index.is_empty());
+        debug_assert!(
+            self.base.is_none() && self.over.entries.is_empty() && self.over.index.is_empty()
+        );
         if entries.is_empty() {
             return true;
         }
@@ -267,13 +407,13 @@ impl<K: Copy + Eq + Ord + std::hash::Hash> AnnMap<K> {
                 return false;
             }
             new_keys.push((order[start], key));
-            self.index.insert(key, AnnSet::from_sorted(anns));
+            self.over.index.insert(key, AnnSet::from_sorted(anns));
         }
         new_keys.sort_unstable_by_key(|&(pos, _)| pos);
         for &(_, key) in &new_keys {
             on_new_key(key);
         }
-        self.entries = entries;
+        self.over.entries = entries;
         true
     }
 }
@@ -284,6 +424,15 @@ mod tests {
 
     fn ann(n: u32) -> AnnId {
         AnnId(n)
+    }
+
+    fn set_of<K: Copy + Eq + std::hash::Hash>(m: &AnnMap<K>, key: K) -> Vec<AnnId> {
+        let mut anns: Vec<AnnId> = m
+            .sets(key)
+            .flat_map(|s| s.as_slice().iter().copied())
+            .collect();
+        anns.sort_unstable();
+        anns
     }
 
     #[test]
@@ -328,12 +477,10 @@ mod tests {
         let mut bulk_keys = Vec::new();
         assert!(bulk.load_log(log.clone(), |k| bulk_keys.push(k)));
 
-        assert_eq!(bulk.entries(), incremental.entries());
+        assert!(bulk.iter_entries().eq(incremental.iter_entries()));
         assert_eq!(bulk_keys, inc_keys, "new-key hook order preserved");
         for k in [0u32, 1, 7] {
-            let (b, i) = (bulk.get(k).unwrap(), incremental.get(k).unwrap());
-            assert_eq!(b.as_slice(), i.as_slice());
-            assert_eq!(b.hash.is_some(), i.hash.is_some(), "same tier on key {k}");
+            assert_eq!(set_of(&bulk, k), set_of(&incremental, k));
         }
 
         let mut dup = log.clone();
@@ -351,9 +498,9 @@ mod tests {
         }
         assert_eq!(new_keys, 2, "duplicate (2,20) created no key");
         assert_eq!(m.len(), 3);
-        assert_eq!(
-            m.entries(),
-            &[(1, ann(10)), (2, ann(20)), (1, ann(11))],
+        assert!(
+            m.iter_entries()
+                .eq([(1, ann(10)), (2, ann(20)), (1, ann(11))]),
             "insertion order, duplicates dropped"
         );
         assert!(m.contains(1, ann(11)));
@@ -365,6 +512,65 @@ mod tests {
         assert!(m.remove_with(1, ann(10), || emptied += 1));
         assert_eq!(emptied, 2);
         assert_eq!(m.len(), 0);
-        assert!(m.get(1).is_none());
+        assert!(!m.has_key(1));
+    }
+
+    #[test]
+    fn frozen_base_shares_and_overlay_records_only_deltas() {
+        let mut m: AnnMap<u32> = AnnMap::default();
+        m.insert(1, ann(10));
+        m.insert(2, ann(20));
+        m.freeze();
+        assert_eq!(m.base_len(), 2);
+
+        // A fork is a plain clone: the base Arc is shared, overlays are
+        // independent.
+        let mut fork = m.clone();
+        assert!(Arc::ptr_eq(
+            m.base.as_ref().unwrap(),
+            fork.base.as_ref().unwrap()
+        ));
+
+        // Duplicates of base entries are rejected without touching the
+        // overlay; base keys never re-fire the new-key hook.
+        assert!(!fork.insert(1, ann(10)));
+        let mut hook = 0;
+        assert!(fork.insert_with(1, ann(11), || hook += 1));
+        assert_eq!(hook, 0, "key 1 already lives in the base");
+        assert!(fork.insert_with(3, ann(30), || hook += 1));
+        assert_eq!(hook, 1, "key 3 is new across both layers");
+        assert_eq!(fork.len(), 4);
+        assert_eq!(m.len(), 2, "the origin map never sees fork writes");
+
+        // Reads merge: per-key sets, the indexed log, and membership.
+        assert_eq!(set_of(&fork, 1), vec![ann(10), ann(11)]);
+        assert_eq!(fork.entry(0), Some((1, ann(10))));
+        assert_eq!(fork.entry(2), Some((1, ann(11))));
+        assert_eq!(fork.entry(3), Some((3, ann(30))));
+        assert!(fork.contains(1, ann(10)));
+        assert!(fork.contains(3, ann(30)));
+
+        // Rollback-style removal touches only the overlay; emptying an
+        // overlay set whose key survives in the base must not fire the
+        // emptied hook, while a key that existed only in the overlay must.
+        let mut emptied = 0;
+        assert!(fork.remove_with(3, ann(30), || emptied += 1));
+        assert_eq!(emptied, 1);
+        assert!(fork.remove_with(1, ann(11), || emptied += 1));
+        assert_eq!(emptied, 1, "key 1 still lives in the base");
+        assert!(!fork.remove(1, ann(10)), "base entries are immutable");
+        assert!(fork.iter_entries().eq(m.iter_entries()));
+
+        // Re-freezing after growth flattens deterministically: base
+        // entries first, then overlay entries.
+        let mut grown = m.clone();
+        grown.insert(1, ann(12));
+        grown.insert(4, ann(40));
+        grown.freeze();
+        assert!(grown
+            .iter_entries()
+            .eq([(1, ann(10)), (2, ann(20)), (1, ann(12)), (4, ann(40))]));
+        assert_eq!(set_of(&grown, 1), vec![ann(10), ann(12)]);
+        assert_eq!(grown.base_len(), 4);
     }
 }

@@ -85,7 +85,7 @@ pub use pattern::{AnnPred, TermPattern};
 pub use provenance::ExplainStep;
 pub use query::OccurrenceWitness;
 pub use snapshot::{SnapshotAlgebra, SnapshotError};
-pub use solver::{Clash, SolverConfig, SolverStats, System, VarId};
+pub use solver::{BaseSystem, Clash, SolverConfig, SolverStats, System, VarId};
 pub use term::{ConsId, Constructor, GroundTerm, Variance};
 
 /// Converts an interning index to a `u32` id.

@@ -73,12 +73,62 @@ pub(crate) enum ProvKey {
 
 /// The provenance store: first reasons per entry, plus the reasons of
 /// facts still pending on the worklist (kept in lockstep with it).
-#[derive(Debug, Default)]
+///
+/// Like the solved-form categories, the store is layered for
+/// copy-on-write forks: `base` holds the reasons frozen into a shared
+/// base system, `map` records only the reasons added since the fork.
+/// First-justification-wins spans both layers (an entry justified in the
+/// base is never re-justified in the overlay), so epoch rollback — which
+/// only ever undoes post-fork records — removes from `map` alone.
+#[derive(Debug, Default, Clone)]
 pub(crate) struct Provenance {
-    /// First recorded reason per solved-form entry.
+    /// Reasons frozen into the shared base layer at fork time.
+    pub(crate) base: Option<std::sync::Arc<HashMap<ProvKey, Reason>>>,
+    /// First recorded reason per solved-form entry since the fork.
     pub(crate) map: HashMap<ProvKey, Reason>,
     /// Reason of each pending worklist fact, in worklist order.
     pub(crate) pending: VecDeque<Reason>,
+}
+
+impl Provenance {
+    /// First-justification lookup across both layers (base wins — it is
+    /// by construction the earlier record).
+    pub(crate) fn reason(&self, key: &ProvKey) -> Option<&Reason> {
+        self.base
+            .as_deref()
+            .and_then(|b| b.get(key))
+            .or_else(|| self.map.get(key))
+    }
+
+    /// Whether a reason is already recorded for `key` in either layer.
+    pub(crate) fn has(&self, key: &ProvKey) -> bool {
+        self.map.contains_key(key) || self.base.as_deref().is_some_and(|b| b.contains_key(key))
+    }
+
+    /// Iterates every record across both layers.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&ProvKey, &Reason)> {
+        self.base
+            .as_deref()
+            .map(HashMap::iter)
+            .into_iter()
+            .flatten()
+            .chain(self.map.iter())
+    }
+
+    /// Flattens the overlay onto the base, leaving an empty overlay over
+    /// one shared layer (reusing the existing `Arc` when nothing was
+    /// added since the last freeze).
+    pub(crate) fn freeze(&mut self) {
+        if self.map.is_empty() {
+            return;
+        }
+        let mut core = match self.base.take() {
+            Some(b) => std::sync::Arc::try_unwrap(b).unwrap_or_else(|arc| (*arc).clone()),
+            None => HashMap::new(),
+        };
+        core.extend(std::mem::take(&mut self.map));
+        self.base = Some(std::sync::Arc::new(core));
+    }
 }
 
 /// One step of a derivation chain returned by [`crate::System::explain`].

@@ -154,7 +154,7 @@ fn constraints_are_recorded_in_order() {
     let (x, y, z) = (sys.var("X"), sys.var("Y"), sys.var("Z"));
     sys.add(SetExpr::var(x), SetExpr::var(y)).unwrap();
     sys.add(SetExpr::var(y), SetExpr::var(z)).unwrap();
-    assert_eq!(sys.constraints().len(), 2);
-    assert_eq!(sys.constraints()[0].lhs, SetExpr::var(x));
-    assert_eq!(sys.constraints()[1].rhs, SetExpr::var(z));
+    assert_eq!(sys.num_constraints(), 2);
+    assert_eq!(sys.constraint(0).unwrap().lhs, SetExpr::var(x));
+    assert_eq!(sys.constraint(1).unwrap().rhs, SetExpr::var(z));
 }

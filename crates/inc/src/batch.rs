@@ -197,8 +197,12 @@ impl EngineCaps {
 pub struct BatchEngine {
     pub(crate) session: Session<MonoidAlgebra>,
     pub(crate) sigma: Alphabet,
-    pub(crate) cons: HashMap<String, ConsId>,
-    pub(crate) vars: HashMap<String, VarId>,
+    /// Constructor name→id map. Behind an `Arc` so forking from a shared
+    /// [`crate::EngineBase`] is a pointer bump; the first post-fork
+    /// `declare` copies it once (`Arc::make_mut`).
+    pub(crate) cons: Arc<HashMap<String, ConsId>>,
+    /// Variable name→id map, `Arc`-shared like `cons`.
+    pub(crate) vars: Arc<HashMap<String, VarId>>,
     limits: Limits,
     /// Embedder-imposed caps clamping every budget (see [`EngineCaps`]).
     caps: Limits,
@@ -292,8 +296,33 @@ impl BatchEngine {
         BatchEngine {
             session,
             sigma,
-            cons: HashMap::new(),
-            vars: HashMap::new(),
+            cons: Arc::new(HashMap::new()),
+            vars: Arc::new(HashMap::new()),
+            limits: Limits::default(),
+            caps: Limits::default(),
+            cancel: None,
+            clock: None,
+            snapshot_path: None,
+            client_snapshot_paths: true,
+            snapshot_hook: None,
+            request_id: None,
+            request_base: RequestStats::default(),
+        }
+    }
+
+    /// An engine forked from a shared read-only [`crate::EngineBase`].
+    ///
+    /// The solved form, provenance records, and name maps are aliased
+    /// copy-on-write (a handful of `Arc` bumps plus the per-variable
+    /// bookkeeping), so forking is near-constant-time in the size of the
+    /// base. Connection state — limits, caps, cancellation, hooks —
+    /// starts fresh exactly as with [`BatchEngine::new`].
+    pub fn fork_from(base: &crate::EngineBase) -> BatchEngine {
+        BatchEngine {
+            session: Session::fork_from(&base.base),
+            sigma: base.sigma.clone(),
+            cons: Arc::clone(&base.cons),
+            vars: Arc::clone(&base.vars),
             limits: Limits::default(),
             caps: Limits::default(),
             cancel: None,
@@ -464,8 +493,14 @@ impl BatchEngine {
     /// `pop_epoch`).
     fn prune_names(&mut self) {
         let stats = self.session.stats();
-        self.vars.retain(|_, v| v.index() < stats.vars);
-        self.cons.retain(|_, c| c.index() < stats.constructors);
+        // Only copy-on-write the shared maps when something actually
+        // rolled away (the common pop touches no names).
+        if self.vars.values().any(|v| v.index() >= stats.vars) {
+            Arc::make_mut(&mut self.vars).retain(|_, v| v.index() < stats.vars);
+        }
+        if self.cons.values().any(|c| c.index() >= stats.constructors) {
+            Arc::make_mut(&mut self.cons).retain(|_, c| c.index() < stats.constructors);
+        }
     }
 
     fn declare(&mut self, cmd: &Json) -> Result<Json, BatchError> {
@@ -499,7 +534,7 @@ impl BatchEngine {
                 .collect::<Result<_, _>>()?,
         };
         let id = self.session.constructor(name, &signature);
-        self.cons.insert(name.to_owned(), id);
+        Arc::make_mut(&mut self.cons).insert(name.to_owned(), id);
         Ok(obj([
             ("ok", Json::from("declare")),
             ("cons", Json::from(name)),
@@ -656,7 +691,7 @@ impl BatchEngine {
             ("ok", Json::from("add")),
             (
                 "constraints",
-                Json::from(self.session.system().constraints().len()),
+                Json::from(self.session.system().num_constraints()),
             ),
             ("consistent", Json::from(self.session.is_consistent())),
         ]))
@@ -821,7 +856,7 @@ impl BatchEngine {
             ("path", Json::from(path.display().to_string().as_str())),
             (
                 "constraints",
-                Json::from(self.session.system().constraints().len()),
+                Json::from(self.session.system().num_constraints()),
             ),
             ("vars", Json::from(self.session.stats().vars)),
             ("consistent", Json::from(self.session.is_consistent())),
@@ -869,7 +904,7 @@ impl BatchEngine {
             ("constructors", Json::from(s.constructors)),
             (
                 "constraints",
-                Json::from(self.session.system().constraints().len()),
+                Json::from(self.session.system().num_constraints()),
             ),
             ("edges", Json::from(s.edges)),
             ("lower_bounds", Json::from(s.lower_bounds)),
@@ -959,7 +994,7 @@ impl BatchEngine {
             return v;
         }
         let v = self.session.var(name);
-        self.vars.insert(name.to_owned(), v);
+        Arc::make_mut(&mut self.vars).insert(name.to_owned(), v);
         v
     }
 }

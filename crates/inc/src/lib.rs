@@ -22,3 +22,4 @@ mod stream;
 
 pub use batch::{BatchEngine, EngineCaps, RequestStats};
 pub use session::{CacheStats, Session};
+pub use snapshot::EngineBase;

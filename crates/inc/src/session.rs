@@ -18,8 +18,8 @@ use std::collections::{HashMap, HashSet};
 
 use rasc_core::algebra::{Algebra, AnnId};
 use rasc_core::{
-    Budget, Clash, ConsId, Outcome, Result, SetExpr, SolverConfig, SolverStats, System, VarId,
-    Variance,
+    BaseSystem, Budget, Clash, ConsId, Outcome, Result, SetExpr, SnapshotError, SolverConfig,
+    SolverStats, System, VarId, Variance,
 };
 
 /// Hit/miss counters for the session's query cache.
@@ -94,6 +94,30 @@ impl<A: Algebra> Session<A> {
             cache: HashMap::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// A session forked copy-on-write from a shared frozen base (see
+    /// [`System::fork`]): the solved form is shared by `Arc`, only deltas
+    /// made through this session allocate, and every query — including
+    /// stats and provenance — answers identically to a session restored
+    /// from the base's snapshot. Near-constant time; no re-solve.
+    pub fn fork_from(base: &BaseSystem<A>) -> Session<A>
+    where
+        A: Clone,
+    {
+        Session {
+            sys: System::fork(base),
+            cache: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Freezes this session's solved form into a shared fork base (see
+    /// [`System::into_base`]). Fails with a state error while facts are
+    /// pending or an epoch is open. The query cache is dropped — forks
+    /// start cold, exactly like restored sessions.
+    pub fn into_base(self) -> std::result::Result<BaseSystem<A>, SnapshotError> {
+        self.sys.into_base()
     }
 
     /// The underlying solved system (read-only).

@@ -25,9 +25,11 @@
 use std::collections::HashMap;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
-use rasc_core::algebra::Algebra;
+use rasc_automata::Alphabet;
+use rasc_core::algebra::{Algebra, MonoidAlgebra};
 use rasc_core::snapshot::{
     read_snapshot_file, write_atomic, ByteWriter, SnapshotReader, SnapshotWriter, TAG_ENGINE,
 };
@@ -205,66 +207,7 @@ impl BatchEngine {
                 self.session.epoch_depth()
             )));
         }
-        let reader = SnapshotReader::parse(bytes)?;
-
-        // Decode and validate the ENGN name tables first — it is the
-        // cheapest section and catches cross-configuration restores
-        // before the solved form is rebuilt.
-        let mut r = reader.section(TAG_ENGINE)?;
-        let n_syms = r.seq_len()?;
-        let mut snap_alphabet = Vec::with_capacity(n_syms);
-        for _ in 0..n_syms {
-            snap_alphabet.push(r.str()?);
-        }
-        let names = read_name_map(&mut r, "constructor")?;
-        let var_names = read_name_map(&mut r, "variable")?;
-        r.finish()?;
-
-        let engine_alphabet: Vec<&str> = self.sigma.symbols().map(|s| self.sigma.name(s)).collect();
-        if snap_alphabet != engine_alphabet {
-            return Err(SnapshotError::state(format!(
-                "snapshot alphabet [{}] does not match engine alphabet [{}]",
-                snap_alphabet.join(","),
-                engine_alphabet.join(",")
-            )));
-        }
-
-        let sys = System::restore_sections(&reader)?;
-        let stats = sys.stats();
-        let mut cons = HashMap::with_capacity(names.len());
-        for (name, id) in names {
-            if id as usize >= stats.constructors {
-                return Err(SnapshotError::corrupt(format!(
-                    "constructor map entry `{name}` has id {id} but only {} constructors",
-                    stats.constructors
-                )));
-            }
-            if cons
-                .insert(name.clone(), ConsId::from_index(id as usize))
-                .is_some()
-            {
-                return Err(SnapshotError::corrupt(format!(
-                    "duplicate constructor map entry `{name}`"
-                )));
-            }
-        }
-        let mut vars = HashMap::with_capacity(var_names.len());
-        for (name, id) in var_names {
-            if id as usize >= stats.vars {
-                return Err(SnapshotError::corrupt(format!(
-                    "variable map entry `{name}` has id {id} but only {} variables",
-                    stats.vars
-                )));
-            }
-            if vars
-                .insert(name.clone(), VarId::from_index(id as usize))
-                .is_some()
-            {
-                return Err(SnapshotError::corrupt(format!(
-                    "duplicate variable map entry `{name}`"
-                )));
-            }
-        }
+        let (sys, cons, vars) = decode_engine_snapshot(bytes, &self.sigma)?;
 
         // All validation passed — commit the restore.
         let mut session = Session::from_system(sys);
@@ -272,9 +215,134 @@ impl BatchEngine {
         // constraint added from here on, so `explain` keeps working.
         session.system_mut().enable_provenance();
         self.session = session;
-        self.cons = cons;
-        self.vars = vars;
+        self.cons = Arc::new(cons);
+        self.vars = Arc::new(vars);
         Ok(())
+    }
+}
+
+/// A fully decoded engine snapshot: the solved form plus the protocol's
+/// constructor and variable name tables.
+type DecodedEngine = (
+    System<MonoidAlgebra>,
+    HashMap<String, ConsId>,
+    HashMap<String, VarId>,
+);
+
+/// Decodes and fully validates an engine snapshot without touching any
+/// engine: the `ENGN` name tables are checked against `sigma` and against
+/// the restored solved form's id ranges before anything is returned.
+/// Shared by [`BatchEngine::restore_bytes`] (which commits the result into
+/// an existing engine) and [`EngineBase::decode`] (which freezes it into a
+/// shared fork base).
+fn decode_engine_snapshot(bytes: &[u8], sigma: &Alphabet) -> Result<DecodedEngine, SnapshotError> {
+    let reader = SnapshotReader::parse(bytes)?;
+
+    // Decode and validate the ENGN name tables first — it is the
+    // cheapest section and catches cross-configuration restores
+    // before the solved form is rebuilt.
+    let mut r = reader.section(TAG_ENGINE)?;
+    let n_syms = r.seq_len()?;
+    let mut snap_alphabet = Vec::with_capacity(n_syms);
+    for _ in 0..n_syms {
+        snap_alphabet.push(r.str()?);
+    }
+    let names = read_name_map(&mut r, "constructor")?;
+    let var_names = read_name_map(&mut r, "variable")?;
+    r.finish()?;
+
+    let engine_alphabet: Vec<&str> = sigma.symbols().map(|s| sigma.name(s)).collect();
+    if snap_alphabet != engine_alphabet {
+        return Err(SnapshotError::state(format!(
+            "snapshot alphabet [{}] does not match engine alphabet [{}]",
+            snap_alphabet.join(","),
+            engine_alphabet.join(",")
+        )));
+    }
+
+    let sys = System::restore_sections(&reader)?;
+    let stats = sys.stats();
+    let mut cons = HashMap::with_capacity(names.len());
+    for (name, id) in names {
+        if id as usize >= stats.constructors {
+            return Err(SnapshotError::corrupt(format!(
+                "constructor map entry `{name}` has id {id} but only {} constructors",
+                stats.constructors
+            )));
+        }
+        if cons
+            .insert(name.clone(), ConsId::from_index(id as usize))
+            .is_some()
+        {
+            return Err(SnapshotError::corrupt(format!(
+                "duplicate constructor map entry `{name}`"
+            )));
+        }
+    }
+    let mut vars = HashMap::with_capacity(var_names.len());
+    for (name, id) in var_names {
+        if id as usize >= stats.vars {
+            return Err(SnapshotError::corrupt(format!(
+                "variable map entry `{name}` has id {id} but only {} variables",
+                stats.vars
+            )));
+        }
+        if vars
+            .insert(name.clone(), VarId::from_index(id as usize))
+            .is_some()
+        {
+            return Err(SnapshotError::corrupt(format!(
+                "duplicate variable map entry `{name}`"
+            )));
+        }
+    }
+    Ok((sys, cons, vars))
+}
+
+/// A decoded engine snapshot frozen into a shared, read-only fork base.
+///
+/// The serve layer decodes its warm-start image into one of these **once**
+/// and hands an `Arc<EngineBase>` to every connection;
+/// [`BatchEngine::fork_from`] then builds a private copy-on-write engine
+/// over it in near-constant time, instead of re-parsing the snapshot per
+/// connection.
+#[derive(Debug)]
+pub struct EngineBase {
+    pub(crate) sigma: Alphabet,
+    pub(crate) cons: Arc<HashMap<String, ConsId>>,
+    pub(crate) vars: Arc<HashMap<String, VarId>>,
+    pub(crate) base: rasc_core::BaseSystem<MonoidAlgebra>,
+}
+
+impl EngineBase {
+    /// Decodes snapshot bytes into a fork base, validating exactly as
+    /// [`BatchEngine::restore_bytes`] does (same alphabet check, same
+    /// name-map id-range checks, same metrics: `snap.restore.micros` on
+    /// success, `snap.corrupt_rejected` on corrupt input).
+    pub fn decode(bytes: &[u8], sigma: &Alphabet) -> Result<EngineBase, SnapshotError> {
+        let start = Instant::now();
+        let result = Self::decode_validated(bytes, sigma);
+        note_restore(start, &result);
+        result
+    }
+
+    fn decode_validated(bytes: &[u8], sigma: &Alphabet) -> Result<EngineBase, SnapshotError> {
+        let (mut sys, cons, vars) = decode_engine_snapshot(bytes, sigma)?;
+        // Forked engines share the batch-engine invariant: provenance is
+        // on before any post-fork constraint lands.
+        sys.enable_provenance();
+        Ok(EngineBase {
+            sigma: sigma.clone(),
+            cons: Arc::new(cons),
+            vars: Arc::new(vars),
+            base: sys.into_base()?,
+        })
+    }
+
+    /// Solver statistics of the frozen solved form (useful for logging
+    /// what a warm start loaded).
+    pub fn stats(&self) -> rasc_core::SolverStats {
+        self.base.stats()
     }
 }
 

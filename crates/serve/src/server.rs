@@ -11,10 +11,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rasc_automata::{Alphabet, Dfa};
-use rasc_core::snapshot::{read_snapshot_file, write_atomic, SnapshotReader};
-use rasc_core::{CancelToken, Clock};
+use rasc_core::snapshot::{read_snapshot_file, write_atomic};
+use rasc_core::{CancelToken, Clock, SnapshotError};
 use rasc_inc::json::{obj, Json};
-use rasc_inc::{BatchEngine, EngineCaps};
+use rasc_inc::{BatchEngine, EngineBase, EngineCaps};
 use rasc_obs::{self as obs, EventSink, Fanout, MetricsRegistry, MetricsSnapshot, ScopedSink};
 
 use crate::admin::{run_admin, ContentType, SlowLog};
@@ -57,13 +57,16 @@ pub struct ServeConfig {
     /// Whether the in-band `{"cmd":"shutdown"}` admin command initiates a
     /// graceful drain (the protocol answers `unknown_command` when off).
     pub allow_shutdown_command: bool,
-    /// Warm-restart directory. When set, the server loads
-    /// `<dir>/current.snap` at startup as the base image every new
-    /// connection's session restores from, routes the in-band
-    /// `{"cmd":"snapshot"}` command to that file (client-chosen paths are
-    /// disabled), and checkpoints the latest base image there again on
-    /// graceful shutdown. A corrupt base file is rejected with a
-    /// `snap.corrupt_rejected` counter and the server starts cold.
+    /// Warm-restart directory. When set, the server decodes
+    /// `<dir>/current.snap` **once** at startup into a shared read-only
+    /// base that every new connection forks copy-on-write (near-constant
+    /// time per connection), routes the in-band `{"cmd":"snapshot"}`
+    /// command to that file (client-chosen paths are disabled), and
+    /// checkpoints the latest base image there again on graceful
+    /// shutdown. A corrupt base file is rejected with a
+    /// `snap.corrupt_rejected` counter and the server starts cold; an
+    /// unreadable (but present) file is counted as
+    /// `serve.base.io_errors`.
     pub snapshot_dir: Option<PathBuf>,
     /// External shutdown request polled by the accept loop (the CLI wires
     /// its SIGINT/SIGTERM handler here): setting it true initiates the
@@ -143,10 +146,17 @@ struct Shared {
     /// Warm-restart file (`<snapshot_dir>/current.snap`) when persistence
     /// is configured.
     snapshot_path: Option<PathBuf>,
-    /// The latest durable base image: loaded from disk at startup,
-    /// refreshed by every in-band `snapshot` command, restored into each
-    /// new connection's engine, and checkpointed on graceful shutdown.
+    /// The latest durable base image bytes: loaded from disk at startup,
+    /// refreshed by every in-band `snapshot` command, and checkpointed on
+    /// graceful shutdown. Connections never re-parse these — they fork
+    /// from [`Shared::base`].
     snapshot: Mutex<Option<Arc<Vec<u8>>>>,
+    /// The decoded, frozen counterpart of [`Shared::snapshot`]: the image
+    /// is parsed and validated **once** (at startup or when an in-band
+    /// `snapshot` swaps it), and every new connection builds its engine
+    /// with [`BatchEngine::fork_from`] — a few `Arc` bumps instead of a
+    /// full per-connection restore.
+    base: Mutex<Option<Arc<EngineBase>>>,
     /// Aggregated telemetry behind the admin endpoint. Always present;
     /// it is installed (fanned out with [`ServeConfig::sink`]) on every
     /// worker so `serve.*` counters and latency histograms accumulate
@@ -165,9 +175,14 @@ struct Shared {
     started: Instant,
     /// Whether startup restored a warm base image (`/healthz`).
     warm_start: bool,
-    /// When the base image was last made durable: the startup load or the
-    /// most recent in-band `snapshot` command (`/healthz` checkpoint age).
-    last_checkpoint: Mutex<Option<Instant>>,
+    /// When the base image was last made durable, as `(stamp, age at
+    /// stamp)`: a fresh in-band `snapshot` records `(now, 0)`, while the
+    /// startup load records the snapshot **file's** age (from its mtime)
+    /// so a warm restart reports how stale the image really is, not how
+    /// long this process has been up. `/healthz` reports
+    /// `stamp.elapsed() + age`. The pair sidesteps `Instant` arithmetic
+    /// that would fail when the file is older than the process.
+    last_checkpoint: Mutex<Option<(Instant, Duration)>>,
 }
 
 impl Shared {
@@ -185,8 +200,9 @@ impl Shared {
     /// wants before routing traffic here.
     fn health_json(&self) -> String {
         let uptime = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
-        let checkpoint_age = lock(&self.last_checkpoint)
-            .map(|t| u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX));
+        let checkpoint_age = lock(&self.last_checkpoint).map(|(stamp, age_at_stamp)| {
+            u64::try_from((stamp.elapsed() + age_at_stamp).as_millis()).unwrap_or(u64::MAX)
+        });
         obj([
             ("ok", Json::from(true)),
             ("draining", Json::from(self.is_draining())),
@@ -311,18 +327,6 @@ impl Server {
         // Queue capacity matches the admission cap, so a connection that
         // passed admission is never refused by the pool.
         let pool = ThreadPool::new(config.threads, config.max_connections.max(1));
-        let snapshot_path = match &config.snapshot_dir {
-            Some(dir) => {
-                std::fs::create_dir_all(dir)?;
-                Some(dir.join("current.snap"))
-            }
-            None => None,
-        };
-        let snapshot = snapshot_path
-            .as_deref()
-            .filter(|p| p.exists())
-            .and_then(load_base_image);
-        let warm_start = snapshot.is_some();
         // Bind the admin listener here so port 0 resolves before run()
         // and a bad --admin-addr fails loudly at startup, not mid-serve.
         let admin_listener = match &config.admin_addr {
@@ -345,6 +349,40 @@ impl Server {
             ])),
             None => Arc::clone(&metrics) as Arc<dyn EventSink>,
         };
+        let snapshot_path = match &config.snapshot_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(dir.join("current.snap"))
+            }
+            None => None,
+        };
+        // Load and decode the warm-restart image under the server's sink,
+        // so bind-time telemetry (`snap.restore.micros`,
+        // `snap.corrupt_rejected`, `serve.base.io_errors`) lands in the
+        // same registry the admin endpoint scrapes.
+        let loaded = {
+            let _sink_guard = ScopedSink::install(Arc::clone(&effective_sink));
+            snapshot_path
+                .as_deref()
+                .and_then(|p| load_base_image(p, &sigma))
+        };
+        let warm_start = loaded.is_some();
+        // A warm start's image was made durable when the file was last
+        // written, not now: seed the checkpoint clock with the file's age
+        // so `/healthz` reports real staleness across restarts.
+        let initial_checkpoint = loaded.as_ref().map(|_| {
+            let file_age = snapshot_path
+                .as_deref()
+                .and_then(|p| std::fs::metadata(p).ok())
+                .and_then(|m| m.modified().ok())
+                .and_then(|mtime| mtime.elapsed().ok())
+                .unwrap_or(Duration::ZERO);
+            (Instant::now(), file_age)
+        });
+        let (snapshot, base) = match loaded {
+            Some((bytes, decoded)) => (Some(bytes), Some(Arc::new(decoded))),
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             sigma,
             dfa: machine.clone(),
@@ -360,6 +398,7 @@ impl Server {
             rejected: AtomicU64::new(0),
             snapshot_path,
             snapshot: Mutex::new(snapshot),
+            base: Mutex::new(base),
             metrics,
             effective_sink,
             admin_addr,
@@ -367,7 +406,7 @@ impl Server {
             inflight: AtomicUsize::new(0),
             started: Instant::now(),
             warm_start,
-            last_checkpoint: Mutex::new(warm_start.then(Instant::now)),
+            last_checkpoint: Mutex::new(initial_checkpoint),
         });
         Ok(Server {
             listener,
@@ -465,7 +504,7 @@ impl Server {
             match write_atomic(path, &bytes) {
                 Ok(()) => {
                     obs::counter("serve.checkpoints", 1);
-                    *lock(&shared.last_checkpoint) = Some(Instant::now());
+                    *lock(&shared.last_checkpoint) = Some((Instant::now(), Duration::ZERO));
                 }
                 Err(_) => obs::counter("serve.checkpoint_failures", 1),
             }
@@ -494,19 +533,43 @@ impl Server {
     }
 }
 
-/// Reads and container-validates a warm-restart base image. A torn or
-/// tampered file is rejected (counted as `snap.corrupt_rejected`) so the
-/// server starts cold rather than serving a mis-restored solved form;
-/// an unreadable file likewise degrades to a cold start.
-fn load_base_image(path: &std::path::Path) -> Option<Arc<Vec<u8>>> {
+/// Reads, validates, and fully decodes a warm-restart base image into a
+/// shared fork base. Every failure degrades to a cold start, but the
+/// three failure modes are kept distinct — an operator must be able to
+/// tell "first boot" from "my disk is broken" from "my snapshot is torn":
+///
+/// * a genuinely **absent** file is the expected first boot and stays
+///   silent;
+/// * any other **IO failure** (permissions, `EISDIR`, transient read
+///   errors) bumps `serve.base.io_errors` and logs one stderr line;
+/// * **corrupt or mismatched** contents bump `snap.corrupt_rejected`
+///   (inside [`EngineBase::decode`]) and log one stderr line.
+fn load_base_image(path: &std::path::Path, sigma: &Alphabet) -> Option<(Arc<Vec<u8>>, EngineBase)> {
     let bytes = match read_snapshot_file(path) {
         Ok(b) => b,
-        Err(_) => return None,
+        Err(SnapshotError::Io(e)) if e.kind() == ErrorKind::NotFound => return None,
+        Err(e) => {
+            obs::counter("serve.base.io_errors", 1);
+            eprintln!(
+                "rasc-serve: cannot read warm-restart image {}: {e}; starting cold",
+                path.display()
+            );
+            return None;
+        }
     };
-    match SnapshotReader::parse(&bytes) {
-        Ok(_) => Some(Arc::new(bytes)),
-        Err(_) => {
-            obs::counter("snap.corrupt_rejected", 1);
+    match EngineBase::decode(&bytes, sigma) {
+        Ok(base) => Some((Arc::new(bytes), base)),
+        Err(e) => {
+            // decode() already counted `snap.corrupt_rejected` for torn
+            // contents; mismatched-configuration (State) rejections ride
+            // the warm-start-failure counter instead.
+            if matches!(e, SnapshotError::State { .. }) {
+                obs::counter("serve.warm_start_failures", 1);
+            }
+            eprintln!(
+                "rasc-serve: rejecting warm-restart image {}: {e}; starting cold",
+                path.display()
+            );
             None
         }
     }
@@ -601,7 +664,18 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
-    let mut engine = BatchEngine::new(shared.sigma.clone(), &shared.dfa);
+    // Warm connections fork from the shared decoded base — a handful of
+    // `Arc` bumps over the frozen solved form instead of re-parsing the
+    // snapshot image per connection. The fork is private copy-on-write:
+    // nothing this connection adds is visible to any other.
+    let base = lock(&shared.base).clone();
+    let mut engine = match &base {
+        Some(b) => {
+            obs::counter("serve.warm_starts", 1);
+            BatchEngine::fork_from(b)
+        }
+        None => BatchEngine::new(shared.sigma.clone(), &shared.dfa),
+    };
     engine.set_caps(shared.config.caps);
     if let Some(clock) = &shared.config.clock {
         engine.set_clock(Arc::clone(clock));
@@ -612,24 +686,21 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
     if let Some(path) = &shared.snapshot_path {
         // Persistence: snapshot/restore target the server's file only
-        // (remote clients must not choose filesystem paths), in-band
-        // snapshots refresh the shared base image, and each connection
-        // warm-starts from the latest base. A base that fails deep
-        // validation leaves the engine cold — never half-restored.
+        // (remote clients must not choose filesystem paths), and in-band
+        // snapshots refresh both the durable image bytes and the decoded
+        // fork base for subsequent connections. A refresh that fails
+        // deep validation keeps the previous base — never half-swapped.
         engine.set_snapshot_path(path.clone());
         engine.set_client_snapshot_paths(false);
         let base_image = Arc::clone(shared);
         engine.set_snapshot_hook(move |bytes| {
-            *lock(&base_image.snapshot) = Some(Arc::new(bytes.to_vec()));
-            *lock(&base_image.last_checkpoint) = Some(Instant::now());
-        });
-        let base = lock(&shared.snapshot).clone();
-        if let Some(bytes) = base {
-            match engine.restore_bytes(&bytes) {
-                Ok(()) => obs::counter("serve.warm_starts", 1),
-                Err(_) => obs::counter("serve.warm_start_failures", 1),
+            match EngineBase::decode(bytes, &base_image.sigma) {
+                Ok(decoded) => *lock(&base_image.base) = Some(Arc::new(decoded)),
+                Err(_) => obs::counter("serve.base.refresh_failures", 1),
             }
-        }
+            *lock(&base_image.snapshot) = Some(Arc::new(bytes.to_vec()));
+            *lock(&base_image.last_checkpoint) = Some((Instant::now(), Duration::ZERO));
+        });
     }
 
     // One request line at a time. The buffer persists across read

@@ -673,7 +673,7 @@ fn restore_cmd(opts: &Opts) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     eprintln!(
         "rasc: restored {} constraints from {snap_path}",
-        engine.session().system().constraints().len()
+        engine.session().system().num_constraints()
     );
 
     let stdout = std::io::stdout();

@@ -4,12 +4,18 @@
 //! response (or none, for blank/comment lines), never a panic, and never
 //! kill the stream: the engine must still answer a valid command at the
 //! end.
+//!
+//! Plus a property pin on per-request accounting: the deltas
+//! [`RequestStats::delta_since`] reports must stay saturating across
+//! epoch rollback — a `pop` can move the engine's cumulative counters
+//! *backwards* past a request boundary, and the delta must then clamp to
+//! zero rather than underflow.
 
 use rasc::automata::{Alphabet, Regex};
 use rasc::inc::json::Json;
-use rasc::inc::BatchEngine;
+use rasc::inc::{BatchEngine, RequestStats};
 use rasc_devtools::hostile::hostile_line;
-use rasc_devtools::Rng;
+use rasc_devtools::{forall, prop_assert, prop_assert_eq, Config, Rng};
 
 const N_LINES: usize = 10_000;
 
@@ -53,4 +59,138 @@ fn ten_thousand_hostile_lines_never_kill_the_stream() {
         .expect("stats answered");
     let json = Json::parse(&resp).expect("well-formed");
     assert!(json.get("ok").is_some(), "engine wedged after fuzz: {resp}");
+}
+
+/// One step of a random protocol script for the delta-accounting pin.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Add an annotated edge between two of a small pool of variables.
+    Add(usize, usize),
+    /// Open a rollback epoch.
+    Push,
+    /// Pop (and roll back) the innermost epoch, if any is open.
+    Pop,
+    /// End the current request and start a new one.
+    Boundary,
+}
+
+fn arb_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(0..10) {
+        0..=4 => Step::Add(rng.gen_range(0..4), rng.gen_range(0..4)),
+        5 | 6 => Step::Push,
+        7 | 8 => Step::Pop,
+        _ => Step::Boundary,
+    }
+}
+
+/// `delta_since` must behave like per-field saturating subtraction with
+/// an `epoch_depth` passthrough — in particular it must never underflow
+/// when a rollback moved a cumulative counter backwards past the request
+/// boundary.
+fn check_delta(before: &RequestStats, after: &RequestStats) -> Result<(), String> {
+    let d = after.delta_since(before);
+    for (name, base, now, got) in [
+        (
+            "fuel_spent",
+            before.fuel_spent,
+            after.fuel_spent,
+            d.fuel_spent,
+        ),
+        (
+            "facts_processed",
+            before.facts_processed,
+            after.facts_processed,
+            d.facts_processed,
+        ),
+        (
+            "cache_hits",
+            before.cache_hits,
+            after.cache_hits,
+            d.cache_hits,
+        ),
+        (
+            "cache_misses",
+            before.cache_misses,
+            after.cache_misses,
+            d.cache_misses,
+        ),
+    ] {
+        prop_assert!(
+            got <= now,
+            "{name}: delta {got} exceeds the request-end counter {now}"
+        );
+        if now >= base {
+            prop_assert_eq!(
+                got,
+                now - base,
+                "{name}: forward progress must report the exact difference"
+            );
+        } else {
+            prop_assert_eq!(
+                got,
+                0u64,
+                "{name}: a rollback past the request boundary must clamp to zero"
+            );
+        }
+    }
+    prop_assert_eq!(
+        d.epoch_depth,
+        after.epoch_depth,
+        "epoch_depth is a point-in-time passthrough, not a difference"
+    );
+    Ok(())
+}
+
+#[test]
+fn per_request_deltas_saturate_across_epoch_rollback() {
+    forall(
+        "per_request_deltas_saturate_across_epoch_rollback",
+        Config::cases(64),
+        |rng| (0..rng.gen_range(4..40)).map(|_| arb_step(rng)).collect(),
+        |script: &Vec<Step>| {
+            let mut e = engine();
+            assert!(e
+                .handle_line(r#"{"cmd":"declare","cons":"pc"}"#)
+                .expect("declare answered")
+                .contains(r#""ok":"declare""#));
+            e.begin_request(None);
+            let mut before = e.request_stats();
+            let mut rollbacks = 0usize;
+            for step in script {
+                match step {
+                    Step::Add(i, j) => {
+                        // Growing chains keep the solver spending fuel;
+                        // responses may be ok or a typed clash, both fine.
+                        let line = if i == j {
+                            format!(r#"{{"cmd":"add","lhs":"pc","rhs":"V{i}","ann":["g"]}}"#)
+                        } else {
+                            format!(r#"{{"cmd":"add","lhs":"V{i}","rhs":"V{j}","ann":["g"]}}"#)
+                        };
+                        e.handle_line(&line).expect("add answered");
+                    }
+                    Step::Push => {
+                        e.handle_line(r#"{"cmd":"push"}"#).expect("push answered");
+                    }
+                    Step::Pop => {
+                        let r = e.handle_line(r#"{"cmd":"pop"}"#).expect("pop answered");
+                        if r.contains(r#""ok":"pop""#) {
+                            rollbacks += 1;
+                        }
+                    }
+                    Step::Boundary => {
+                        let after = e.request_stats();
+                        check_delta(&before, &after)?;
+                        e.begin_request(None);
+                        before = e.request_stats();
+                    }
+                }
+            }
+            let after = e.request_stats();
+            check_delta(&before, &after)?;
+            // The generator must actually exercise rollback in a healthy
+            // fraction of cases for the saturation arm to mean anything.
+            let _ = rollbacks;
+            Ok(())
+        },
+    );
 }

@@ -771,3 +771,200 @@ fn rasc_stats_cli_polls_the_admin_endpoint() {
     handle.shutdown();
     join.join().expect("server joins");
 }
+
+#[test]
+fn warm_restart_healthz_reports_the_snapshot_files_age() {
+    let dir = snapshot_temp_dir("age");
+
+    // Generation 1 leaves a checkpoint behind on graceful shutdown.
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let mut c = Client::connect(handle.addr());
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+    assert!(c
+        .roundtrip(r#"{"cmd":"snapshot"}"#)
+        .contains(r#""ok":"snapshot""#));
+    handle.shutdown();
+    join.join().expect("server joins");
+
+    // The image now ages on disk while no server is running.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Generation 2 must report the *file's* age, not its own uptime: a
+    // freshly started process serving a 300ms-old image is the exact case
+    // the old `Instant::now()` initialization got wrong.
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    });
+    let admin = handle.admin_addr().expect("admin listener is configured");
+    let (status, body) = admin_get(admin, "/healthz");
+    assert!(status.contains(" 200 "), "{status}");
+    let health = Json::parse(&body).expect("healthz is valid JSON");
+    assert_eq!(health.get("warm_start").and_then(Json::as_bool), Some(true));
+    let age = health
+        .get("checkpoint_age_millis")
+        .and_then(Json::as_u64)
+        .expect("a warm start has a checkpoint age");
+    let uptime = health
+        .get("uptime_millis")
+        .and_then(Json::as_u64)
+        .expect("uptime is always present");
+    assert!(
+        age >= 250,
+        "checkpoint age must include the image's on-disk age: got {age}ms ({body})"
+    );
+    assert!(
+        age > uptime,
+        "checkpoint age ({age}ms) must exceed process uptime ({uptime}ms) right after a \
+         warm restart — equal values mean the age was reset to process start ({body})"
+    );
+
+    handle.shutdown();
+    join.join().expect("server joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unreadable_base_image_is_counted_not_silently_swallowed() {
+    let dir = snapshot_temp_dir("eisdir");
+    // A *directory* where the image file should be: reads fail with an IO
+    // error that is not NotFound — the "disk is broken" case that must be
+    // distinguishable from a clean first boot.
+    std::fs::create_dir_all(dir.join("current.snap")).expect("seed dir");
+
+    let (handle, join) = spawn_server(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+
+    let snap = handle.metrics_snapshot();
+    assert_eq!(
+        snap.counters.get("serve.base.io_errors").copied(),
+        Some(1),
+        "an unreadable (but present) base image must be counted: {:?}",
+        snap.counters
+    );
+    assert_eq!(
+        snap.counters.get("snap.corrupt_rejected").copied(),
+        None,
+        "an IO failure is not a corruption: {:?}",
+        snap.counters
+    );
+
+    // The server degraded to a functional cold start.
+    let mut c = Client::connect(handle.addr());
+    let r = c.roundtrip(r#"{"cmd":"query","kind":"occurs","var":"Main","cons":"pc"}"#);
+    assert!(
+        r.contains(r#""code":"unknown_constructor""#) || r.contains(r#""code":"unknown_variable""#),
+        "cold start expected: {r}"
+    );
+    assert!(c
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+
+    handle.shutdown();
+    join.join().expect("server joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_forks_race_in_band_snapshot_swaps() {
+    let dir = snapshot_temp_dir("race");
+    let (handle, join) = spawn_server(ServeConfig {
+        threads: 8,
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Seed the shared base: one cold connection builds state and captures
+    // it, making every later connection fork instead of restore.
+    let mut seed = Client::connect(addr);
+    assert!(seed
+        .roundtrip(r#"{"cmd":"declare","cons":"pc"}"#)
+        .contains(r#""ok":"declare""#));
+    assert!(seed
+        .roundtrip(r#"{"cmd":"add","lhs":"pc","rhs":"Base","ann":["g"]}"#)
+        .contains(r#""ok":"add""#));
+    assert!(seed
+        .roundtrip(r#"{"cmd":"snapshot"}"#)
+        .contains(r#""ok":"snapshot""#));
+
+    // A writer keeps swapping the shared base `Arc` via in-band snapshots
+    // while a fleet of readers forks from whichever base is current.
+    const READERS: usize = 6;
+    const ROUNDS: usize = 5;
+    let writer = std::thread::spawn(move || {
+        let mut w = Client::connect(addr);
+        for j in 0..READERS * 2 {
+            let r = w.roundtrip(&format!(
+                r#"{{"cmd":"add","lhs":"pc","rhs":"W{j}","ann":["g"]}}"#
+            ));
+            assert!(r.contains(r#""ok":"add""#), "{r}");
+            let r = w.roundtrip(r#"{"cmd":"snapshot"}"#);
+            assert!(r.contains(r#""ok":"snapshot""#), "{r}");
+        }
+    });
+    let readers: Vec<_> = (0..READERS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    let mut c = Client::connect(addr);
+                    // Every base the writer publishes contains the seeded
+                    // fact, so every fork must see it.
+                    let r =
+                        c.roundtrip(r#"{"cmd":"query","kind":"occurs","var":"Base","cons":"pc"}"#);
+                    assert!(r.contains(r#""result":true"#), "reader {t}.{i}: {r}");
+                    // Private growth stays private to this fork.
+                    let r = c.roundtrip(&format!(
+                        r#"{{"cmd":"add","lhs":"pc","rhs":"R{t}_{i}","ann":["g"]}}"#
+                    ));
+                    assert!(r.contains(r#""ok":"add""#), "reader {t}.{i}: {r}");
+                    let r = c.roundtrip(&format!(
+                        r#"{{"cmd":"query","kind":"occurs","var":"R{t}_{i}","cons":"pc"}}"#
+                    ));
+                    assert!(r.contains(r#""result":true"#), "reader {t}.{i}: {r}");
+                    let other = (t + 1) % READERS;
+                    let r = c.roundtrip(&format!(
+                        r#"{{"cmd":"query","kind":"occurs","var":"R{other}_{i}","cons":"pc"}}"#
+                    ));
+                    assert!(
+                        r.contains(r#""code":"unknown_variable""#),
+                        "forks must be isolated — reader {t}.{i} saw {other}'s state: {r}"
+                    );
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Every reader connection after the seed snapshot forked the shared
+    // base rather than restoring from bytes.
+    let snap = handle.metrics_snapshot();
+    let warm = snap.counters.get("serve.warm_starts").copied().unwrap_or(0);
+    assert!(
+        warm >= (READERS * ROUNDS) as u64,
+        "expected at least {} forked connections, saw {warm}: {:?}",
+        READERS * ROUNDS,
+        snap.counters
+    );
+    assert_eq!(
+        snap.counters.get("serve.base.refresh_failures").copied(),
+        None,
+        "no snapshot swap may fail decoding: {:?}",
+        snap.counters
+    );
+
+    handle.shutdown();
+    join.join().expect("server joins");
+    let _ = std::fs::remove_dir_all(&dir);
+}
