@@ -1,0 +1,163 @@
+//! Memoized subset construction: the `determinize().minimize()` pipeline
+//! keyed by NFA structure.
+//!
+//! Spec lowering and the language closures rebuild identical intermediate
+//! NFAs over and over — every `limits`/`declare` replay, every fork that
+//! re-lowers the same property spec, every closure of the same machine —
+//! and subset construction is the expensive step. A [`RegexCompiler`]
+//! caches the finished minimal DFA keyed by the NFA's *full structure*
+//! (not just a hash), so a collision can never substitute a wrong
+//! automaton: equal keys mean the machines are identical state-for-state,
+//! and the cached DFA is bit-for-bit what the pipeline would rebuild.
+//!
+//! [`Regex::compile`](crate::Regex::compile) and the
+//! [`closure`](crate::closure) pipelines route through one process-wide
+//! compiler; cache hits are observable as the
+//! `automata.determinize.cache_hits` counter (misses still count
+//! `automata.determinize.runs`).
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::dfa::Dfa;
+use crate::nfa::{Nfa, NfaStateId};
+
+/// Canonical flattening of an NFA: every field subset construction reads,
+/// in construction order. Serves as its own collision-proof cache key.
+#[derive(PartialEq, Eq, Hash)]
+struct NfaKey {
+    alphabet_len: usize,
+    start: Option<u32>,
+    /// Per state: accepting flag, labeled transitions, ε-targets, with
+    /// tag bits distinguishing the three record kinds.
+    words: Vec<u64>,
+}
+
+const TAG_STATE: u64 = 1 << 62;
+const TAG_TRANS: u64 = 2 << 62;
+const TAG_EPS: u64 = 3 << 62;
+
+impl NfaKey {
+    fn of(nfa: &Nfa) -> NfaKey {
+        let mut words = Vec::with_capacity(nfa.len() * 2);
+        for i in 0..nfa.len() {
+            let s = NfaStateId(crate::id_u32(i, "NFA states"));
+            words.push(TAG_STATE | u64::from(nfa.is_accepting(s)));
+            for (sym, to) in nfa.transitions(s) {
+                words.push(TAG_TRANS | (u64::from(sym.0) << 32) | u64::from(to.0));
+            }
+            for to in nfa.epsilons(s) {
+                words.push(TAG_EPS | u64::from(to.0));
+            }
+        }
+        NfaKey {
+            alphabet_len: nfa.alphabet_len(),
+            start: nfa.start().map(|s| s.0),
+            words,
+        }
+    }
+}
+
+/// A memoizing wrapper around the `determinize().minimize()` pipeline.
+///
+/// Most callers want the process-wide instance via
+/// [`determinize_minimized`]; a private compiler is useful in tests and
+/// anywhere cache lifetime should be scoped.
+#[derive(Default)]
+pub struct RegexCompiler {
+    cache: HashMap<NfaKey, Dfa>,
+}
+
+/// Safety valve against unbounded growth under adversarial spec churn;
+/// far above what any real spec set lowers.
+const MAX_CACHED: usize = 4096;
+
+impl RegexCompiler {
+    /// An empty compiler.
+    pub fn new() -> RegexCompiler {
+        RegexCompiler::default()
+    }
+
+    /// The minimal complete DFA for `nfa`'s language — from the cache
+    /// when an identical machine was compiled before, by subset
+    /// construction otherwise.
+    pub fn compile(&mut self, nfa: &Nfa) -> Dfa {
+        let key = NfaKey::of(nfa);
+        if let Some(dfa) = self.cache.get(&key) {
+            rasc_obs::counter("automata.determinize.cache_hits", 1);
+            return dfa.clone();
+        }
+        let dfa = nfa.determinize().minimize();
+        if self.cache.len() >= MAX_CACHED {
+            self.cache.clear();
+        }
+        self.cache.insert(key, dfa.clone());
+        dfa
+    }
+
+    /// Number of distinct machines currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Runs `nfa` through the process-wide [`RegexCompiler`].
+pub fn determinize_minimized(nfa: &Nfa) -> Dfa {
+    static SHARED: OnceLock<Mutex<RegexCompiler>> = OnceLock::new();
+    let shared = SHARED.get_or_init(|| Mutex::new(RegexCompiler::new()));
+    let mut compiler = shared.lock().unwrap_or_else(PoisonError::into_inner);
+    compiler.compile(nfa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+    use crate::regex::Regex;
+
+    #[test]
+    fn identical_nfas_hit_and_return_the_same_dfa() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let re = Regex::parse("a (a | b)* b", &sigma).unwrap();
+        let mut compiler = RegexCompiler::new();
+        let first = compiler.compile(&re.to_nfa(&sigma));
+        assert_eq!(compiler.len(), 1);
+        let second = compiler.compile(&re.to_nfa(&sigma));
+        assert_eq!(compiler.len(), 1, "identical machine must not re-enter");
+        assert_eq!(first, second, "cached DFA must be bit-identical");
+    }
+
+    #[test]
+    fn structurally_different_nfas_miss() {
+        let sigma = Alphabet::from_names(["a", "b"]);
+        let mut compiler = RegexCompiler::new();
+        let a = Regex::parse("a b", &sigma).unwrap();
+        let b = Regex::parse("b a", &sigma).unwrap();
+        let da = compiler.compile(&a.to_nfa(&sigma));
+        let db = compiler.compile(&b.to_nfa(&sigma));
+        assert_eq!(compiler.len(), 2);
+        let (a, b) = (sigma.lookup("a").unwrap(), sigma.lookup("b").unwrap());
+        assert!(da.accepts(&[a, b]) && !da.accepts(&[b, a]));
+        assert!(db.accepts(&[b, a]) && !db.accepts(&[a, b]));
+    }
+
+    #[test]
+    fn accepting_flag_is_part_of_the_key() {
+        let sigma = Alphabet::from_names(["a"]);
+        let mut compiler = RegexCompiler::new();
+        let mut nfa = Nfa::new(sigma.len());
+        let s = nfa.add_state();
+        nfa.set_start(s);
+        let rejecting = compiler.compile(&nfa);
+        nfa.set_accepting(s, true);
+        let accepting = compiler.compile(&nfa);
+        assert_eq!(compiler.len(), 2);
+        assert!(!rejecting.accepts(&[]));
+        assert!(accepting.accepts(&[]));
+    }
+}

@@ -35,6 +35,7 @@
 
 mod alphabet;
 pub mod closure;
+pub mod compile_cache;
 mod dfa;
 mod error;
 mod monoid;

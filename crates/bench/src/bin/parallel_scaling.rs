@@ -1,0 +1,145 @@
+//! Parallel fixpoint scaling: `System::solve_parallel` vs the sequential
+//! solver on dense regular-reachability digraphs.
+//!
+//! The parallel engine speculates each worklist round on sharded worker
+//! threads and commits the precomputed effects in one deterministic merge
+//! pass, so the solved form is byte-identical to the sequential solve
+//! (see `tests/proptest_parallel.rs`); this bench measures what that
+//! buys in wall-clock on cold solves. The dense workload makes the
+//! solver walk ~`out_degree` candidate facts per annotation class — the
+//! bound-walk regime the workers absorb.
+//!
+//! Emits `BENCH_parallel.json` (one row per rung, 2k → 32k constraints)
+//! and enforces the acceptance bound: at the largest rung, 4 solver
+//! threads must be at least 2× faster than sequential. The bound is only
+//! meaningful where 4 workers can actually run — on hosts with fewer
+//! than 4 CPUs the numbers are still reported but the guard is skipped
+//! (CI runs this on multi-core runners).
+//!
+//! Usage: `parallel_scaling [out.json]`.
+
+use std::time::Duration;
+
+use rasc_automata::{adversarial_machine, Dfa};
+use rasc_bench::constraints_workload::{dense, EdgeListWorkload};
+use rasc_core::algebra::MonoidAlgebra;
+use rasc_core::{Budget, SetExpr, System, VarId};
+use rasc_devtools::bench;
+use rasc_inc::json::{obj, Json};
+
+/// Builds the unsolved system for one rung (everything queued, nothing
+/// propagated yet).
+fn build(machine: &Dfa, wl: &EdgeListWorkload) -> System<MonoidAlgebra> {
+    let mut sys = System::new(MonoidAlgebra::new(machine));
+    let vars: Vec<VarId> = (0..wl.n_vars).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    sys.add(SetExpr::cons(probe, []), SetExpr::var(vars[wl.source]))
+        .expect("well-formed");
+    for (from, to, word) in &wl.edges {
+        let ann = sys.algebra_mut().word(word);
+        sys.add_ann(SetExpr::var(vars[*from]), SetExpr::var(vars[*to]), ann)
+            .expect("well-formed");
+    }
+    sys
+}
+
+/// Cold build+solve at a given thread count (0 = the sequential solver),
+/// returning facts processed so the arms can be cross-checked.
+fn run(machine: &Dfa, wl: &EdgeListWorkload, threads: usize) -> usize {
+    let mut sys = build(machine, wl);
+    if threads == 0 {
+        sys.solve();
+    } else {
+        assert!(
+            sys.solve_parallel_bounded(&Budget::unlimited(), threads)
+                .is_complete(),
+            "unlimited solve completes"
+        );
+    }
+    let sink = VarId::from_index(wl.sink);
+    assert!(sys.nonempty(sink), "probe must saturate the dense cycle");
+    sys.stats().facts_processed
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".to_owned());
+    let (sigma, machine) = adversarial_machine(4);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    println!("rasc: parallel fixpoint vs sequential solve ({cores} cores)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "edges", "facts", "seq (ms)", "2t (ms)", "4t (ms)", "speedup2", "speedup4"
+    );
+
+    let mut rows: Vec<Json> = Vec::new();
+    let mut last_speedup4 = 0.0_f64;
+    // out_degree * n_vars edges per rung: 2k → 8k → 32k constraints.
+    let shapes = [(125usize, 16usize), (500, 16), (2000, 16)];
+    for (i, &(n_vars, out_degree)) in shapes.iter().enumerate() {
+        let wl = dense(n_vars, out_degree, &sigma, 7 + i as u64);
+        let edges = wl.edges.len();
+
+        let facts = run(&machine, &wl, 0);
+        for threads in [2usize, 4] {
+            let par_facts = run(&machine, &wl, threads);
+            assert_eq!(
+                par_facts, facts,
+                "parallel solve at {threads} threads diverged from sequential"
+            );
+        }
+
+        let seq = bench("seq", 5, Duration::from_secs(2), || run(&machine, &wl, 0));
+        let par2 = bench("par2", 5, Duration::from_secs(2), || run(&machine, &wl, 2));
+        let par4 = bench("par4", 5, Duration::from_secs(2), || run(&machine, &wl, 4));
+        let speedup2 = seq.median_ns / par2.median_ns;
+        let speedup4 = seq.median_ns / par4.median_ns;
+        last_speedup4 = speedup4;
+
+        println!(
+            "{:>8} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>8.2}x {:>8.2}x",
+            edges,
+            facts,
+            seq.median_ns / 1e6,
+            par2.median_ns / 1e6,
+            par4.median_ns / 1e6,
+            speedup2,
+            speedup4
+        );
+        rows.push(obj([
+            ("edges", Json::from(edges)),
+            ("facts_processed", Json::from(facts)),
+            ("sequential_ns", Json::Num(seq.median_ns)),
+            ("parallel2_ns", Json::Num(par2.median_ns)),
+            ("parallel4_ns", Json::Num(par4.median_ns)),
+            ("speedup_2t", Json::Num(speedup2)),
+            ("speedup_4t", Json::Num(speedup4)),
+        ]));
+    }
+
+    let report = obj([
+        ("bench", Json::from("parallel_scaling")),
+        ("machine", Json::from("adversarial(4)")),
+        ("cores", Json::from(cores)),
+        (
+            "guard",
+            Json::from("largest rung: 4-thread solve >= 2x sequential (requires >= 4 cores)"),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]);
+    std::fs::write(&out_path, report.render() + "\n").expect("write report");
+    println!("wrote {out_path}");
+
+    if cores >= 4 {
+        assert!(
+            last_speedup4 >= 2.0,
+            "parallel solve too slow: {last_speedup4:.2}x at 4 threads on the \
+             largest rung (acceptance bound 2x)"
+        );
+        println!("parallel scaling guard passed");
+    } else {
+        println!("parallel scaling guard skipped: {cores} cores < 4");
+    }
+}

@@ -23,6 +23,8 @@ use std::sync::Arc;
 
 use rasc_obs as obs;
 
+mod parallel;
+
 use crate::algebra::{Algebra, AnnId};
 use crate::annset::{AnnMap, AnnSet};
 use crate::budget::{Budget, Outcome};
@@ -116,7 +118,7 @@ pub(crate) type ExprKey = (ConsId, Vec<VarId>);
 /// A resolved source/sink meeting: `(source key, sink key, g, h)`.
 pub(crate) type MeetEntry = (ExprKey, ExprKey, AnnId, AnnId);
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Fact {
     Edge(VarId, VarId, AnnId),
     Lb(VarId, SrcId, AnnId),
@@ -569,6 +571,8 @@ pub struct System<A: Algebra> {
     /// field keeps the hot path free of dispatch; deltas are flushed as
     /// [`obs`] counter events at solve boundaries and after rollbacks.
     pending_counts: PendingCounts,
+    /// Reusable step-path buffers (see [`SolverScratch`]).
+    scratch: SolverScratch,
 }
 
 /// Counter deltas accumulated between flush points (see
@@ -597,6 +601,37 @@ struct PendingCounts {
     interruptions_rolled_back: u64,
     depth_limit_hits: u64,
     depth_limit_hits_rolled_back: u64,
+}
+
+/// Reusable containers for the online cycle search. Allocating these per
+/// ε edge made deep-chain workloads superlinear (every budget-exhausting
+/// search re-grew four containers from empty); `clear` keeps capacity.
+#[derive(Debug, Default)]
+struct CycleScratch {
+    stack: Vec<VarId>,
+    visited: HashSet<VarId>,
+    path: Vec<VarId>,
+    parent_of: HashMap<VarId, VarId>,
+}
+
+impl CycleScratch {
+    fn clear(&mut self) {
+        self.stack.clear();
+        self.visited.clear();
+        self.path.clear();
+        self.parent_of.clear();
+    }
+}
+
+/// Per-[`System`] scratch space for the step path, taken with `mem::take`
+/// around each use so capacity survives across facts. Never serialized and
+/// never part of the solved form.
+#[derive(Debug, Default)]
+struct SolverScratch {
+    cycle: CycleScratch,
+    resolve_src_args: Vec<VarId>,
+    resolve_snk_args: Vec<VarId>,
+    resolve_variances: Vec<Variance>,
 }
 
 impl PendingCounts {
@@ -671,6 +706,7 @@ impl<A: Algebra> System<A> {
             depth_limit_hits: 0,
             prov: None,
             pending_counts: PendingCounts::default(),
+            scratch: SolverScratch::default(),
         }
     }
 
@@ -829,13 +865,22 @@ impl<A: Algebra> System<A> {
     /// a parent map — a linear `Vec` scan here made long cycle searches
     /// O(n²) (10k-node cycles took seconds; see the regression test).
     fn try_collapse_cycle(&mut self, from: VarId, to: VarId) -> bool {
+        // The containers live in per-system scratch (taken around the call
+        // so the borrow checker allows `&mut self` methods inside): a
+        // budget-exhausting search no longer re-grows them from empty.
+        let mut s = std::mem::take(&mut self.scratch.cycle);
+        let found = self.collapse_cycle_with(from, to, &mut s);
+        s.clear();
+        self.scratch.cycle = s;
+        found
+    }
+
+    fn collapse_cycle_with(&mut self, from: VarId, to: VarId, s: &mut CycleScratch) -> bool {
         let id = self.algebra.identity();
-        let mut stack = vec![(from, 0usize)];
-        let mut visited: HashSet<VarId> = HashSet::from([from]);
-        let mut path: Vec<VarId> = Vec::new();
-        let mut parent_of: HashMap<VarId, VarId> = HashMap::new();
+        s.stack.push(from);
+        s.visited.insert(from);
         let mut budget = self.config.cycle_search_depth * 8;
-        while let Some((v, _)) = stack.pop() {
+        while let Some(v) = s.stack.pop() {
             if budget == 0 {
                 self.depth_limit_hits += 1;
                 self.pending_counts.depth_limit_hits += 1;
@@ -846,13 +891,13 @@ impl<A: Algebra> System<A> {
                 // Reconstruct the path from `from` to `to` and collapse.
                 let mut cur = to;
                 while cur != from {
-                    path.push(cur);
-                    cur = parent_of[&cur];
+                    s.path.push(cur);
+                    cur = s.parent_of[&cur];
                 }
-                path.push(from);
+                s.path.push(from);
                 let winner = self.find_mut(to);
-                for node in path {
-                    let node = self.find_mut(node);
+                for i in 0..s.path.len() {
+                    let node = self.find_mut(s.path[i]);
                     if node != winner {
                         self.union_into(winner, node);
                     }
@@ -866,10 +911,10 @@ impl<A: Algebra> System<A> {
                     continue;
                 }
                 let y = self.find(y);
-                if visited.insert(y) {
-                    parent_of.insert(y, v);
-                    if visited.len() <= self.config.cycle_search_depth {
-                        stack.push((y, 0));
+                if s.visited.insert(y) {
+                    s.parent_of.insert(y, v);
+                    if s.visited.len() <= self.config.cycle_search_depth {
+                        s.stack.push(y);
                     }
                 }
             }
@@ -1105,16 +1150,22 @@ impl<A: Algebra> System<A> {
         if !self.algebra.is_useful(f) {
             return;
         }
-        // Copy the lightweight shape up front and re-index per position
-        // below, so the `Source`/`Sink` argument vectors and the
-        // constructor signature are never cloned on this hot path.
+        // Capture the argument ids and variances into reusable scratch
+        // buffers up front (taken with `mem::take` to sidestep the borrow
+        // of `self`), so the per-position loop below never re-indexes the
+        // interned tables or re-matches the sink shape.
         enum Shape {
-            Cons(ConsId, usize),
+            Cons(ConsId),
             Proj(ConsId, usize, VarId),
         }
         let src_cons = self.source(src).cons;
+        let mut snk_args = std::mem::take(&mut self.scratch.resolve_snk_args);
+        snk_args.clear();
         let shape = match self.sink(snk) {
-            Sink::Cons { cons, args } => Shape::Cons(*cons, args.len()),
+            Sink::Cons { cons, args } => {
+                snk_args.extend_from_slice(args);
+                Shape::Cons(*cons)
+            }
             Sink::Proj {
                 cons,
                 index,
@@ -1122,7 +1173,7 @@ impl<A: Algebra> System<A> {
             } => Shape::Proj(*cons, *index, *target),
         };
         match shape {
-            Shape::Cons(cons, n_args) => {
+            Shape::Cons(cons) => {
                 if src_cons != cons {
                     let clash = Clash::ConstructorMismatch {
                         lhs: src_cons,
@@ -1133,17 +1184,19 @@ impl<A: Algebra> System<A> {
                         self.clashes.push(clash);
                         self.pending_counts.clashes += 1;
                     }
+                    self.scratch.resolve_snk_args = snk_args;
                     return;
                 }
-                for i in 0..n_args {
-                    let src_arg = self.source(src).args[i];
-                    let snk_arg = match self.sink(snk) {
-                        Sink::Cons { args, .. } => args[i],
-                        // `shape` was copied from this very sink; sinks are
-                        // interned append-only and never mutated.
-                        Sink::Proj { .. } => unreachable!("sink shape changed mid-resolve"),
-                    };
-                    match self.constructors.index(cons.index()).signature[i] {
+                let mut src_args = std::mem::take(&mut self.scratch.resolve_src_args);
+                src_args.clear();
+                src_args.extend_from_slice(&self.source(src).args);
+                let mut variances = std::mem::take(&mut self.scratch.resolve_variances);
+                variances.clear();
+                variances.extend_from_slice(&self.constructors.index(cons.index()).signature);
+                for i in 0..snk_args.len() {
+                    let src_arg = src_args[i];
+                    let snk_arg = snk_args[i];
+                    match variances[i] {
                         Variance::Covariant => {
                             self.push_fact(Fact::Edge(src_arg, snk_arg, f), why);
                         }
@@ -1165,6 +1218,8 @@ impl<A: Algebra> System<A> {
                         }
                     }
                 }
+                self.scratch.resolve_src_args = src_args;
+                self.scratch.resolve_variances = variances;
             }
             Shape::Proj(cons, index, target) => {
                 if src_cons == cons {
@@ -1175,6 +1230,7 @@ impl<A: Algebra> System<A> {
                 // not an inconsistency.
             }
         }
+        self.scratch.resolve_snk_args = snk_args;
     }
 
     /// Runs resolution to a fixpoint (Lemma 3.1 guarantees termination for
@@ -2571,6 +2627,7 @@ impl<A: Algebra + SnapshotAlgebra> System<A> {
             depth_limit_hits,
             prov,
             pending_counts: PendingCounts::default(),
+            scratch: SolverScratch::default(),
         })
     }
 
@@ -2685,6 +2742,7 @@ impl<A: Algebra> System<A> {
             depth_limit_hits: b.depth_limit_hits,
             prov: b.prov.clone(),
             pending_counts: PendingCounts::default(),
+            scratch: SolverScratch::default(),
         }
     }
 }

@@ -1,0 +1,970 @@
+//! The deterministic parallel fixpoint engine: a sharded, speculative
+//! drain of the same FIFO worklist [`System::solve_bounded`] processes.
+//!
+//! # Design
+//!
+//! The sequential drain is a strict FIFO: fact *k*'s effects depend on the
+//! state left by facts *0..k*. Parallelizing it while keeping the solved
+//! form **byte-identical** — counters, provenance, union-find shape, and a
+//! subsequent snapshot image all equal to the sequential solve — therefore
+//! splits each BFS generation ("round") into two phases:
+//!
+//! 1. **Speculate** (parallel, read-only): the round's pending facts are
+//!    partitioned by their owning variable's cycle class into per-shard
+//!    queues; N scoped worker threads each walk their shard against the
+//!    frozen pre-round view (the CoW base plus the read-only pre-round
+//!    overlay — no merge has run yet, so `&System` *is* that snapshot) and
+//!    precompute a [`Spec`]: the exact emissions the fact will make, or a
+//!    conservative [`Spec::Rerun`].
+//! 2. **Merge** (sequential, at the round barrier): specs are committed in
+//!    the worklist's own FIFO order — fixed shard order falls out of fixed
+//!    fact order — running the identical per-fact sequence as
+//!    `solve_bounded` (budget check, fuel, provenance pop, counters).
+//!    A spec is validated against the live state (union-find roots
+//!    unchanged since speculation) and replayed; on any mismatch the fact
+//!    falls back to the sequential [`System::process_fact`]. Facts
+//!    *pushed* during the merge — including cross-shard consequences whose
+//!    arguments are owned by other shards — simply land on the worklist
+//!    tail, i.e. on the owning shard's next-round queue.
+//!
+//! Because the merge phase performs the same per-fact budget checks as the
+//! sequential drain, [`Outcome::Interrupted`] leaves exactly the state a
+//! sequential solve interrupted at the same step would: unmerged and
+//! future-round facts stay queued, nothing is half-committed.
+//!
+//! # Why speculation is sound
+//!
+//! * Solved-form maps are append-only during a solve; entries only leave a
+//!   variable when a cycle collapse resets a union-find *loser*. A
+//!   variable whose root is unchanged since speculation therefore still
+//!   has every entry the worker saw, as a prefix of its entry log.
+//! * Duplicate inserts have no side effects, so a duplicate observed at
+//!   speculation time (and revalidated by root equality) commits as a
+//!   plain return.
+//! * [`Algebra::try_compose`] never interns: a `Some(id)` is exactly what
+//!   the mutable compose would have returned, and a `None` routes that
+//!   single walk entry through the mutable compose at merge time
+//!   ([`RECOMPUTE`]), keeping annotation-intern order byte-identical.
+//! * ε edges under cycle elimination may union variables mid-fact; those
+//!   facts are never speculated ([`Spec::Rerun`]).
+//! * Clash deduplication depends on merge-order state, so workers emit the
+//!   clash unconditionally and the merger replays the dedup check.
+//!
+//! Deadline and cancellation budgets are inherently time-sensitive; solves
+//! under step/term/entry budgets are fully deterministic, parallel or not.
+
+use rasc_obs as obs;
+
+use crate::algebra::{Algebra, AnnId};
+use crate::budget::{Budget, Outcome};
+use crate::provenance::{ProvKey, Reason};
+use crate::term::Variance;
+
+use super::{Clash, Fact, Sink, SnkId, SrcId, System, UndoOp, VarId};
+
+/// Sentinel count for a walk entry whose composition was not answerable
+/// read-only: the merger recomputes that entry with the mutable algebra.
+const RECOMPUTE: u32 = u32::MAX;
+
+/// Rounds smaller than `threads * DEFAULT_MIN_BATCH` skip the worker spawn
+/// and merge inline — the spawn barrier costs more than it saves.
+const DEFAULT_MIN_BATCH: usize = 32;
+
+/// What a worker precomputed for one pending fact.
+#[derive(Debug)]
+enum Spec {
+    /// The fact is a no-op edge (self ε-loop or useless annotation):
+    /// commit is just the two root lookups.
+    NoopEdge,
+    /// The fact is a no-op bound (useless annotation): one root lookup.
+    NoopLbUb,
+    /// Edge already present at speculation time; valid while both roots
+    /// are unchanged (append-only monotonicity).
+    DupEdge { x: VarId, y: VarId },
+    /// Lower/upper bound already present; valid while the root is
+    /// unchanged.
+    DupLbUb { x: VarId },
+    /// A genuine insert with its propagation walks precomputed. Boxed so
+    /// the common duplicate/no-op specs stay two words — spec transport
+    /// between workers and the merger is a per-fact cost.
+    Insert(Box<InsertSpec>),
+    /// Not speculatable — the merger runs the sequential step.
+    Rerun,
+}
+
+/// A precomputed insert: the speculation-time roots (validated at commit)
+/// plus the flattened emissions of the fact's two propagation walks.
+///
+/// `counts[i]` is the number of `ops` entries contributed by walk entry
+/// `i` (walk A entries first, then walk B), or [`RECOMPUTE`]. `ops` is the
+/// concatenated emission stream of all non-sentinel entries, in walk
+/// order.
+#[derive(Debug)]
+struct InsertSpec {
+    x: VarId,
+    y: VarId,
+    walk_a_len: u32,
+    counts: Vec<u32>,
+    ops: Vec<EmitOp>,
+}
+
+/// One speculated emission: a worklist push or a clash.
+#[derive(Debug)]
+enum EmitOp {
+    Fact(Fact, Reason),
+    Clash(Clash),
+}
+
+/// Per-solve speculation figures, emitted as `solve.parallel.*` counters
+/// at every exit.
+#[derive(Debug, Default)]
+struct ParallelStats {
+    rounds: u64,
+    speculated: u64,
+    hits: u64,
+    reruns: u64,
+    /// Wall nanoseconds inside the speculation phase (workers running).
+    spec_ns: u64,
+    /// Wall nanoseconds inside the serial merge phase.
+    merge_ns: u64,
+}
+
+impl ParallelStats {
+    fn emit(&self) {
+        let emit = |name: &'static str, v: u64| {
+            if v != 0 {
+                obs::counter(name, v);
+            }
+        };
+        emit("solve.parallel.rounds", self.rounds);
+        emit("solve.parallel.facts.speculated", self.speculated);
+        emit("solve.parallel.spec_hits", self.hits);
+        emit("solve.parallel.spec_reruns", self.reruns);
+        emit("solve.parallel.spec_ns", self.spec_ns);
+        emit("solve.parallel.merge_ns", self.merge_ns);
+    }
+}
+
+/// The variable that owns a pending fact (its first endpoint) — the
+/// sharding key.
+fn owner(fact: &Fact) -> VarId {
+    match *fact {
+        Fact::Edge(x, _, _) | Fact::Lb(x, _, _) | Fact::Ub(x, _, _) => x,
+    }
+}
+
+/// Worker-local memo over [`Algebra::try_compose`], plus the round-local
+/// insert-deduplication set.
+///
+/// The read-only probe cannot write the algebra's own memo table, so
+/// without the compose map every walk entry would recompute its composite
+/// from scratch (for the monoid algebra: an image vector allocation per
+/// call) where the sequential solver pays one memoized lookup — enough to
+/// erase the entire parallel win. Each shard keeps its own cache across
+/// rounds; negative entries are purged at each round boundary because the
+/// merge phase may have interned the missing composite since.
+///
+/// `seen` deduplicates insert speculation *within* a round: dense rounds
+/// re-derive the same canonical fact many times, and every occurrence
+/// after the first commits as a no-op (the sequential solver's failed
+/// insert). Sharding sends all occurrences of a canonical fact to the
+/// same worker, so a local set suffices to skip their walk builds.
+#[derive(Default)]
+struct ComposeCache {
+    map: std::collections::HashMap<(AnnId, AnnId), Option<AnnId>>,
+    seen: std::collections::HashSet<Fact>,
+}
+
+impl ComposeCache {
+    fn try_compose<A: Algebra>(
+        &mut self,
+        algebra: &A,
+        later: AnnId,
+        earlier: AnnId,
+    ) -> Option<AnnId> {
+        // Monoid law: the identity composes to the other operand. Most
+        // walk entries in edge-list workloads carry the identity, and the
+        // sequential compose path answers them in a branch — skipping the
+        // map keeps the probe competitive on those.
+        let id = algebra.identity();
+        if later == id {
+            return Some(earlier);
+        }
+        if earlier == id {
+            return Some(later);
+        }
+        *self
+            .map
+            .entry((later, earlier))
+            .or_insert_with(|| algebra.try_compose(later, earlier))
+    }
+
+    /// Round-boundary reset: drop negative compose entries (the merge may
+    /// have interned the missing composite since) and the previous round's
+    /// insert-dedup set.
+    fn begin_round(&mut self) {
+        self.map.retain(|_, v| v.is_some());
+        self.seen.clear();
+    }
+}
+
+impl<A: Algebra + Sync> System<A> {
+    /// Drains the worklist to the fixpoint on `threads` worker threads.
+    ///
+    /// The resulting solved form — statistics, counters, provenance, and a
+    /// subsequent snapshot image — is byte-identical to what
+    /// [`System::solve`] would have produced. `threads <= 1` simply runs
+    /// the sequential drain.
+    pub fn solve_parallel(&mut self, threads: usize) -> Outcome {
+        self.solve_parallel_bounded(&Budget::unlimited(), threads)
+    }
+
+    /// Bounded variant of [`System::solve_parallel`]: per-fact budget and
+    /// cancellation checks behave exactly as in [`System::solve_bounded`],
+    /// including what an [`Outcome::Interrupted`] solve leaves pending.
+    pub fn solve_parallel_bounded(&mut self, budget: &Budget, threads: usize) -> Outcome {
+        self.solve_parallel_tuned(budget, threads, DEFAULT_MIN_BATCH)
+    }
+
+    /// Like [`System::solve_parallel_bounded`] with an explicit minimum
+    /// per-thread round size (rounds below `threads * min_batch` merge
+    /// inline without spawning). Exposed for tests that need to force
+    /// worker rounds on tiny systems.
+    #[doc(hidden)]
+    pub fn solve_parallel_tuned(
+        &mut self,
+        budget: &Budget,
+        threads: usize,
+        min_batch: usize,
+    ) -> Outcome {
+        if threads <= 1 {
+            return self.solve_bounded(budget);
+        }
+        let _span = obs::span("solver.solve.parallel");
+        let metered = !budget.is_unlimited();
+        let mut meter = budget.start();
+        let mut stats = ParallelStats::default();
+        let mut caches: Vec<ComposeCache> = (0..threads).map(|_| ComposeCache::default()).collect();
+        while !self.worklist.is_empty() {
+            // One round = the current BFS generation of the FIFO order.
+            let round_len = self.worklist.len();
+            stats.rounds += 1;
+            obs::histogram("solve.parallel.round.facts", round_len as u64);
+            let t0 = std::time::Instant::now();
+            let (shard_of, shards) = if round_len < threads.saturating_mul(min_batch) {
+                (Vec::new(), Vec::new())
+            } else {
+                stats.speculated += round_len as u64;
+                self.speculate_round(round_len, threads, &mut caches)
+            };
+            stats.spec_ns += t0.elapsed().as_nanos() as u64;
+            let t1 = std::time::Instant::now();
+            // Merge phase: commit this round's facts in FIFO order with
+            // the identical per-fact sequence as `solve_bounded`. Each
+            // shard's specs arrive in that shard's fact order, so
+            // following `shard_of` restores the global FIFO order.
+            let mut shards: Vec<std::vec::IntoIter<Spec>> =
+                shards.into_iter().map(Vec::into_iter).collect();
+            for k in 0..round_len {
+                let terms = self.vars.len() + self.sources.len() + self.sinks.len();
+                if let Some(reason) = meter.check(terms, self.live_entries) {
+                    self.interruptions += 1;
+                    self.pending_counts.interruptions += 1;
+                    self.pending_counts.flush();
+                    stats.emit();
+                    return Outcome::Interrupted(reason);
+                }
+                meter.step();
+                if metered {
+                    self.fuel_spent += 1;
+                    self.pending_counts.fuel += 1;
+                }
+                let Some(fact) = self.worklist.pop_front() else {
+                    break;
+                };
+                let why = self.prov.as_mut().and_then(|p| p.pending.pop_front());
+                self.facts_processed += 1;
+                self.pending_counts.facts += 1;
+                let spec = shard_of
+                    .get(k)
+                    .and_then(|&s| shards.get_mut(s as usize))
+                    .and_then(Iterator::next);
+                match spec {
+                    Some(spec) => {
+                        if self.commit_spec(fact, why, spec) {
+                            stats.hits += 1;
+                        } else {
+                            stats.reruns += 1;
+                        }
+                    }
+                    None => self.process_fact(fact, why),
+                }
+            }
+            stats.merge_ns += t1.elapsed().as_nanos() as u64;
+        }
+        self.pending_counts.flush();
+        stats.emit();
+        Outcome::Complete
+    }
+
+    /// Phase 1: speculates the round's first `round_len` facts on
+    /// `threads` scoped workers, each owning the shards assigned to it by
+    /// the facts' owning-variable classes. Returns the per-fact shard
+    /// assignment plus each shard's specs in that shard's fact order (the
+    /// merged result is independent of the sharding).
+    fn speculate_round(
+        &self,
+        round_len: usize,
+        threads: usize,
+        caches: &mut [ComposeCache],
+    ) -> (Vec<u32>, Vec<Vec<Spec>>) {
+        // Shard on the raw owner id: occurrences of one pending fact always
+        // name the same variable, so they land on the same worker (which
+        // the round-local insert dedup relies on), and skipping `find`
+        // keeps this serial pass to one modulo per fact. Facts aliased
+        // through different members of a merged class may split across
+        // shards; each copy speculates independently and the later commits
+        // degrade to the sequential duplicate no-op.
+        let shard_of: Vec<u32> = self
+            .worklist
+            .iter()
+            .take(round_len)
+            .map(|f| (owner(f).index() % threads) as u32)
+            .collect();
+        let shards: Vec<Vec<Spec>> = std::thread::scope(|scope| {
+            let sys = &*self;
+            let shard_of = &shard_of;
+            let handles: Vec<_> = caches
+                .iter_mut()
+                .enumerate()
+                .map(|(t, cache)| {
+                    scope.spawn(move || {
+                        cache.begin_round();
+                        let mut out = Vec::new();
+                        for (i, fact) in sys.worklist.iter().take(round_len).enumerate() {
+                            if shard_of[i] as usize == t {
+                                out.push(sys.speculate(*fact, cache));
+                            }
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        (shard_of, shards)
+    }
+}
+
+impl<A: Algebra> System<A> {
+    /// Read-only speculation of one fact against the frozen pre-round
+    /// view. Mirrors [`System::process_fact`] step for step.
+    fn speculate(&self, fact: Fact, cache: &mut ComposeCache) -> Spec {
+        match fact {
+            Fact::Edge(x, y, f) => self.speculate_edge(x, y, f, cache),
+            Fact::Lb(x, src, g) => self.speculate_lb(x, src, g, cache),
+            Fact::Ub(x, snk, h) => self.speculate_ub(x, snk, h, cache),
+        }
+    }
+
+    fn speculate_edge(&self, x: VarId, y: VarId, f: AnnId, cache: &mut ComposeCache) -> Spec {
+        let x = self.find(x);
+        let y = self.find(y);
+        let id = self.algebra.identity();
+        if (x == y && f == id) || !self.algebra.is_useful(f) {
+            return Spec::NoopEdge;
+        }
+        if self.config.cycle_elimination && f == id {
+            // Committing an ε edge may run the (mutating) cycle search.
+            return Spec::Rerun;
+        }
+        if self.vars[x.index()].succs.contains(y, f) {
+            return Spec::DupEdge { x, y };
+        }
+        if !cache.seen.insert(Fact::Edge(x, y, f)) {
+            // An earlier same-round fact already speculated this insert;
+            // by commit time it is a duplicate, which commits as the same
+            // no-op a `DupEdge` does. Skip the walk build entirely.
+            return Spec::DupEdge { x, y };
+        }
+        // Pre-size to the frozen walk lengths: the sequential solver pushes
+        // into already-grown buffers, so reallocation here is pure overhead.
+        let walk = self.vars[x.index()].lbs.len() + self.vars[y.index()].ubs.len();
+        let mut counts = Vec::with_capacity(walk);
+        let mut ops = Vec::with_capacity(walk);
+        // Walk A: x's lower bounds flow across the new edge to y.
+        let mut i = 0;
+        while let Some((src, g)) = self.vars[x.index()].lbs.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, f, g) {
+                Some(h) => {
+                    counts.push(1);
+                    ops.push(EmitOp::Fact(
+                        Fact::Lb(y, src, h),
+                        Reason::TransLb {
+                            edge: (x, y, f),
+                            lb: (x, src, g),
+                        },
+                    ));
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        let walk_a_len = counts.len() as u32;
+        // Walk B: y's upper bounds reach back across the edge to x.
+        let mut i = 0;
+        while let Some((snk, g)) = self.vars[y.index()].ubs.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, g, f) {
+                Some(h) => {
+                    counts.push(1);
+                    ops.push(EmitOp::Fact(
+                        Fact::Ub(x, snk, h),
+                        Reason::TransUb {
+                            edge: (x, y, f),
+                            ub: (y, snk, g),
+                        },
+                    ));
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        Spec::Insert(Box::new(InsertSpec {
+            x,
+            y,
+            walk_a_len,
+            counts,
+            ops,
+        }))
+    }
+
+    fn speculate_lb(&self, x: VarId, src: SrcId, g: AnnId, cache: &mut ComposeCache) -> Spec {
+        let x = self.find(x);
+        if !self.algebra.is_useful(g) {
+            return Spec::NoopLbUb;
+        }
+        if self.vars[x.index()].lbs.contains(src, g) {
+            return Spec::DupLbUb { x };
+        }
+        if !cache.seen.insert(Fact::Lb(x, src, g)) {
+            return Spec::DupLbUb { x };
+        }
+        let walk = self.vars[x.index()].succs.len() + self.vars[x.index()].ubs.len();
+        let mut counts = Vec::with_capacity(walk);
+        let mut ops = Vec::with_capacity(walk);
+        // Walk A: the bound flows forward along x's out-edges.
+        let mut i = 0;
+        while let Some((y, f)) = self.vars[x.index()].succs.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, f, g) {
+                Some(h) => {
+                    counts.push(1);
+                    ops.push(EmitOp::Fact(
+                        Fact::Lb(y, src, h),
+                        Reason::TransLb {
+                            edge: (x, y, f),
+                            lb: (x, src, g),
+                        },
+                    ));
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        let walk_a_len = counts.len() as u32;
+        // Walk B: the bound meets x's upper bounds (§3.1 resolution).
+        let mut i = 0;
+        while let Some((snk, h)) = self.vars[x.index()].ubs.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, h, g) {
+                Some(composed) => {
+                    let before = ops.len();
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.speculate_resolve(src, composed, snk, why, &mut ops);
+                    counts.push((ops.len() - before) as u32);
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        Spec::Insert(Box::new(InsertSpec {
+            x,
+            y: x,
+            walk_a_len,
+            counts,
+            ops,
+        }))
+    }
+
+    fn speculate_ub(&self, x: VarId, snk: SnkId, h: AnnId, cache: &mut ComposeCache) -> Spec {
+        let x = self.find(x);
+        if !self.algebra.is_useful(h) {
+            return Spec::NoopLbUb;
+        }
+        if self.vars[x.index()].ubs.contains(snk, h) {
+            return Spec::DupLbUb { x };
+        }
+        if !cache.seen.insert(Fact::Ub(x, snk, h)) {
+            return Spec::DupLbUb { x };
+        }
+        let walk = self.vars[x.index()].preds.len() + self.vars[x.index()].lbs.len();
+        let mut counts = Vec::with_capacity(walk);
+        let mut ops = Vec::with_capacity(walk);
+        // Walk A: the bound flows backward along x's in-edges.
+        let mut i = 0;
+        while let Some((w, f)) = self.vars[x.index()].preds.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, h, f) {
+                Some(composed) => {
+                    counts.push(1);
+                    ops.push(EmitOp::Fact(
+                        Fact::Ub(w, snk, composed),
+                        Reason::TransUb {
+                            edge: (w, x, f),
+                            ub: (x, snk, h),
+                        },
+                    ));
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        let walk_a_len = counts.len() as u32;
+        // Walk B: the bound meets x's lower bounds.
+        let mut i = 0;
+        while let Some((src, g)) = self.vars[x.index()].lbs.entry(i) {
+            i += 1;
+            match cache.try_compose(&self.algebra, h, g) {
+                Some(composed) => {
+                    let before = ops.len();
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.speculate_resolve(src, composed, snk, why, &mut ops);
+                    counts.push((ops.len() - before) as u32);
+                }
+                None => counts.push(RECOMPUTE),
+            }
+        }
+        Spec::Insert(Box::new(InsertSpec {
+            x,
+            y: x,
+            walk_a_len,
+            counts,
+            ops,
+        }))
+    }
+
+    /// Read-only mirror of [`System::resolve`]: appends the emissions the
+    /// sequential resolution would make.
+    ///
+    /// Clashes already in the frozen `clash_set` are dropped here rather
+    /// than recorded: the set is append-only within a solve, so a clash
+    /// that is a duplicate at speculation time is still a duplicate at
+    /// commit time, where the sequential path discards it with no counter
+    /// or provenance effect. Dense meet-heavy workloads produce millions
+    /// of repeat mismatches per round — eliding them up front is what
+    /// keeps the serial merge phase short. Fresh clashes are still
+    /// recorded and deduplicated by the merger (first commit wins).
+    fn speculate_resolve(
+        &self,
+        src: SrcId,
+        f: AnnId,
+        snk: SnkId,
+        why: Reason,
+        ops: &mut Vec<EmitOp>,
+    ) {
+        if !self.algebra.is_useful(f) {
+            return;
+        }
+        let src_cons = self.source(src).cons;
+        match self.sink(snk) {
+            Sink::Cons { cons, args } => {
+                let cons = *cons;
+                if src_cons != cons {
+                    let clash = Clash::ConstructorMismatch {
+                        lhs: src_cons,
+                        rhs: cons,
+                        ann: f,
+                    };
+                    if !self.clash_set.contains(&clash) {
+                        ops.push(EmitOp::Clash(clash));
+                    }
+                    return;
+                }
+                let signature = &self.constructors.index(cons.index()).signature;
+                for (i, &snk_arg) in args.iter().enumerate() {
+                    let src_arg = self.source(src).args[i];
+                    match signature[i] {
+                        Variance::Covariant => {
+                            ops.push(EmitOp::Fact(Fact::Edge(src_arg, snk_arg, f), why));
+                        }
+                        Variance::Contravariant => {
+                            if f == self.algebra.identity() {
+                                ops.push(EmitOp::Fact(Fact::Edge(snk_arg, src_arg, f), why));
+                            } else {
+                                let clash = Clash::ContravariantAnnotated {
+                                    cons,
+                                    position: i,
+                                    ann: f,
+                                };
+                                if !self.clash_set.contains(&clash) {
+                                    ops.push(EmitOp::Clash(clash));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Sink::Proj {
+                cons,
+                index,
+                target,
+            } => {
+                if src_cons == *cons {
+                    let src_arg = self.source(src).args[*index];
+                    ops.push(EmitOp::Fact(Fact::Edge(src_arg, *target, f), why));
+                }
+            }
+        }
+    }
+
+    /// Phase 2: commits one fact using its spec when still valid, falling
+    /// back to the sequential step otherwise. Returns whether the spec was
+    /// used (for the `spec_hits`/`spec_reruns` counters).
+    fn commit_spec(&mut self, fact: Fact, why: Option<Reason>, spec: Spec) -> bool {
+        match spec {
+            Spec::Rerun => self.rerun(fact, why),
+            Spec::NoopEdge => {
+                let Fact::Edge(x, y, _) = fact else {
+                    return self.rerun(fact, why);
+                };
+                self.find_mut(x);
+                self.find_mut(y);
+                true
+            }
+            Spec::NoopLbUb => {
+                let (Fact::Lb(x, _, _) | Fact::Ub(x, _, _)) = fact else {
+                    return self.rerun(fact, why);
+                };
+                self.find_mut(x);
+                true
+            }
+            Spec::DupEdge { x, y } => {
+                let Fact::Edge(fx, fy, _) = fact else {
+                    return self.rerun(fact, why);
+                };
+                if self.find_mut(fx) == x && self.find_mut(fy) == y {
+                    // Still a duplicate (append-only): no side effects.
+                    true
+                } else {
+                    self.rerun(fact, why)
+                }
+            }
+            Spec::DupLbUb { x } => {
+                let (Fact::Lb(fx, _, _) | Fact::Ub(fx, _, _)) = fact else {
+                    return self.rerun(fact, why);
+                };
+                if self.find_mut(fx) == x {
+                    true
+                } else {
+                    self.rerun(fact, why)
+                }
+            }
+            Spec::Insert(spec) => self.commit_insert(fact, why, *spec),
+        }
+    }
+
+    /// Sequential fallback. `process_fact` re-runs `find_mut`, which is
+    /// idempotent (and journal-silent) after any compression the
+    /// validation lookups already performed.
+    fn rerun(&mut self, fact: Fact, why: Option<Reason>) -> bool {
+        self.process_fact(fact, why);
+        false
+    }
+
+    /// Replays one precomputed insert: the exact mutation sequence of
+    /// [`System::process_fact`], with walk-prefix emissions replayed from
+    /// the spec and sentinel/tail entries computed live.
+    fn commit_insert(&mut self, fact: Fact, why: Option<Reason>, spec: InsertSpec) -> bool {
+        match fact {
+            Fact::Edge(fx, fy, f) => {
+                let x = self.find_mut(fx);
+                let y = self.find_mut(fy);
+                if x != spec.x || y != spec.y {
+                    return self.rerun(fact, why);
+                }
+                if !self.vars[x.index()].succs.insert(y, f) {
+                    // Became a duplicate earlier this round; the
+                    // sequential solve returns here too.
+                    return true;
+                }
+                self.live_entries += 1;
+                self.pending_counts.edges_added += 1;
+                self.record_prov(ProvKey::Edge(x, y, f), why);
+                self.vars[y.index()].preds.insert(x, f);
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Succ(x, y, f));
+                    j.ops.push(UndoOp::Pred(x, y, f));
+                }
+                self.touch(x);
+                self.touch(y);
+                if self.config.cycle_elimination
+                    && f == self.algebra.identity()
+                    && self.try_collapse_cycle(y, x)
+                {
+                    return true;
+                }
+                // Frozen walk prefixes replay precomputed emissions without
+                // re-reading the entry log (append-only per root, so the
+                // frozen indices are stable); only sentinel entries and the
+                // live tail touch the tables.
+                let mut ops = spec.ops.into_iter();
+                let walk_a = spec.walk_a_len as usize;
+                for idx in 0..walk_a {
+                    if spec.counts[idx] != RECOMPUTE {
+                        for _ in 0..spec.counts[idx] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((src, g)) = self.vars[x.index()].lbs.entry(idx) {
+                        let h = self.algebra.compose(f, g);
+                        let why = Reason::TransLb {
+                            edge: (x, y, f),
+                            lb: (x, src, g),
+                        };
+                        self.push_fact(Fact::Lb(y, src, h), why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = walk_a;
+                while let Some((src, g)) = self.vars[x.index()].lbs.entry(i) {
+                    i += 1;
+                    let h = self.algebra.compose(f, g);
+                    let why = Reason::TransLb {
+                        edge: (x, y, f),
+                        lb: (x, src, g),
+                    };
+                    self.push_fact(Fact::Lb(y, src, h), why);
+                }
+                let frozen_b = spec.counts.len() - walk_a;
+                for j in 0..frozen_b {
+                    if spec.counts[walk_a + j] != RECOMPUTE {
+                        for _ in 0..spec.counts[walk_a + j] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((snk, g)) = self.vars[y.index()].ubs.entry(j) {
+                        let h = self.algebra.compose(g, f);
+                        let why = Reason::TransUb {
+                            edge: (x, y, f),
+                            ub: (y, snk, g),
+                        };
+                        self.push_fact(Fact::Ub(x, snk, h), why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = frozen_b;
+                while let Some((snk, g)) = self.vars[y.index()].ubs.entry(i) {
+                    i += 1;
+                    let h = self.algebra.compose(g, f);
+                    let why = Reason::TransUb {
+                        edge: (x, y, f),
+                        ub: (y, snk, g),
+                    };
+                    self.push_fact(Fact::Ub(x, snk, h), why);
+                }
+                debug_assert!(ops.next().is_none(), "unconsumed speculated ops");
+                true
+            }
+            Fact::Lb(fx, src, g) => {
+                let x = self.find_mut(fx);
+                if x != spec.x {
+                    return self.rerun(fact, why);
+                }
+                let head = self.source(src).cons;
+                let data = &mut self.vars[x.index()];
+                let lbs_by_cons = &mut data.lbs_by_cons;
+                if !data.lbs.insert_with(src, g, || {
+                    lbs_by_cons.push(head, src);
+                }) {
+                    return true;
+                }
+                self.live_entries += 1;
+                self.pending_counts.lbs_added += 1;
+                self.record_prov(ProvKey::Lb(x, src, g), why);
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Lb(x, src, g));
+                }
+                self.touch(x);
+                let mut ops = spec.ops.into_iter();
+                let walk_a = spec.walk_a_len as usize;
+                for idx in 0..walk_a {
+                    if spec.counts[idx] != RECOMPUTE {
+                        for _ in 0..spec.counts[idx] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((y, f)) = self.vars[x.index()].succs.entry(idx) {
+                        let h = self.algebra.compose(f, g);
+                        let why = Reason::TransLb {
+                            edge: (x, y, f),
+                            lb: (x, src, g),
+                        };
+                        self.push_fact(Fact::Lb(y, src, h), why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = walk_a;
+                while let Some((y, f)) = self.vars[x.index()].succs.entry(i) {
+                    i += 1;
+                    let h = self.algebra.compose(f, g);
+                    let why = Reason::TransLb {
+                        edge: (x, y, f),
+                        lb: (x, src, g),
+                    };
+                    self.push_fact(Fact::Lb(y, src, h), why);
+                }
+                let frozen_b = spec.counts.len() - walk_a;
+                for j in 0..frozen_b {
+                    if spec.counts[walk_a + j] != RECOMPUTE {
+                        for _ in 0..spec.counts[walk_a + j] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((snk, h)) = self.vars[x.index()].ubs.entry(j) {
+                        let composed = self.algebra.compose(h, g);
+                        let why = Reason::Meet {
+                            var: x,
+                            src,
+                            src_ann: g,
+                            snk,
+                            snk_ann: h,
+                        };
+                        self.resolve(src, composed, snk, why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = frozen_b;
+                while let Some((snk, h)) = self.vars[x.index()].ubs.entry(i) {
+                    i += 1;
+                    let composed = self.algebra.compose(h, g);
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.resolve(src, composed, snk, why);
+                }
+                debug_assert!(ops.next().is_none(), "unconsumed speculated ops");
+                true
+            }
+            Fact::Ub(fx, snk, h) => {
+                let x = self.find_mut(fx);
+                if x != spec.x {
+                    return self.rerun(fact, why);
+                }
+                if !self.vars[x.index()].ubs.insert(snk, h) {
+                    return true;
+                }
+                self.live_entries += 1;
+                self.pending_counts.ubs_added += 1;
+                self.record_prov(ProvKey::Ub(x, snk, h), why);
+                if let Some(j) = self.journal.as_mut() {
+                    j.ops.push(UndoOp::Ub(x, snk, h));
+                }
+                self.touch(x);
+                let mut ops = spec.ops.into_iter();
+                let walk_a = spec.walk_a_len as usize;
+                for idx in 0..walk_a {
+                    if spec.counts[idx] != RECOMPUTE {
+                        for _ in 0..spec.counts[idx] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((w, f)) = self.vars[x.index()].preds.entry(idx) {
+                        let composed = self.algebra.compose(h, f);
+                        let why = Reason::TransUb {
+                            edge: (w, x, f),
+                            ub: (x, snk, h),
+                        };
+                        self.push_fact(Fact::Ub(w, snk, composed), why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = walk_a;
+                while let Some((w, f)) = self.vars[x.index()].preds.entry(i) {
+                    i += 1;
+                    let composed = self.algebra.compose(h, f);
+                    let why = Reason::TransUb {
+                        edge: (w, x, f),
+                        ub: (x, snk, h),
+                    };
+                    self.push_fact(Fact::Ub(w, snk, composed), why);
+                }
+                let frozen_b = spec.counts.len() - walk_a;
+                for j in 0..frozen_b {
+                    if spec.counts[walk_a + j] != RECOMPUTE {
+                        for _ in 0..spec.counts[walk_a + j] {
+                            self.replay(ops.next());
+                        }
+                    } else if let Some((src, g)) = self.vars[x.index()].lbs.entry(j) {
+                        let composed = self.algebra.compose(h, g);
+                        let why = Reason::Meet {
+                            var: x,
+                            src,
+                            src_ann: g,
+                            snk,
+                            snk_ann: h,
+                        };
+                        self.resolve(src, composed, snk, why);
+                    } else {
+                        debug_assert!(false, "frozen walk entry missing at commit");
+                    }
+                }
+                let mut i = frozen_b;
+                while let Some((src, g)) = self.vars[x.index()].lbs.entry(i) {
+                    i += 1;
+                    let composed = self.algebra.compose(h, g);
+                    let why = Reason::Meet {
+                        var: x,
+                        src,
+                        src_ann: g,
+                        snk,
+                        snk_ann: h,
+                    };
+                    self.resolve(src, composed, snk, why);
+                }
+                debug_assert!(ops.next().is_none(), "unconsumed speculated ops");
+                true
+            }
+        }
+    }
+
+    /// Replays one speculated emission with the exact sequential side
+    /// effects.
+    fn replay(&mut self, op: Option<EmitOp>) {
+        match op {
+            Some(EmitOp::Fact(fact, why)) => self.push_fact(fact, why),
+            Some(EmitOp::Clash(clash)) => {
+                if self.clash_set.insert(clash.clone()) {
+                    self.clashes.push(clash);
+                    self.pending_counts.clashes += 1;
+                }
+            }
+            None => debug_assert!(false, "speculated op stream exhausted early"),
+        }
+    }
+}

@@ -206,6 +206,16 @@ pub struct BatchEngine {
     limits: Limits,
     /// Embedder-imposed caps clamping every budget (see [`EngineCaps`]).
     caps: Limits,
+    /// Cached `limits.min_with(&caps)` clamp, rebuilt only when either
+    /// side changes — never re-derived per `add` line, so hostile per-line
+    /// limit churn cannot make every constraint pay for the clamp.
+    effective: Limits,
+    /// How many times the effective clamp was rebuilt (a plain counter so
+    /// the no-recompute-per-`add` invariant stays pinned by a test).
+    effective_rebuilds: u64,
+    /// Worker threads used to drain each `add`'s consequences
+    /// (see [`Session::bulk_solve`]); 1 means the sequential drain.
+    solve_threads: usize,
     /// Cooperative cancellation observed by every bounded `add` (wired by
     /// the serve layer so disconnects and forced shutdown interrupt
     /// in-flight solves).
@@ -300,6 +310,9 @@ impl BatchEngine {
             vars: Arc::new(HashMap::new()),
             limits: Limits::default(),
             caps: Limits::default(),
+            effective: Limits::default(),
+            effective_rebuilds: 0,
+            solve_threads: 1,
             cancel: None,
             clock: None,
             snapshot_path: None,
@@ -325,6 +338,9 @@ impl BatchEngine {
             vars: Arc::clone(&base.vars),
             limits: Limits::default(),
             caps: Limits::default(),
+            effective: Limits::default(),
+            effective_rebuilds: 0,
+            solve_threads: 1,
             cancel: None,
             clock: None,
             snapshot_path: None,
@@ -356,6 +372,40 @@ impl BatchEngine {
             max_terms: caps.max_terms,
             max_entries: caps.max_entries,
         };
+        self.rebuild_effective();
+    }
+
+    /// Re-derives the cached effective clamp; called only when `limits`
+    /// or `caps` actually change.
+    fn rebuild_effective(&mut self) {
+        self.effective = self.limits.min_with(&self.caps);
+        self.effective_rebuilds += 1;
+    }
+
+    /// How many times the effective limit clamp has been rebuilt — pinned
+    /// by the regression test for the per-`add` recompute bug.
+    #[doc(hidden)]
+    pub fn effective_rebuilds(&self) -> u64 {
+        self.effective_rebuilds
+    }
+
+    /// Sets the number of worker threads used to drain each `add`'s
+    /// consequences (clamped to at least 1). The solved form is
+    /// byte-identical whatever the thread count; see
+    /// [`rasc_core::System::solve_parallel`].
+    pub fn set_solve_threads(&mut self, threads: usize) {
+        self.solve_threads = threads.max(1);
+    }
+
+    /// The configured worker thread count for solves.
+    pub fn solve_threads(&self) -> usize {
+        self.solve_threads
+    }
+
+    /// Drains any pending worklist on the configured worker threads (see
+    /// [`Session::bulk_solve`]).
+    pub fn bulk_solve(&mut self) -> Outcome {
+        self.session.bulk_solve(self.solve_threads)
     }
 
     /// Attaches a cancellation token observed by every subsequent `add`:
@@ -561,6 +611,9 @@ impl BatchEngine {
             max_terms: field(cmd, "max_terms")?.map(to_usize),
             max_entries: field(cmd, "max_entries")?.map(to_usize),
         };
+        // The caps clamp is folded in once here, at command-parse time,
+        // not on every subsequent `add`.
+        self.rebuild_effective();
         let report = |v: Option<u64>| v.map_or(Json::Null, Json::from);
         Ok(obj([
             ("ok", Json::from("limits")),
@@ -579,7 +632,7 @@ impl BatchEngine {
     /// the embedder's caps, plus any cancellation token — or `None` when
     /// nothing bounds the solve.
     fn current_budget(&self) -> Option<Budget> {
-        let effective = self.limits.min_with(&self.caps);
+        let effective = self.effective;
         if effective.is_unset() && self.cancel.is_none() {
             return None;
         }
@@ -639,9 +692,13 @@ impl BatchEngine {
             None => {
                 let lhs = self.parse_expr(&lhs_text)?;
                 let rhs = self.parse_expr(&rhs_text)?;
-                let result = match ann {
-                    Some(a) => self.session.add_ann(lhs, rhs, a),
-                    None => self.session.add(lhs, rhs),
+                let result = if self.solve_threads > 1 {
+                    self.session.add_bulk(lhs, rhs, ann, self.solve_threads)
+                } else {
+                    match ann {
+                        Some(a) => self.session.add_ann(lhs, rhs, a),
+                        None => self.session.add(lhs, rhs),
+                    }
                 };
                 result.map_err(|e| BatchError::new("constraint_rejected", format!("add: {e}")))?;
             }
@@ -661,9 +718,14 @@ impl BatchEngine {
                         return Err(err);
                     }
                 };
-                let outcome = match ann {
-                    Some(a) => self.session.add_ann_bounded(lhs, rhs, a, &budget),
-                    None => self.session.add_bounded(lhs, rhs, &budget),
+                let outcome = if self.solve_threads > 1 {
+                    self.session
+                        .add_bulk_bounded(lhs, rhs, ann, &budget, self.solve_threads)
+                } else {
+                    match ann {
+                        Some(a) => self.session.add_ann_bounded(lhs, rhs, a, &budget),
+                        None => self.session.add_bounded(lhs, rhs, &budget),
+                    }
                 };
                 match outcome {
                     Err(e) => {
@@ -1130,6 +1192,53 @@ mod tests {
         assert_eq!(r.get("transactional").unwrap().as_bool(), Some(false));
         let r = run(&mut e, r#"{"cmd":"limits","max_steps":-3}"#);
         assert_eq!(error_code(&r), Some("bad_request"));
+    }
+
+    #[test]
+    fn effective_limits_rebuilt_per_limits_change_not_per_add() {
+        let mut e = engine();
+        e.set_caps(EngineCaps {
+            max_steps: Some(1_000_000),
+            ..EngineCaps::default()
+        });
+        let after_caps = e.effective_rebuilds();
+
+        // Hostile churn: a limits command before every single add. The
+        // clamp must be folded once per `limits` line, never per `add` —
+        // `add` only reads the cached `effective`.
+        run(&mut e, r#"{"cmd":"declare","cons":"c"}"#);
+        for i in 0..32 {
+            let r = run(
+                &mut e,
+                &format!(r#"{{"cmd":"limits","max_steps":{}}}"#, 1000 + i),
+            );
+            assert_eq!(r.get("ok").unwrap().as_str(), Some("limits"));
+            let r = run(
+                &mut e,
+                &format!(r#"{{"cmd":"add","lhs":"c","rhs":"V{i}"}}"#),
+            );
+            assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        }
+        assert_eq!(
+            e.effective_rebuilds() - after_caps,
+            32,
+            "effective clamp must be rebuilt exactly once per limits command"
+        );
+
+        // A run of adds with no intervening limits change rebuilds nothing.
+        let before = e.effective_rebuilds();
+        for i in 32..64 {
+            let r = run(
+                &mut e,
+                &format!(r#"{{"cmd":"add","lhs":"c","rhs":"V{i}"}}"#),
+            );
+            assert_eq!(r.get("ok").unwrap().as_str(), Some("add"));
+        }
+        assert_eq!(
+            e.effective_rebuilds(),
+            before,
+            "a bounded add must not re-derive the effective clamp"
+        );
     }
 
     #[test]

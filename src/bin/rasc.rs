@@ -8,9 +8,9 @@
 //! rasc spec       --spec FILE [--dot] [--monoid]
 //! rasc cfg        --program FILE [--dot]
 //! rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]
-//! rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits SPEC]
-//!                 [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile]
-//!                 [--admin-addr HOST:PORT] [--slow-millis N]
+//! rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--solve-threads N]
+//!                 [--limits SPEC] [--max-connections N] [--snapshot-dir DIR]
+//!                 [--trace FILE] [--profile] [--admin-addr HOST:PORT] [--slow-millis N]
 //! rasc stats      --addr HOST:PORT [--metrics] [--watch SECS]
 //! rasc snapshot   --spec FILE --out SNAP [--input FILE]
 //! rasc restore    --spec FILE --snapshot SNAP [--input FILE]
@@ -27,7 +27,9 @@
 //!
 //! `serve` exposes the same protocol over TCP (one session per
 //! connection; see `rasc::serve`): `--threads` sizes the worker pool,
-//! `--max-connections` caps admission, and `--limits
+//! `--solve-threads N` solves each large `add` batch on N solver threads
+//! (deterministic — answers and snapshots are byte-identical to the
+//! sequential solver), `--max-connections` caps admission, and `--limits
 //! steps=N,millis=N,terms=N,entries=N` sets server-wide per-request
 //! resource caps. The server drains gracefully when any client sends
 //! `{"cmd":"shutdown"}` or on SIGINT/SIGTERM; with `--snapshot-dir DIR`
@@ -105,7 +107,7 @@ fn usage() -> String {
      rasc spec       --spec FILE [--dot] [--monoid]\n  \
      rasc cfg        --program FILE [--dot]\n  \
      rasc batch      --spec FILE [--input FILE] [--trace FILE] [--profile]   (JSON-lines commands on stdin or FILE)\n  \
-     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile] [--admin-addr HOST:PORT] [--slow-millis N]\n  \
+     rasc serve      --spec FILE [--addr HOST:PORT] [--threads N] [--solve-threads N] [--limits steps=N,millis=N,terms=N,entries=N] [--max-connections N] [--snapshot-dir DIR] [--trace FILE] [--profile] [--admin-addr HOST:PORT] [--slow-millis N]\n  \
      rasc stats      --addr HOST:PORT [--metrics] [--watch SECS]   (poll a running server's admin endpoint)\n  \
      rasc snapshot   --spec FILE --out SNAP [--input FILE]   (run a command stream, then persist the solved form)\n  \
      rasc restore    --spec FILE --snapshot SNAP [--input FILE]   (reload a solved form, then run a command stream)"
@@ -147,8 +149,8 @@ fn arity(cmd: &str, name: &str) -> usize {
     match name {
         "spec" | "program" | "entry" | "engine" | "fact" | "from" | "to" | "at" | "input" => 1,
         "trace" if cmd == "batch" || cmd == "serve" => 1,
-        "threads" | "limits" | "max-connections" | "snapshot-dir" | "admin-addr"
-        | "slow-millis"
+        "threads" | "solve-threads" | "limits" | "max-connections" | "snapshot-dir"
+        | "admin-addr" | "slow-millis"
             if cmd == "serve" =>
         {
             1
@@ -477,6 +479,9 @@ fn serve(opts: &Opts) -> Result<(), String> {
     let mut config = rasc::serve::ServeConfig::default();
     if let Some(n) = parse_num("threads")? {
         config.threads = n.max(1);
+    }
+    if let Some(n) = parse_num("solve-threads")? {
+        config.solve_threads = n.max(1);
     }
     if let Some(n) = parse_num("max-connections")? {
         config.max_connections = n.max(1);

@@ -1,0 +1,357 @@
+//! Property tests for the deterministic parallel fixpoint engine
+//! ([`System::solve_parallel`], sharded speculation + sequential merge):
+//!
+//! * **Parallel equals sequential, bit for bit** — for random constraint
+//!   sets, solving with 1/2/4/8 threads (and fuzzed round sizes, which
+//!   reshuffle the shard interleaving) must answer every observable query
+//!   exactly like the sequential solver, and must serialize to a
+//!   byte-identical snapshot — counters, provenance records, and
+//!   solved-form layout included. Checked under both solver
+//!   configurations (with and without cycle elimination / projection
+//!   merging), since ε edges take a different speculation path.
+//! * **Budgets interrupt and resume identically** — a step-bounded
+//!   parallel solve reports [`Outcome::Interrupted`] with work pending,
+//!   and driving it to completion in bounded slices converges to the
+//!   sequential fixpoint.
+//! * **Epoch rollback over a parallel solve nets out** — `pop_epoch` on a
+//!   parallel-solved system restores the pre-epoch observables, and the
+//!   paired obs counters a recorder collects cancel exactly.
+//!
+//! Generators mirror the fork suite: random constraints over a small
+//! fixed shape, compared through sorted semantic signatures.
+
+use std::sync::Arc;
+
+use rasc::automata::{Alphabet, Dfa, SymbolId};
+use rasc::constraints::algebra::{Algebra, MonoidAlgebra};
+use rasc::constraints::{Budget, ConsId, Outcome, SetExpr, SolverConfig, System, VarId, Variance};
+use rasc::obs::{scoped, Recorder};
+use rasc::Session;
+use rasc_devtools::{forall, prop_assert, prop_assert_eq, Config, Rng};
+
+const N_VARS: usize = 6;
+
+#[derive(Debug, Clone)]
+enum RandCon {
+    Edge(usize, usize, Option<u8>),
+    Const(usize, Option<u8>),
+    Wrap(usize, usize), // o(v1) ⊆ v2
+    Proj(usize, usize), // o⁻¹(v1) ⊆ v2
+    Sink(usize, usize), // v1 ⊆ o(v2)
+}
+
+fn arb_sym(rng: &mut Rng) -> Option<u8> {
+    if rng.gen_bool(0.5) {
+        Some(rng.gen_range(0..2) as u8)
+    } else {
+        None
+    }
+}
+
+fn arb_con(rng: &mut Rng) -> RandCon {
+    let v = |rng: &mut Rng| rng.gen_range(0..N_VARS);
+    match rng.gen_range(0..12) {
+        0..=4 => {
+            let (a, b) = (v(rng), v(rng));
+            let s = arb_sym(rng);
+            RandCon::Edge(a, b, s)
+        }
+        5 | 6 => {
+            let a = v(rng);
+            let s = arb_sym(rng);
+            RandCon::Const(a, s)
+        }
+        7 | 8 => RandCon::Wrap(v(rng), v(rng)),
+        9 | 10 => RandCon::Proj(v(rng), v(rng)),
+        _ => RandCon::Sink(v(rng), v(rng)),
+    }
+}
+
+fn arb_cons(rng: &mut Rng, lo: usize, hi: usize) -> Vec<RandCon> {
+    (0..rng.gen_range(lo..hi)).map(|_| arb_con(rng)).collect()
+}
+
+fn machine() -> (Alphabet, Dfa) {
+    // Odd number of `a`, ending in `b` — 4-state minimal machine.
+    let sigma = Alphabet::from_names(["a", "b"]);
+    let re = rasc::automata::Regex::parse("b* a (b | a b* a)* b+", &sigma).unwrap();
+    let dfa = re.compile(&sigma);
+    (sigma, dfa)
+}
+
+/// Both solver configurations worth distinguishing: the optimized default
+/// (where ε edges are never speculated) and the plain resolution engine
+/// (where they are).
+fn configs() -> [SolverConfig; 2] {
+    [
+        SolverConfig::default(),
+        SolverConfig {
+            cycle_elimination: false,
+            projection_merging: false,
+            ..SolverConfig::default()
+        },
+    ]
+}
+
+struct Shape {
+    vars: Vec<VarId>,
+    probe: ConsId,
+    o: ConsId,
+}
+
+fn declare(sys: &mut System<MonoidAlgebra>) -> Shape {
+    let vars = (0..N_VARS).map(|i| sys.var(&format!("v{i}"))).collect();
+    let probe = sys.constructor("probe", &[]);
+    let o = sys.constructor("o", &[Variance::Covariant]);
+    Shape { vars, probe, o }
+}
+
+/// Adds one random constraint directly to a system (no solve).
+fn apply(sys: &mut System<MonoidAlgebra>, shape: &Shape, syms: &[SymbolId], c: &RandCon) {
+    let ann = |sys: &mut System<MonoidAlgebra>, s: &Option<u8>| match s {
+        Some(i) => sys.algebra_mut().word(&[syms[*i as usize]]),
+        None => sys.algebra().identity(),
+    };
+    match *c {
+        RandCon::Edge(a, b, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(SetExpr::var(shape.vars[a]), SetExpr::var(shape.vars[b]), w)
+                .unwrap();
+        }
+        RandCon::Const(v, ref s) => {
+            let w = ann(sys, s);
+            sys.add_ann(
+                SetExpr::cons(shape.probe, []),
+                SetExpr::var(shape.vars[v]),
+                w,
+            )
+            .unwrap();
+        }
+        RandCon::Wrap(a, b) => {
+            sys.add(
+                SetExpr::cons_vars(shape.o, [shape.vars[a]]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Proj(a, b) => {
+            sys.add(
+                SetExpr::proj(shape.o, 0, shape.vars[a]),
+                SetExpr::var(shape.vars[b]),
+            )
+            .unwrap();
+        }
+        RandCon::Sink(a, b) => {
+            sys.add(
+                SetExpr::var(shape.vars[a]),
+                SetExpr::cons_vars(shape.o, [shape.vars[b]]),
+            )
+            .unwrap();
+        }
+    }
+}
+
+/// Per-variable semantic observation: sorted probe occurrence annotations
+/// (rendered), emptiness, `o`-acceptance, partially matched occurrences —
+/// plus global consistency.
+type Signature = (Vec<(Vec<String>, bool, bool, Vec<String>)>, bool);
+
+fn session_signature(s: &mut Session<MonoidAlgebra>, shape: &Shape) -> Signature {
+    let per_var = shape
+        .vars
+        .iter()
+        .map(|&v| {
+            let mut occ: Vec<String> = s
+                .occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            occ.sort();
+            let nonempty = s.nonempty(v);
+            let o_reaches = s.occurs_accepting(v, shape.o);
+            let mut pn: Vec<String> = s
+                .pn_occurrence_annotations(v, shape.probe)
+                .into_iter()
+                .map(|a| s.system().algebra().describe(a))
+                .collect();
+            pn.sort();
+            (occ, nonempty, o_reaches, pn)
+        })
+        .collect();
+    (per_var, s.is_consistent())
+}
+
+/// Builds an unsolved session (with provenance recording, as the batch
+/// engine always has it) holding a constraint list.
+fn stage(
+    dfa: &Dfa,
+    config: SolverConfig,
+    syms: &[SymbolId],
+    cons: &[RandCon],
+) -> (Session<MonoidAlgebra>, Shape) {
+    let mut sess = Session::with_config(MonoidAlgebra::new(dfa), config);
+    sess.system_mut().enable_provenance();
+    let shape = declare(sess.system_mut());
+    for c in cons {
+        apply(sess.system_mut(), &shape, syms, c);
+    }
+    (sess, shape)
+}
+
+#[test]
+fn parallel_solve_equals_sequential_on_the_full_query_surface() {
+    forall(
+        "parallel_solve_equals_sequential_on_the_full_query_surface",
+        Config::cases(48),
+        |rng| (arb_cons(rng, 1, 24), rng.gen_range(1..4)),
+        |&(ref cons, min_batch)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            for config in configs() {
+                // Sequential reference: fixpoint signature and bytes.
+                let (mut seq, shape) = stage(&dfa, config, &syms, cons);
+                seq.system_mut().solve();
+                let want = session_signature(&mut seq, &shape);
+                let bytes = seq.snapshot_bytes().expect("solved session snapshots");
+
+                // A tiny `min_batch` forces real worker rounds even on
+                // these small systems; varying it (and the thread count)
+                // reshuffles which shard speculates which fact.
+                for threads in [1usize, 2, 4, 8] {
+                    let (mut par, shape) = stage(&dfa, config, &syms, cons);
+                    let out = par.system_mut().solve_parallel_tuned(
+                        &Budget::unlimited(),
+                        threads,
+                        min_batch,
+                    );
+                    prop_assert!(out.is_complete(), "unlimited parallel solve must complete");
+                    let got = session_signature(&mut par, &shape);
+                    prop_assert_eq!(
+                        &got,
+                        &want,
+                        "parallel solve at {threads} threads diverged from sequential"
+                    );
+                    let again = par.snapshot_bytes().expect("solved session snapshots");
+                    prop_assert_eq!(
+                        &again,
+                        &bytes,
+                        "parallel solve at {threads} threads is not byte-identical"
+                    );
+                }
+
+                // The session-level entry point agrees too.
+                let (mut bulk, shape) = stage(&dfa, config, &syms, cons);
+                prop_assert!(bulk.bulk_solve(4).is_complete());
+                prop_assert_eq!(
+                    &session_signature(&mut bulk, &shape),
+                    &want,
+                    "Session::bulk_solve diverged from sequential"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn bounded_parallel_solve_interrupts_and_resumes_to_the_sequential_fixpoint() {
+    forall(
+        "bounded_parallel_solve_interrupts_and_resumes_to_the_sequential_fixpoint",
+        Config::cases(48),
+        |rng| (arb_cons(rng, 2, 20), rng.gen_range(1..6)),
+        |&(ref cons, steps)| {
+            let steps = steps.max(1); // a 0-step budget can never progress
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+            for config in configs() {
+                let (mut seq, shape) = stage(&dfa, config, &syms, cons);
+                seq.system_mut().solve();
+                let want = session_signature(&mut seq, &shape);
+
+                // Drive the parallel solver in bounded slices; every
+                // interruption must leave resumable pending work.
+                let (mut par, shape) = stage(&dfa, config, &syms, cons);
+                let budget = Budget::unlimited().with_steps(steps as u64);
+                let mut slices = 0usize;
+                loop {
+                    match par.system_mut().solve_parallel_tuned(&budget, 4, 1) {
+                        Outcome::Complete => break,
+                        Outcome::Interrupted(_) => {
+                            prop_assert!(
+                                par.pending_facts() > 0,
+                                "an interrupted parallel solve must report pending work"
+                            );
+                        }
+                    }
+                    slices += 1;
+                    prop_assert!(slices < 100_000, "bounded solve failed to make progress");
+                }
+                prop_assert_eq!(
+                    &session_signature(&mut par, &shape),
+                    &want,
+                    "resumed bounded parallel solve diverged from sequential"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn parallel_epoch_rollback_counters_cancel() {
+    forall(
+        "parallel_epoch_rollback_counters_cancel",
+        Config::cases(48),
+        |rng| (arb_cons(rng, 1, 16), arb_cons(rng, 1, 8)),
+        |(cons, extra)| {
+            let (sigma, dfa) = machine();
+            let syms: Vec<SymbolId> = sigma.symbols().collect();
+
+            // The base fixpoint is reached outside the recorder's scope:
+            // its additions are permanent and never roll back, so only
+            // the epoch's delta — which the recorder sees in full,
+            // including the merge phase of parallel rounds — must cancel.
+            let (mut sess, shape) = stage(&dfa, SolverConfig::default(), &syms, cons);
+            assert!(sess
+                .system_mut()
+                .solve_parallel_tuned(&Budget::unlimited(), 4, 1)
+                .is_complete());
+            let want = session_signature(&mut sess, &shape);
+
+            let rec = Arc::new(Recorder::new());
+            scoped(Arc::clone(&rec) as _, || {
+                sess.push_epoch();
+                for c in extra {
+                    apply(sess.system_mut(), &shape, &syms, c);
+                }
+                prop_assert!(sess
+                    .system_mut()
+                    .solve_parallel_tuned(&Budget::unlimited(), 4, 1)
+                    .is_complete());
+                prop_assert!(sess.pop_epoch(), "the pushed epoch must pop");
+
+                let got = session_signature(&mut sess, &shape);
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "epoch rollback over a parallel solve did not restore the fixpoint"
+                );
+
+                for (added, removed) in [
+                    ("solver.edges.added", "solver.edges.removed"),
+                    ("solver.lbs.added", "solver.lbs.removed"),
+                    ("solver.ubs.added", "solver.ubs.removed"),
+                    ("solver.facts", "solver.facts.rolled_back"),
+                    ("solver.fuel", "solver.fuel.rolled_back"),
+                ] {
+                    prop_assert_eq!(
+                        i128::from(rec.counter_value(added)),
+                        i128::from(rec.counter_value(removed)),
+                        "`{added}` and `{removed}` must cancel after the epoch rollback"
+                    );
+                }
+                Ok(())
+            })
+        },
+    );
+}
